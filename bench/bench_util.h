@@ -1,0 +1,49 @@
+#ifndef HAPE_BENCH_BENCH_UTIL_H_
+#define HAPE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/join_kernels.h"
+#include "storage/datagen.h"
+
+namespace hape::bench {
+
+/// Holds the host arrays backing a JoinInput for the §6.2/§6.3
+/// microbenchmarks: two tables with identical key sets (so the join output
+/// has exactly as many tuples as either input) and 4-byte payloads.
+struct JoinData {
+  std::vector<int32_t> r_key, r_pay, s_key, s_pay;
+
+  /// Build inputs representing `nominal` tuples per side using at most
+  /// `max_actual` host tuples (the traffic models cost the nominal size).
+  ops::JoinInput Make(uint64_t nominal, size_t max_actual = 1u << 20,
+                      uint64_t seed = 42) {
+    const size_t actual =
+        static_cast<size_t>(std::min<uint64_t>(nominal, max_actual));
+    auto rk = storage::DataGen::UniqueShuffled(actual, seed);
+    auto sk = storage::DataGen::UniqueShuffled(actual, seed + 1);
+    r_key.resize(actual);
+    r_pay.resize(actual);
+    s_key.resize(actual);
+    s_pay.resize(actual);
+    for (size_t i = 0; i < actual; ++i) {
+      r_key[i] = static_cast<int32_t>(rk[i]);
+      r_pay[i] = static_cast<int32_t>(i & 0xffff);
+      s_key[i] = static_cast<int32_t>(sk[i]);
+      s_pay[i] = static_cast<int32_t>((i * 7) & 0xffff);
+    }
+    ops::JoinInput in;
+    in.r_key = r_key;
+    in.r_pay = r_pay;
+    in.s_key = s_key;
+    in.s_pay = s_pay;
+    in.nominal_r = nominal;
+    in.nominal_s = nominal;
+    return in;
+  }
+};
+
+}  // namespace hape::bench
+
+#endif  // HAPE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Demonstrates the HetExchange router's packet-routing policies (§4.2) on a
+// hybrid CPU+GPU pipeline: load-aware, locality-aware and hash-based, with
+// data spread across both sockets so locality actually matters.
+//
+//   $ ./example_routing_policies
+
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "engine/sinks.h"
+#include "engine/stages.h"
+#include "sim/topology.h"
+#include "storage/datagen.h"
+
+using namespace hape;  // NOLINT — example code
+
+int main() {
+  sim::Topology topo = sim::Topology::PaperServer();
+  engine::Executor executor(&topo);
+
+  const size_t rows = 1 << 18;
+  auto key = std::make_shared<storage::Column>(
+      storage::DataGen::UniformInt(rows, 0, 1 << 20, 3));
+  auto val = std::make_shared<storage::Column>(
+      storage::DataGen::UniformDouble(rows, 0, 1, 4));
+
+  auto make_inputs = [&] {
+    // Half the packets live on socket 0, half on socket 1, and each packet
+    // carries a partition id so the hash policy has metadata to route on.
+    auto batches = memory::ChunkColumns({key, val}, rows, 1 << 12, 0);
+    for (size_t i = 0; i < batches.size(); ++i) {
+      batches[i].mem_node = i % 2;
+      batches[i].partition_id = static_cast<int32_t>(i % 16);
+    }
+    return batches;
+  };
+
+  std::vector<int> devices = topo.CpuDeviceIds();
+  for (int g : topo.GpuDeviceIds()) devices.push_back(g);
+
+  std::printf("hybrid scan-aggregate over packets scattered on 2 sockets\n");
+  for (auto policy : {engine::RoutingPolicy::kLoadAware,
+                      engine::RoutingPolicy::kLocalityAware,
+                      engine::RoutingPolicy::kHashBased}) {
+    engine::Pipeline p;
+    p.scale = 500.0;
+    p.policy = policy;
+    p.inputs = make_inputs();
+    p.stages.push_back(engine::ScanStage());
+    engine::HashAggSink sink(
+        nullptr, {engine::AggDef{engine::AggOp::kSum, expr::Expr::Col(1)}});
+    p.sink = &sink;
+    topo.Reset();
+    const engine::ExecStats st = executor.Run(&p, devices);
+    std::printf("  %-16s %8.2f ms   (sum=%.1f)\n",
+                engine::RoutingPolicyName(policy), st.seconds() * 1e3,
+                sink.result().at(0)[0]);
+  }
+  std::printf(
+      "\nload-aware balances finish times; locality-aware avoids QPI/PCIe\n"
+      "hops; hash-based gives deterministic placement for partitioned "
+      "state.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#ifndef HAPE_BASELINES_BASELINE_JOINS_H_
+#define HAPE_BASELINES_BASELINE_JOINS_H_
+
+#include "ops/join_kernels.h"
+#include "sim/topology.h"
+
+namespace hape::baselines {
+
+/// Join of "DBMS C" — the CPU-based columnar commercial system of §6.1
+/// (MonetDB/X100-lineage): a multi-core *non-partitioned* hash join driven
+/// by vector-at-a-time operators. Compared to the generated tight loop it
+/// pays extra vector materialization passes per operator (hash vector,
+/// match vector, gather passes), modeled as additional in-memory traffic
+/// and per-vector interpretation work.
+ops::JoinOutcome DbmsCJoin(const ops::JoinInput& in,
+                           const sim::CpuSpec& socket, int workers,
+                           int sockets = 2);
+
+/// Join of "DBMS G" — the GPU commercial system of §6.1: operator-at-a-time
+/// kernels with full materialization in GPU memory. Data starts CPU-resident
+/// and crosses PCIe. When the working set exceeds device memory it falls
+/// back to UVA-style zero-copy access over the interconnect at random-access
+/// granularity, which collapses for out-of-GPU datasets (Fig. 7).
+ops::JoinOutcome DbmsGJoin(const ops::JoinInput& in, sim::Topology* topo,
+                           bool data_gpu_resident = false);
+
+}  // namespace hape::baselines
+
+#endif  // HAPE_BASELINES_BASELINE_JOINS_H_

@@ -1,0 +1,43 @@
+#include "codegen/backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hape::codegen {
+
+CpuBackend::CpuBackend(const sim::CpuSpec& socket) : per_worker_(socket) {
+  per_worker_.cores = 1;
+  per_worker_.dram_gbps = socket.dram_gbps / socket.cores;
+  per_worker_.l3_bytes = socket.l3_bytes / socket.cores;
+}
+
+sim::SimTime CpuBackend::PacketTime(const sim::TrafficStats& t) const {
+  return sim::MemoryModel::CpuTime(per_worker_, t, 1);
+}
+
+GpuBackend::GpuBackend(const sim::GpuSpec& spec) : spec_(spec) {}
+
+sim::SimTime GpuBackend::PacketTime(const sim::TrafficStats& t) const {
+  // One fused kernel per packet; enough blocks to fill the device.
+  const uint64_t blocks =
+      std::max<uint64_t>(spec_.num_sms * 4,
+                         t.tuple_ops / (256 * 16) + 1);
+  return sim::MemoryModel::GpuTime(spec_, t, blocks);
+}
+
+sim::TrafficStats Scaled(const sim::TrafficStats& t, double scale) {
+  sim::TrafficStats s = t;
+  auto mul = [scale](uint64_t v) {
+    return static_cast<uint64_t>(std::llround(v * scale));
+  };
+  s.dram_seq_read_bytes = mul(t.dram_seq_read_bytes);
+  s.dram_seq_write_bytes = mul(t.dram_seq_write_bytes);
+  s.dram_rand_accesses = mul(t.dram_rand_accesses);
+  s.scratchpad_accesses = mul(t.scratchpad_accesses);
+  s.l1_line_accesses = mul(t.l1_line_accesses);
+  s.tuple_ops = mul(t.tuple_ops);
+  s.atomics = mul(t.atomics);
+  return s;
+}
+
+}  // namespace hape::codegen

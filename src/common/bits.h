@@ -1,0 +1,47 @@
+#ifndef HAPE_COMMON_BITS_H_
+#define HAPE_COMMON_BITS_H_
+
+#include <cstdint>
+
+namespace hape {
+
+/// Smallest power of two >= v (v == 0 yields 1).
+constexpr uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+constexpr bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)); Log2Floor(0) is defined as 0.
+constexpr uint32_t Log2Floor(uint64_t v) {
+  uint32_t r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(v)); Log2Ceil(0) and Log2Ceil(1) are 0.
+constexpr uint32_t Log2Ceil(uint64_t v) {
+  if (v <= 1) return 0;
+  return Log2Floor(v - 1) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Round a up to the next multiple of b (b > 0).
+constexpr uint64_t RoundUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+}  // namespace hape
+
+#endif  // HAPE_COMMON_BITS_H_

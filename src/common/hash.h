@@ -1,0 +1,45 @@
+#ifndef HAPE_COMMON_HASH_H_
+#define HAPE_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace hape {
+
+/// 64-bit finalizer from MurmurHash3 — a cheap, well-mixing integer hash used
+/// by the hash joins, group-bys and the hash-based routing policy. All
+/// devices in the paper's engine share one hash family so that hash-based
+/// packet routing composes with in-device partitioning.
+constexpr uint64_t HashMurmur64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Radix-join partition extraction: select `bits` bits of the hash starting
+/// at bit `shift`. Using hash bits (not raw key bits) keeps partitions
+/// balanced for arbitrary key distributions.
+constexpr uint32_t RadixOf(uint64_t key, uint32_t shift, uint32_t bits) {
+  return static_cast<uint32_t>((HashMurmur64(key) >> shift) &
+                               ((1ULL << bits) - 1));
+}
+
+/// Bucket index for a hash table with pow2 `buckets`, taken from the *high*
+/// bits so it stays independent of the radix bits consumed by partitioning.
+constexpr uint32_t BucketOf(uint64_t key, uint32_t log_buckets) {
+  return static_cast<uint32_t>(HashMurmur64(key) >>
+                               (64 - (log_buckets == 0 ? 1 : log_buckets))) &
+         ((1u << log_buckets) - 1);
+}
+
+/// Combine two hash values (boost::hash_combine style, 64-bit).
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (HashMurmur64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace hape
+
+#endif  // HAPE_COMMON_HASH_H_

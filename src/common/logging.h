@@ -1,0 +1,80 @@
+#ifndef HAPE_COMMON_LOGGING_H_
+#define HAPE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hape {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; below it, log statements are dropped.
+/// Intentionally a plain int (trivially destructible static storage).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false)
+      : level_(level), fatal_(fatal) {
+    ss_ << "[" << Name(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (fatal_ || level_ >= GetLogLevel()) {
+      std::cerr << ss_.str() << std::endl;
+    }
+    if (fatal_) std::abort();
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+  std::ostringstream ss_;
+  LogLevel level_;
+  bool fatal_;
+};
+
+}  // namespace internal_logging
+}  // namespace hape
+
+#define HAPE_LOG(level)                                             \
+  ::hape::internal_logging::LogMessage(::hape::LogLevel::k##level,  \
+                                       __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds; engine bugs in a
+/// simulation silently corrupt results otherwise.
+#define HAPE_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::hape::internal_logging::LogMessage(::hape::LogLevel::kError,          \
+                                       __FILE__, __LINE__, /*fatal=*/true) \
+      << "Check failed: " #cond " "
+
+#define HAPE_DCHECK(cond) HAPE_CHECK(cond)
+
+#endif  // HAPE_COMMON_LOGGING_H_

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace hape {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  s += ": ";
+  s += msg_;
+  return s;
+}
+
+}  // namespace hape

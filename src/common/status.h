@@ -1,0 +1,96 @@
+#ifndef HAPE_COMMON_STATUS_H_
+#define HAPE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hape {
+
+/// Error categories used across the engine. Modeled after Arrow's Status:
+/// cheap to pass by value, OK carries no allocation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,       // simulated device memory exhausted
+  kNotSupported,      // e.g. DBMS G refusing an out-of-GPU query
+  kKeyError,          // catalog / lookup miss
+  kIOError,
+  kInternal,
+};
+
+/// Result of an operation that can fail. Use the HAPE_RETURN_NOT_OK macro to
+/// propagate errors up the call stack.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error holder, in the spirit of arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}     // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+  T& value() { return std::get<T>(v_); }
+  const T& value() const { return std::get<T>(v_); }
+  T&& MoveValue() { return std::move(std::get<T>(v_)); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define HAPE_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::hape::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define HAPE_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto _res_##__LINE__ = (expr);                \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = _res_##__LINE__.MoveValue();
+
+}  // namespace hape
+
+#endif  // HAPE_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef HAPE_COPROC_COPROC_JOIN_H_
+#define HAPE_COPROC_COPROC_JOIN_H_
+
+#include "ops/join_kernels.h"
+#include "sim/topology.h"
+
+namespace hape::coproc {
+
+/// Outcome of the out-of-GPU co-processing radix join (§5, Fig. 7), with the
+/// per-stage breakdown the benchmarks report.
+struct CoprocOutcome {
+  Status status = Status::OK();
+  uint64_t matches = 0;
+  double sum_r_pay = 0, sum_s_pay = 0;
+  sim::SimTime seconds = 0;
+
+  int co_partition_bits = 0;      // CPU-side fanout (log2)
+  sim::SimTime cpu_partition_seconds = 0;  // CPU-side co-partitioning phase
+  sim::SimTime stream_seconds = 0;         // transfer+join streaming phase
+  uint64_t pcie_bytes = 0;                 // single pass over the interconnect
+  ops::RadixPlan gpu_plan;                 // per-co-partition in-GPU plan
+};
+
+/// The co-processing join of Sioulas et al. as generalized by §5:
+///  1. a low-fanout CPU-side co-partitioning pass over the (CPU-resident)
+///     inputs, sized so each co-partition fits the GPU memory budget —
+///     running at DRAM bandwidth thanks to the small fanout;
+///  2. co-partition pairs streamed to the GPU(s) round-robin, each crossing
+///     the interconnect exactly once; transfers overlap the in-GPU
+///     partition+build+probe of previously arrived co-partitions.
+/// With 2 GPUs each co-partition goes to one GPU over its own dedicated
+/// PCIe link (GPU1 reached across QPI from socket-0-resident data).
+///
+/// `data_node` is the memory node holding the inputs; `cpu_workers` the
+/// cores used for the CPU-side pass.
+CoprocOutcome CoprocRadixJoin(const ops::JoinInput& in, sim::Topology* topo,
+                              int num_gpus, int cpu_workers = 24,
+                              int data_node = 0);
+
+}  // namespace hape::coproc
+
+#endif  // HAPE_COPROC_COPROC_JOIN_H_

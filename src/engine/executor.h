@@ -1,0 +1,66 @@
+#ifndef HAPE_ENGINE_EXECUTOR_H_
+#define HAPE_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/pipeline.h"
+#include "sim/topology.h"
+
+namespace hape::engine {
+
+/// One logical consumer instance of a pipeline: a CPU core or a whole GPU.
+/// Instantiated per pipeline run by the executor from the device list —
+/// this is HetExchange's producer/consumer instantiation (§4.2).
+struct Worker {
+  int device_id;
+  int mem_node;
+  const codegen::Backend* backend;
+  sim::SimTime free_at = 0;
+  uint64_t packets = 0;
+  sim::SimTime busy = 0;
+};
+
+/// Deterministic discrete-event pipeline executor. Packets are routed to
+/// workers by the router policy; device crossings reserve interconnect
+/// links (mem-move); each packet's processing cost comes from the worker's
+/// backend and the traffic the fused stages record. Host execution is
+/// sequential and deterministic, simulated time is parallel.
+class Executor {
+ public:
+  explicit Executor(sim::Topology* topo);
+
+  /// Execute `p` on all workers of `devices`, starting no earlier than
+  /// `start`. Hybrid runs pass both CPU and GPU device ids — the router does
+  /// not differentiate; device-crossings (transfers + backend switches) are
+  /// handled per packet.
+  ExecStats Run(Pipeline* p, const std::vector<int>& devices,
+                sim::SimTime start = 0);
+
+  /// Topology-aware broadcast (§4.2 mem-move): replicate `bytes` from
+  /// `from_node` to each node in `to_nodes`, sharing the payload across
+  /// links so each link carries it once (multicast). Returns finish time.
+  sim::SimTime Broadcast(uint64_t bytes, int from_node,
+                         const std::vector<int>& to_nodes,
+                         sim::SimTime start = 0);
+
+  sim::Topology* topology() { return topo_; }
+  const codegen::Backend& backend_for(int device_id) const {
+    return *backends_.at(device_id);
+  }
+
+ private:
+  std::vector<Worker> MakeWorkers(const std::vector<int>& devices,
+                                  sim::SimTime start) const;
+  /// Router: choose the worker for `b` under `policy`; returns worker index.
+  int Route(const Pipeline& p, const memory::Batch& b,
+            const std::vector<Worker>& workers, size_t packet_index) const;
+
+  sim::Topology* topo_;
+  std::map<int, std::unique_ptr<codegen::Backend>> backends_;
+};
+
+}  // namespace hape::engine
+
+#endif  // HAPE_ENGINE_EXECUTOR_H_

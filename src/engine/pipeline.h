@@ -1,0 +1,88 @@
+#ifndef HAPE_ENGINE_PIPELINE_H_
+#define HAPE_ENGINE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/backend.h"
+#include "memory/batch.h"
+
+namespace hape::engine {
+
+/// One fused pipeline stage produced by code generation: transforms a
+/// packet in place (filter compacts, probe expands, project rewrites) and
+/// records the *logical* traffic the generated code would cause on the
+/// executing backend. Intermediate results stay "in registers": only
+/// operator-specific structure accesses and pipeline endpoints touch memory
+/// — the JIT property that distinguishes the engine from the vector-at-a-
+/// time baseline.
+using Stage = std::function<void(memory::Batch* batch,
+                                 sim::TrafficStats* traffic,
+                                 const codegen::Backend& backend)>;
+
+/// Packet routing policies of the HetExchange router (§4.2).
+enum class RoutingPolicy {
+  kLoadAware,      // earliest-finishing consumer, transfer-aware
+  kLocalityAware,  // prefer consumers local to the packet's memory node
+  kHashBased,      // partition_id modulo consumer count
+};
+
+const char* RoutingPolicyName(RoutingPolicy p);
+
+/// Pipeline breaker at the end of a pipeline. Consume() runs per packet on
+/// the worker that produced it; Finish() merges worker-local state once.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Consume(int worker, memory::Batch&& batch,
+                       sim::TrafficStats* traffic,
+                       const codegen::Backend& backend) = 0;
+  virtual void Finish(sim::TrafficStats* traffic) { (void)traffic; }
+};
+
+/// One pipeline of a broken-down heterogeneity-aware plan (§3): a packet
+/// source, a chain of fused stages, and a sink, executed at some degree of
+/// parallelism on one or more devices.
+struct Pipeline {
+  std::string name;
+  std::vector<memory::Batch> inputs;
+  /// nominal/actual data ratio: all recorded traffic is multiplied by this
+  /// before costing, so paper-scale experiments can run on sampled data.
+  double scale = 1.0;
+  /// Charge the sequential read of each source packet (table scans do;
+  /// pipelines over just-produced intermediates may not).
+  bool charge_source_read = true;
+  std::vector<Stage> stages;
+  Sink* sink = nullptr;
+  RoutingPolicy policy = RoutingPolicy::kLoadAware;
+  /// Interconnect amplification for packets that cross devices. Plans whose
+  /// build sides are hash-partitioned across multiple GPUs (instead of
+  /// co-partitioned up front by the hardware-conscious co-processing join)
+  /// must shuffle each probe packet between the devices at every join —
+  /// §6.4 attributes Q5's hybrid efficiency loss to exactly this shuffle.
+  double wire_amplification = 1.0;
+  /// DBMS C execution model: vector-at-a-time — every stage boundary
+  /// materializes a (cache-resident) vector, adding per-tuple load/store
+  /// and interpretation work (§2.2, §6.4's Q1 discussion).
+  bool vector_at_a_time = false;
+  /// DBMS G execution model: operator-at-a-time — every stage boundary
+  /// materializes its full output in device memory and re-reads it.
+  bool operator_at_a_time = false;
+};
+
+/// Execution record of one pipeline run.
+struct ExecStats {
+  sim::SimTime start = 0;
+  sim::SimTime finish = 0;
+  uint64_t packets = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  sim::TrafficStats traffic;  // nominal-scale aggregate
+  sim::SimTime seconds() const { return finish - start; }
+};
+
+}  // namespace hape::engine
+
+#endif  // HAPE_ENGINE_PIPELINE_H_

@@ -1,0 +1,169 @@
+#include "engine/sinks.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "expr/eval.h"
+
+namespace hape::engine {
+
+// ---- CollectSink ------------------------------------------------------------
+
+void CollectSink::Consume(int worker, memory::Batch&& batch,
+                          sim::TrafficStats* traffic,
+                          const codegen::Backend& backend) {
+  (void)worker;
+  (void)backend;
+  traffic->dram_seq_write_bytes += batch.byte_size();
+  batches_.push_back(std::move(batch));
+}
+
+uint64_t CollectSink::total_rows() const {
+  uint64_t n = 0;
+  for (const auto& b : batches_) n += b.rows;
+  return n;
+}
+
+// ---- BuildSink --------------------------------------------------------------
+
+BuildSink::BuildSink(JoinStatePtr state, expr::ExprPtr key_expr,
+                     std::vector<int> payload_cols)
+    : state_(std::move(state)),
+      key_expr_(std::move(key_expr)),
+      payload_cols_(std::move(payload_cols)) {}
+
+void BuildSink::Consume(int worker, memory::Batch&& batch,
+                        sim::TrafficStats* traffic,
+                        const codegen::Backend& backend) {
+  (void)worker;
+  if (!payload_initialized_) {
+    for (int c : payload_cols_) {
+      state_->payload.columns.push_back(
+          std::make_shared<storage::Column>(batch.columns[c]->type()));
+    }
+    payload_initialized_ = true;
+  }
+  const std::vector<int64_t> keys = expr::Eval::Ints(*key_expr_, batch);
+  const uint32_t base = static_cast<uint32_t>(state_->payload.rows);
+  for (size_t i = 0; i < batch.rows; ++i) {
+    state_->ht.Insert(keys[i], base + static_cast<uint32_t>(i));
+  }
+  for (size_t c = 0; c < payload_cols_.size(); ++c) {
+    const storage::Column& src = *batch.columns[payload_cols_[c]];
+    storage::Column& dst = *state_->payload.columns[c];
+    for (size_t i = 0; i < batch.rows; ++i) {
+      if (src.type() == storage::DataType::kFloat64) {
+        dst.AppendDouble(src.GetDouble(i));
+      } else {
+        dst.AppendInt(src.GetInt(i));
+      }
+    }
+  }
+  state_->payload.rows += batch.rows;
+
+  // Shared-table build: node write + chain-head CAS per tuple; random when
+  // the table exceeds the caches (HyPer-style parallel build, §2.2).
+  traffic->tuple_ops += batch.rows * (key_expr_->OpCount() + 4);
+  traffic->atomics += batch.rows;
+  if (backend.device_type() == sim::DeviceType::kGpu ||
+      state_->NominalBytes() > sim::CpuSpec{}.l3_bytes / 2) {
+    traffic->dram_rand_accesses += batch.rows * 2;
+  }
+}
+
+void BuildSink::Finish(sim::TrafficStats* traffic) { (void)traffic; }
+
+// ---- HashAggSink ------------------------------------------------------------
+
+HashAggSink::HashAggSink(expr::ExprPtr key_expr, std::vector<AggDef> aggs)
+    : key_expr_(std::move(key_expr)), aggs_(std::move(aggs)) {
+  HAPE_CHECK(!aggs_.empty());
+}
+
+void HashAggSink::Consume(int worker, memory::Batch&& batch,
+                          sim::TrafficStats* traffic,
+                          const codegen::Backend& backend) {
+  (void)backend;
+  std::vector<int64_t> keys;
+  if (key_expr_ != nullptr) {
+    keys = expr::Eval::Ints(*key_expr_, batch);
+  }
+  // Evaluate aggregate arguments vectorized once per packet.
+  std::vector<std::vector<double>> args(aggs_.size());
+  uint64_t ops = key_expr_ ? key_expr_->OpCount() + 2 : 1;
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    if (aggs_[a].arg != nullptr) {
+      args[a] = expr::Eval::Doubles(*aggs_[a].arg, batch);
+      ops += aggs_[a].arg->OpCount() + 1;
+    } else {
+      ops += 1;
+    }
+  }
+  traffic->tuple_ops += batch.rows * ops;
+
+  auto& local = partials_[worker];
+  for (size_t i = 0; i < batch.rows; ++i) {
+    const int64_t k = key_expr_ ? keys[i] : 0;
+    auto [it, inserted] = local.try_emplace(k);
+    if (inserted) {
+      it->second.assign(aggs_.size(), 0.0);
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].op == AggOp::kMin) {
+          it->second[a] = std::numeric_limits<double>::infinity();
+        } else if (aggs_[a].op == AggOp::kMax) {
+          it->second[a] = -std::numeric_limits<double>::infinity();
+        }
+      }
+    }
+    auto& acc = it->second;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      switch (aggs_[a].op) {
+        case AggOp::kSum:
+          acc[a] += args[a][i];
+          break;
+        case AggOp::kCount:
+          acc[a] += 1;
+          break;
+        case AggOp::kMin:
+          acc[a] = std::min(acc[a], args[a][i]);
+          break;
+        case AggOp::kMax:
+          acc[a] = std::max(acc[a], args[a][i]);
+          break;
+      }
+    }
+  }
+}
+
+void HashAggSink::Finish(sim::TrafficStats* traffic) {
+  uint64_t merged = 0;
+  for (auto& [worker, local] : partials_) {
+    for (auto& [k, acc] : local) {
+      ++merged;
+      auto [it, inserted] = result_.try_emplace(k);
+      if (inserted) {
+        it->second = acc;
+        continue;
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        switch (aggs_[a].op) {
+          case AggOp::kSum:
+          case AggOp::kCount:
+            it->second[a] += acc[a];
+            break;
+          case AggOp::kMin:
+            it->second[a] = std::min(it->second[a], acc[a]);
+            break;
+          case AggOp::kMax:
+            it->second[a] = std::max(it->second[a], acc[a]);
+            break;
+        }
+      }
+    }
+  }
+  traffic->tuple_ops += merged * aggs_.size() * 2;
+  partials_.clear();
+}
+
+}  // namespace hape::engine

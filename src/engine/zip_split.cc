@@ -1,0 +1,143 @@
+#include "engine/zip_split.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "memory/gather.h"
+
+namespace hape::engine {
+
+namespace {
+
+/// Concatenate packets that share a partition id into one packet.
+memory::Batch Concat(std::vector<memory::Batch> parts) {
+  HAPE_CHECK(!parts.empty());
+  memory::Batch out = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    memory::Batch& b = parts[i];
+    HAPE_CHECK(b.num_columns() == out.num_columns());
+    for (int c = 0; c < out.num_columns(); ++c) {
+      const storage::Column& src = *b.columns[c];
+      storage::Column& dst = *out.columns[c];
+      for (size_t r = 0; r < b.rows; ++r) {
+        if (src.type() == storage::DataType::kFloat64) {
+          dst.AppendDouble(src.GetDouble(r));
+        } else {
+          dst.AppendInt(src.GetInt(r));
+        }
+      }
+    }
+    out.rows += b.rows;
+  }
+  return out;
+}
+
+memory::Batch EmptyLike(const memory::Batch& proto, int32_t pid) {
+  memory::Batch b;
+  b.rows = 0;
+  b.mem_node = proto.mem_node;
+  b.partition_id = pid;
+  for (const auto& c : proto.columns) {
+    b.columns.push_back(std::make_shared<storage::Column>(c->type()));
+  }
+  return b;
+}
+
+}  // namespace
+
+Result<std::vector<CoPartition>> Zip(std::vector<memory::Batch> build,
+                                     std::vector<memory::Batch> probe) {
+  std::map<int32_t, std::vector<memory::Batch>> by_id_build, by_id_probe;
+  for (auto& b : build) {
+    if (b.partition_id < 0) {
+      return Status::InvalidArgument(
+          "zip: build packet without partition id (packing trait missing)");
+    }
+    by_id_build[b.partition_id].push_back(std::move(b));
+  }
+  for (auto& b : probe) {
+    if (b.partition_id < 0) {
+      return Status::InvalidArgument(
+          "zip: probe packet without partition id (packing trait missing)");
+    }
+    by_id_probe[b.partition_id].push_back(std::move(b));
+  }
+  if (by_id_build.empty() || by_id_probe.empty()) {
+    return Status::InvalidArgument("zip: empty input stream");
+  }
+
+  std::vector<CoPartition> out;
+  auto bit = by_id_build.begin();
+  auto pit = by_id_probe.begin();
+  // Snapshot empty prototypes before Concat() moves the packets away.
+  const memory::Batch bproto = EmptyLike(bit->second.front(), -1);
+  const memory::Batch pproto = EmptyLike(pit->second.front(), -1);
+  while (bit != by_id_build.end() || pit != by_id_probe.end()) {
+    CoPartition cp;
+    const int32_t bid =
+        bit != by_id_build.end() ? bit->first : pit->first;
+    const int32_t pid =
+        pit != by_id_probe.end() ? pit->first : bit->first;
+    cp.partition_id = std::min(bid, pid);
+    if (bit != by_id_build.end() && bit->first == cp.partition_id) {
+      cp.build = Concat(std::move(bit->second));
+      ++bit;
+    } else {
+      cp.build = EmptyLike(bproto, cp.partition_id);
+    }
+    if (pit != by_id_probe.end() && pit->first == cp.partition_id) {
+      cp.probe = Concat(std::move(pit->second));
+      ++pit;
+    } else {
+      cp.probe = EmptyLike(pproto, cp.partition_id);
+    }
+    cp.build.partition_id = cp.partition_id;
+    cp.probe.partition_id = cp.partition_id;
+    out.push_back(std::move(cp));
+  }
+  return out;
+}
+
+std::pair<std::vector<memory::Batch>, std::vector<memory::Batch>> Split(
+    std::vector<CoPartition> pairs) {
+  std::vector<memory::Batch> builds, probes;
+  builds.reserve(pairs.size());
+  probes.reserve(pairs.size());
+  for (auto& cp : pairs) {
+    builds.push_back(std::move(cp.build));
+    probes.push_back(std::move(cp.probe));
+  }
+  return {std::move(builds), std::move(probes)};
+}
+
+std::vector<memory::Batch> PartitionBatches(
+    const std::vector<memory::Batch>& inputs, int key_col, int bits) {
+  HAPE_CHECK(bits >= 0 && bits < 24);
+  const uint32_t parts = 1u << bits;
+  std::vector<std::vector<uint32_t>> sel(parts);
+  std::vector<memory::Batch> out;
+  for (const auto& in : inputs) {
+    for (auto& s : sel) s.clear();
+    const storage::Column& keys = *in.columns[key_col];
+    for (size_t r = 0; r < in.rows; ++r) {
+      sel[RadixOf(static_cast<uint64_t>(keys.GetInt(r)), 0, bits)].push_back(
+          static_cast<uint32_t>(r));
+    }
+    for (uint32_t p = 0; p < parts; ++p) {
+      if (sel[p].empty()) continue;
+      memory::Batch b;
+      b.rows = sel[p].size();
+      b.mem_node = in.mem_node;
+      b.partition_id = static_cast<int32_t>(p);
+      for (const auto& c : in.columns) {
+        b.columns.push_back(memory::Take(*c, sel[p]));
+      }
+      out.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+}  // namespace hape::engine

@@ -1,0 +1,41 @@
+#ifndef HAPE_ENGINE_ZIP_SPLIT_H_
+#define HAPE_ENGINE_ZIP_SPLIT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "memory/batch.h"
+
+namespace hape::engine {
+
+/// A matched pair of co-partition packets (build side, probe side) sharing
+/// one partition id — the unit the §5 co-processing plan ships to a GPU.
+struct CoPartition {
+  memory::Batch build;
+  memory::Batch probe;
+  int32_t partition_id = -1;
+};
+
+/// The zip operator of the §5 plan: matches the packets of two partitioned
+/// streams by partition id into co-partitions. Every partition id present
+/// on either side must appear on both (empty packets are synthesized for
+/// one-sided partitions so the join sees the full id space). Order is by
+/// ascending partition id — deterministic for the DES executor.
+Result<std::vector<CoPartition>> Zip(std::vector<memory::Batch> build,
+                                     std::vector<memory::Batch> probe);
+
+/// The split operator: the inverse fan-out — routes each co-partition's two
+/// packets onto separate downstream sequences (build first, probe second),
+/// preserving the id pairing via partition_id. Returns {builds, probes}.
+std::pair<std::vector<memory::Batch>, std::vector<memory::Batch>> Split(
+    std::vector<CoPartition> pairs);
+
+/// Partition one packet-set by hash bits into per-partition packets
+/// (the engine-level counterpart of the kernel-level radix partitioners;
+/// used to feed Zip). Keys are read from `key_col` of each batch.
+std::vector<memory::Batch> PartitionBatches(
+    const std::vector<memory::Batch>& inputs, int key_col, int bits);
+
+}  // namespace hape::engine
+
+#endif  // HAPE_ENGINE_ZIP_SPLIT_H_

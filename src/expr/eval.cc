@@ -1,0 +1,116 @@
+#include "expr/eval.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hape::expr {
+
+namespace {
+
+double ApplyArith(ExprKind k, double l, double r) {
+  switch (k) {
+    case ExprKind::kAdd:
+      return l + r;
+    case ExprKind::kSub:
+      return l - r;
+    case ExprKind::kMul:
+      return l * r;
+    case ExprKind::kDiv:
+      return l / r;
+    case ExprKind::kEq:
+      return l == r;
+    case ExprKind::kNe:
+      return l != r;
+    case ExprKind::kLt:
+      return l < r;
+    case ExprKind::kLe:
+      return l <= r;
+    case ExprKind::kGt:
+      return l > r;
+    case ExprKind::kGe:
+      return l >= r;
+    case ExprKind::kAnd:
+      return (l != 0) && (r != 0);
+    case ExprKind::kOr:
+      return (l != 0) || (r != 0);
+    default:
+      HAPE_CHECK(false) << "not a binary op";
+      return 0;
+  }
+}
+
+}  // namespace
+
+double Eval::ScalarDouble(const Expr& e, const memory::Batch& b, size_t i) {
+  switch (e.kind()) {
+    case ExprKind::kColRef:
+      return b.columns[e.col_index()]->GetDouble(i);
+    case ExprKind::kLitInt:
+      return static_cast<double>(e.int_value());
+    case ExprKind::kLitDouble:
+      return e.double_value();
+    case ExprKind::kNot:
+      return ScalarDouble(*e.children()[0], b, i) == 0 ? 1 : 0;
+    default:
+      return ApplyArith(e.kind(), ScalarDouble(*e.children()[0], b, i),
+                        ScalarDouble(*e.children()[1], b, i));
+  }
+}
+
+std::vector<double> Eval::Doubles(const Expr& e, const memory::Batch& b) {
+  std::vector<double> out(b.rows);
+  // Vectorize the common leaf cases; recurse via scalar otherwise. The
+  // recursion cost is host-side only — simulated cost comes from OpCount().
+  switch (e.kind()) {
+    case ExprKind::kColRef: {
+      const auto& col = *b.columns[e.col_index()];
+      for (size_t i = 0; i < b.rows; ++i) out[i] = col.GetDouble(i);
+      return out;
+    }
+    case ExprKind::kLitInt:
+      std::fill(out.begin(), out.end(), static_cast<double>(e.int_value()));
+      return out;
+    case ExprKind::kLitDouble:
+      std::fill(out.begin(), out.end(), e.double_value());
+      return out;
+    case ExprKind::kNot: {
+      auto c = Doubles(*e.children()[0], b);
+      for (size_t i = 0; i < b.rows; ++i) out[i] = c[i] == 0 ? 1 : 0;
+      return out;
+    }
+    default: {
+      auto l = Doubles(*e.children()[0], b);
+      auto r = Doubles(*e.children()[1], b);
+      const ExprKind k = e.kind();
+      for (size_t i = 0; i < b.rows; ++i) out[i] = ApplyArith(k, l[i], r[i]);
+      return out;
+    }
+  }
+}
+
+std::vector<int64_t> Eval::Ints(const Expr& e, const memory::Batch& b) {
+  if (e.kind() == ExprKind::kColRef) {
+    const auto& col = *b.columns[e.col_index()];
+    std::vector<int64_t> out(b.rows);
+    for (size_t i = 0; i < b.rows; ++i) out[i] = col.GetInt(i);
+    return out;
+  }
+  auto d = Doubles(e, b);
+  std::vector<int64_t> out(b.rows);
+  for (size_t i = 0; i < b.rows; ++i) out[i] = static_cast<int64_t>(d[i]);
+  return out;
+}
+
+std::vector<uint32_t> Eval::SelectedRows(const Expr& e,
+                                         const memory::Batch& b) {
+  auto v = Doubles(e, b);
+  std::vector<uint32_t> sel;
+  sel.reserve(b.rows / 4);
+  for (size_t i = 0; i < b.rows; ++i) {
+    if (v[i] != 0) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+}  // namespace hape::expr

@@ -1,0 +1,87 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hape::expr {
+
+ExprPtr Expr::Col(int index) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kColRef));
+  e->col_ = index;
+  return e;
+}
+
+ExprPtr Expr::Int(int64_t v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLitInt));
+  e->ival_ = v;
+  return e;
+}
+
+ExprPtr Expr::Double(double v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLitDouble));
+  e->dval_ = v;
+  return e;
+}
+
+ExprPtr Expr::Binary(ExprKind op, ExprPtr l, ExprPtr r) {
+  HAPE_CHECK(l && r);
+  auto e = std::shared_ptr<Expr>(new Expr(op));
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr c) {
+  HAPE_CHECK(c != nullptr);
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kNot));
+  e->children_ = {std::move(c)};
+  return e;
+}
+
+ExprPtr Expr::Between(ExprPtr v, ExprPtr lo, ExprPtr hi) {
+  return And(Le(lo, v), Le(v, std::move(hi)));
+}
+
+uint64_t Expr::OpCount() const {
+  uint64_t n = kind_ == ExprKind::kColRef || kind_ == ExprKind::kLitInt ||
+                       kind_ == ExprKind::kLitDouble
+                   ? 0
+                   : 1;
+  for (const auto& c : children_) n += c->OpCount();
+  return n;
+}
+
+int Expr::MaxColumn() const {
+  int m = kind_ == ExprKind::kColRef ? col_ : -1;
+  for (const auto& c : children_) m = std::max(m, c->MaxColumn());
+  return m;
+}
+
+std::string Expr::ToString() const {
+  static const char* kOpNames[] = {"col", "int",  "double", "+",  "-",  "*",
+                                   "/",   "==",   "!=",     "<",  "<=", ">",
+                                   ">=",  "&&",   "||",     "!"};
+  std::ostringstream ss;
+  switch (kind_) {
+    case ExprKind::kColRef:
+      ss << "$" << col_;
+      break;
+    case ExprKind::kLitInt:
+      ss << ival_;
+      break;
+    case ExprKind::kLitDouble:
+      ss << dval_;
+      break;
+    case ExprKind::kNot:
+      ss << "!(" << children_[0]->ToString() << ")";
+      break;
+    default:
+      ss << "(" << children_[0]->ToString() << " "
+         << kOpNames[static_cast<int>(kind_)] << " "
+         << children_[1]->ToString() << ")";
+  }
+  return ss.str();
+}
+
+}  // namespace hape::expr

@@ -1,0 +1,88 @@
+#ifndef HAPE_EXPR_EXPR_H_
+#define HAPE_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hape::expr {
+
+enum class ExprKind {
+  kColRef,
+  kLitInt,
+  kLitDouble,
+  // arithmetic (children: 2)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // comparison (children: 2) — evaluate to 0/1
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // boolean (kAnd/kOr: 2 children, kNot: 1)
+  kAnd,
+  kOr,
+  kNot,
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable typed-by-convention expression tree over a Batch's columns.
+/// Comparison and boolean nodes yield 0/1; arithmetic is evaluated in
+/// double (exact for the TPC-H decimal domains used here) or int64.
+class Expr {
+ public:
+  static ExprPtr Col(int index);
+  static ExprPtr Int(int64_t v);
+  static ExprPtr Double(double v);
+  static ExprPtr Binary(ExprKind op, ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+
+  // Convenience builders.
+  static ExprPtr Add(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kAdd, l, r); }
+  static ExprPtr Sub(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kSub, l, r); }
+  static ExprPtr Mul(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kMul, l, r); }
+  static ExprPtr Div(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kDiv, l, r); }
+  static ExprPtr Eq(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kEq, l, r); }
+  static ExprPtr Ne(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kNe, l, r); }
+  static ExprPtr Lt(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kLt, l, r); }
+  static ExprPtr Le(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kLe, l, r); }
+  static ExprPtr Gt(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kGt, l, r); }
+  static ExprPtr Ge(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kGe, l, r); }
+  static ExprPtr And(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kAnd, l, r); }
+  static ExprPtr Or(ExprPtr l, ExprPtr r) { return Binary(ExprKind::kOr, l, r); }
+  /// lo <= col && col <= hi.
+  static ExprPtr Between(ExprPtr v, ExprPtr lo, ExprPtr hi);
+
+  ExprKind kind() const { return kind_; }
+  int col_index() const { return col_; }
+  int64_t int_value() const { return ival_; }
+  double double_value() const { return dval_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Number of simple per-tuple operations this tree costs (for the traffic
+  /// model's compute component).
+  uint64_t OpCount() const;
+  /// Highest column index referenced, or -1 if none.
+  int MaxColumn() const;
+  std::string ToString() const;
+
+ private:
+  Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  int col_ = -1;
+  int64_t ival_ = 0;
+  double dval_ = 0;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace hape::expr
+
+#endif  // HAPE_EXPR_EXPR_H_

@@ -1,0 +1,39 @@
+#ifndef HAPE_MEMORY_BATCH_H_
+#define HAPE_MEMORY_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace hape::memory {
+
+/// A packet: the unit of data flow between operators and devices (§3,
+/// "data packing" trait). A Batch owns chunk-sized columns. Metadata lets
+/// the router take routing decisions without touching the data:
+///   - `mem_node`     : which simulated memory currently holds the packet;
+///   - `partition_id` : if >= 0, every tuple in the packet shares this
+///                      hash-partition id (the paper's packing property).
+struct Batch {
+  std::vector<storage::ColumnPtr> columns;
+  size_t rows = 0;
+  int mem_node = 0;
+  int32_t partition_id = -1;
+
+  uint64_t byte_size() const {
+    uint64_t total = 0;
+    for (const auto& c : columns) total += c->byte_size();
+    return total;
+  }
+  int num_columns() const { return static_cast<int>(columns.size()); }
+};
+
+/// Chunk table-like column sets into packets of at most `chunk_rows` rows.
+/// Columns are deep-copied per chunk (packets own their memory, as the
+/// engine's buffer manager would).
+std::vector<Batch> ChunkColumns(const std::vector<storage::ColumnPtr>& cols,
+                                size_t rows, size_t chunk_rows, int mem_node);
+
+}  // namespace hape::memory
+
+#endif  // HAPE_MEMORY_BATCH_H_

@@ -1,0 +1,19 @@
+#ifndef HAPE_MEMORY_GATHER_H_
+#define HAPE_MEMORY_GATHER_H_
+
+#include <span>
+
+#include "memory/batch.h"
+
+namespace hape::memory {
+
+/// Gather `rows` of `col` into a new column (selection-vector application).
+storage::ColumnPtr Take(const storage::Column& col,
+                        std::span<const uint32_t> rows);
+
+/// Gather `rows` of every column of `b` in place.
+void TakeBatch(Batch* b, std::span<const uint32_t> rows);
+
+}  // namespace hape::memory
+
+#endif  // HAPE_MEMORY_GATHER_H_

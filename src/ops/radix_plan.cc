@@ -1,0 +1,74 @@
+#include "ops/radix_plan.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace hape::ops {
+
+uint64_t GpuHashTableBytes(uint64_t elems, uint64_t tuple_bytes) {
+  if (elems == 0) return 0;
+  return elems * tuple_bytes + NextPow2(elems) * 4;
+}
+
+namespace {
+
+RadixPlan FinishPlan(uint64_t build_rows, int total_bits, int max_bits) {
+  RadixPlan plan;
+  plan.total_bits = total_bits;
+  plan.partitions = 1ULL << total_bits;
+  plan.elems_per_partition =
+      std::max<uint64_t>(1, build_rows >> total_bits);
+  plan.passes = total_bits == 0
+                    ? 0
+                    : static_cast<int>(CeilDiv(total_bits, max_bits));
+  plan.bits_per_pass =
+      plan.passes == 0 ? 0 : static_cast<int>(CeilDiv(total_bits,
+                                                      plan.passes));
+  return plan;
+}
+
+}  // namespace
+
+RadixPlan PlanGpuRadix(uint64_t build_rows, uint64_t tuple_bytes,
+                       const sim::GpuSpec& spec, uint64_t scratchpad_budget,
+                       int max_bits_per_pass) {
+  HAPE_CHECK(scratchpad_budget > 0 &&
+             scratchpad_budget <= spec.shared_mem_per_sm);
+  int bits = 0;
+  while (bits < 30 &&
+         GpuHashTableBytes(build_rows >> bits, tuple_bytes) >
+             scratchpad_budget) {
+    ++bits;
+  }
+  return FinishPlan(build_rows, bits, max_bits_per_pass);
+}
+
+RadixPlan PlanCpuRadix(uint64_t build_rows, uint64_t tuple_bytes,
+                       const sim::CpuSpec& spec) {
+  // Fanout per pass: one software write buffer (and thus one hot page) per
+  // TLB entry (Boncz et al.).
+  const int bits_per_pass =
+      std::max(1, static_cast<int>(Log2Floor(spec.tlb_entries)));
+  int bits = 0;
+  while (bits < 30 &&
+         (build_rows >> bits) * tuple_bytes * 2 > spec.l2_bytes) {
+    ++bits;
+  }
+  return FinishPlan(build_rows, bits, bits_per_pass);
+}
+
+int PlanCoPartitionBits(uint64_t build_rows, uint64_t probe_rows,
+                        uint64_t tuple_bytes, uint64_t gpu_mem_budget) {
+  HAPE_CHECK(gpu_mem_budget > 0);
+  int bits = 0;
+  while (bits < 20 &&
+         ((build_rows + probe_rows) >> bits) * tuple_bytes * 3 >
+             gpu_mem_budget) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace hape::ops

@@ -1,0 +1,56 @@
+#ifndef HAPE_OPS_RADIX_PLAN_H_
+#define HAPE_OPS_RADIX_PLAN_H_
+
+#include <cstdint>
+
+#include "sim/spec.h"
+
+namespace hape::ops {
+
+/// Partitioning schedule for a radix join. The paper's central
+/// hardware-vs-device consciousness point (§4.1): the *skeleton* (multi-pass
+/// partitioning until the per-partition hash table fits a fast memory) is
+/// device-invariant; only the constants differ — TLB entries bound the CPU
+/// fanout, scratchpad capacity bounds the GPU fanout and final partition
+/// size.
+struct RadixPlan {
+  int passes = 0;           // partitioning passes over the data
+  int bits_per_pass = 0;    // log2(fanout) of each pass
+  int total_bits = 0;       // log2(final number of partitions)
+  uint64_t partitions = 1;  // 2^total_bits
+  /// Expected build-side elements per final partition.
+  uint64_t elems_per_partition = 0;
+};
+
+/// Tuple layout of the §6.2 microbenchmarks: 4-byte key + 4-byte payload.
+constexpr uint64_t kJoinTupleBytes = 8;
+
+/// Bytes of scratchpad one build partition's hash table needs:
+/// the tuples themselves plus one 4-byte chain-head slot per tuple
+/// (heads rounded up to a power of two).
+uint64_t GpuHashTableBytes(uint64_t elems, uint64_t tuple_bytes);
+
+/// Plan in-GPU radix partitioning so that each build partition's hash table
+/// fits in `scratchpad_budget` bytes (typically a fraction of the SM's
+/// shared memory so several blocks can be resident). Fanout per pass is
+/// bounded by the scratchpad space used to consolidate writes (§4.1 / Fig 4).
+RadixPlan PlanGpuRadix(uint64_t build_rows, uint64_t tuple_bytes,
+                       const sim::GpuSpec& spec,
+                       uint64_t scratchpad_budget = 32 * sim::kKiB,
+                       int max_bits_per_pass = 8);
+
+/// Plan CPU radix partitioning: per-pass fanout bounded by the dTLB entry
+/// count (Boncz et al.); recurse until the per-partition table fits L2.
+RadixPlan PlanCpuRadix(uint64_t build_rows, uint64_t tuple_bytes,
+                       const sim::CpuSpec& spec);
+
+/// Plan the CPU-side co-partitioning fanout of the co-processing join (§5):
+/// the smallest power-of-two fanout such that one co-partition (both sides
+/// plus intermediate join structures, ~3x the raw bytes) fits in
+/// `gpu_mem_budget` bytes. Low fanout keeps the CPU side near DRAM speed.
+int PlanCoPartitionBits(uint64_t build_rows, uint64_t probe_rows,
+                        uint64_t tuple_bytes, uint64_t gpu_mem_budget);
+
+}  // namespace hape::ops
+
+#endif  // HAPE_OPS_RADIX_PLAN_H_

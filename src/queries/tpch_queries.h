@@ -1,0 +1,72 @@
+#ifndef HAPE_QUERIES_TPCH_QUERIES_H_
+#define HAPE_QUERIES_TPCH_QUERIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "sim/topology.h"
+#include "storage/table.h"
+
+namespace hape::queries {
+
+/// The five system configurations of Fig. 8.
+enum class EngineConfig {
+  kDbmsC,          // vectorized CPU commercial baseline
+  kProteusCpu,     // our engine, both CPU sockets
+  kProteusHybrid,  // our engine, all CPUs + all GPUs
+  kProteusGpu,     // our engine, both GPUs
+  kDbmsG,          // operator-at-a-time GPU commercial baseline
+};
+
+const char* ConfigName(EngineConfig c);
+
+struct QueryResult {
+  Status status = Status::OK();       // NotSupported / OutOfMemory == DNF
+  sim::SimTime seconds = 0;
+  /// Canonical comparable result: group key -> aggregate values.
+  std::map<int64_t, std::vector<double>> groups;
+  bool DidNotFinish() const { return !status.ok(); }
+};
+
+/// Shared context of a TPC-H run: generated tables (actual scale factor
+/// `sf_actual`), costed as if at `sf_nominal` (the paper's SF 100).
+struct TpchContext {
+  storage::Catalog catalog;
+  double sf_actual = 0.01;
+  double sf_nominal = 100.0;
+  sim::Topology* topo = nullptr;
+  /// Packet granularity at *nominal* scale (the router amortizes its
+  /// decisions over packets of this many paper-scale tuples).
+  size_t nominal_packet_rows = 4 << 20;
+  /// Fig. 9 switch: use the partitioned (hardware-conscious) GPU join in
+  /// the plan's heavy joins instead of the non-partitioned one.
+  bool partitioned_gpu_join = true;
+
+  double scale() const { return sf_nominal / sf_actual; }
+};
+
+/// Populate `ctx.catalog` with generated TPC-H tables at `sf_actual`.
+Status PrepareTpch(TpchContext* ctx, uint64_t seed = 42);
+
+/// Run TPC-H Q1 / Q5 / Q6 / Q9* under `config` (Q9* = the paper's variant:
+/// no LIKE predicate and no join to the filtered part table).
+QueryResult RunQ1(TpchContext* ctx, EngineConfig config);
+QueryResult RunQ5(TpchContext* ctx, EngineConfig config);
+QueryResult RunQ6(TpchContext* ctx, EngineConfig config);
+QueryResult RunQ9(TpchContext* ctx, EngineConfig config);
+
+using QueryFn = QueryResult (*)(TpchContext*, EngineConfig);
+
+/// Trusted scalar reference implementations (no engine machinery) used by
+/// the test suite to validate every configuration's result.
+QueryResult RefQ1(const TpchContext& ctx);
+QueryResult RefQ5(const TpchContext& ctx);
+QueryResult RefQ6(const TpchContext& ctx);
+QueryResult RefQ9(const TpchContext& ctx);
+
+}  // namespace hape::queries
+
+#endif  // HAPE_QUERIES_TPCH_QUERIES_H_

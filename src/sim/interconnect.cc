@@ -1,0 +1,16 @@
+#include "sim/interconnect.h"
+
+#include <algorithm>
+
+namespace hape::sim {
+
+Link::Window Link::Transfer(SimTime earliest, uint64_t bytes) {
+  const SimTime start = std::max(earliest, busy_until_);
+  const SimTime dur = Duration(bytes);
+  busy_until_ = start + dur;
+  total_bytes_ += bytes;
+  busy_time_ += dur;
+  return Window{start, busy_until_};
+}
+
+}  // namespace hape::sim

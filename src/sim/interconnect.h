@@ -1,0 +1,54 @@
+#ifndef HAPE_SIM_INTERCONNECT_H_
+#define HAPE_SIM_INTERCONNECT_H_
+
+#include <cstdint>
+
+#include "sim/spec.h"
+
+namespace hape::sim {
+
+/// One simulated interconnect link (PCIe or inter-socket QPI). Links have
+/// busy-until contention semantics: a transfer occupies the link exclusively
+/// for bytes/bandwidth seconds starting at max(earliest, link free time).
+/// The discrete-event executor is single-threaded, so no locking is needed.
+class Link {
+ public:
+  explicit Link(LinkSpec spec) : spec_(spec) {}
+
+  struct Window {
+    SimTime start;
+    SimTime finish;
+  };
+
+  /// Reserve the link for a transfer of `bytes` that may begin no earlier
+  /// than `earliest`. Advances the link's busy-until time.
+  Window Transfer(SimTime earliest, uint64_t bytes);
+
+  /// Time at which the link next becomes free.
+  SimTime available_at() const { return busy_until_; }
+
+  /// Pure cost of moving `bytes` over an idle link of this spec.
+  SimTime Duration(uint64_t bytes) const {
+    return spec_.latency_s + bytes / GbpsToBytes(spec_.bandwidth_gbps);
+  }
+
+  const LinkSpec& spec() const { return spec_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  SimTime busy_time() const { return busy_time_; }
+
+  void Reset() {
+    busy_until_ = 0;
+    total_bytes_ = 0;
+    busy_time_ = 0;
+  }
+
+ private:
+  LinkSpec spec_;
+  SimTime busy_until_ = 0;
+  uint64_t total_bytes_ = 0;  // lifetime bytes moved (for reports)
+  SimTime busy_time_ = 0;     // lifetime occupancy (for utilization reports)
+};
+
+}  // namespace hape::sim
+
+#endif  // HAPE_SIM_INTERCONNECT_H_

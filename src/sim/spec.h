@@ -1,0 +1,84 @@
+#ifndef HAPE_SIM_SPEC_H_
+#define HAPE_SIM_SPEC_H_
+
+#include <cstdint>
+
+namespace hape::sim {
+
+/// Simulated time in seconds. All engine-reported execution times are in
+/// simulated seconds derived from the traffic models below, never host wall
+/// time, so results are identical on any build machine.
+using SimTime = double;
+
+constexpr double kUs = 1e-6;
+constexpr double kMs = 1e-3;
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// One CPU socket of the paper's server (Intel Xeon E5-2650L v3).
+/// Numbers come from the paper's §6.1 where stated; the rest are the public
+/// part specs for that SKU.
+struct CpuSpec {
+  int cores = 12;
+  double clock_ghz = 1.8;
+  uint64_t l1_bytes = 64 * kKiB;    // per core (paper §6.1)
+  uint64_t l2_bytes = 256 * kKiB;   // per core (paper §6.1)
+  uint64_t l3_bytes = 30 * kMiB;    // shared   (paper §6.1)
+  uint64_t cache_line = 64;
+  /// Per-socket sustainable DRAM bandwidth. E5-2650L v3 is 4-channel
+  /// DDR4-2133 (68 GB/s peak); ~76% sustained on streaming kernels.
+  double dram_gbps = 52.0;
+  /// First-level dTLB entries; bounds the single-pass partitioning fanout a
+  /// hardware-conscious CPU radix join will use (Boncz et al.).
+  int tlb_entries = 64;
+  /// Simple operations retired per cycle per core in tight generated loops
+  /// (hash, compare, add; ~2-wide sustained on this core).
+  double ops_per_cycle = 2.0;
+};
+
+/// One GPU of the paper's server (NVIDIA GeForce GTX 1080, 8 GB).
+struct GpuSpec {
+  int num_sms = 20;
+  double clock_ghz = 1.6;
+  uint64_t mem_bytes = 8 * kGiB;
+  /// §6.3 of the paper uses 280 GB/s for the GTX 1080's device memory.
+  double dram_gbps = 280.0;
+  uint64_t shared_mem_per_sm = 96 * kKiB;  // the "scratchpad"
+  uint64_t l1_bytes_per_sm = 48 * kKiB;
+  uint64_t l2_bytes = 2 * kMiB;
+  uint64_t cache_line = 128;  // L1/L2 line size
+  /// Effective DRAM granule for uncached random accesses. GPUs fetch 32 B
+  /// sectors, but scattered 8-16 B accesses measure at ~64 B of consumed
+  /// bandwidth each on Pascal (sector pairs + row-activation overheads).
+  uint64_t rand_granule = 64;
+  /// Granule of L1 miss refills (a single 32 B sector).
+  uint64_t l1_sector = 32;
+  int banks = 32;             // scratchpad banks, 4-byte words
+  int bank_word = 4;
+  int warp_size = 32;
+  int max_threads_per_sm = 2048;
+  /// Kernel launch + driver overhead per kernel.
+  double kernel_launch_s = 8 * kUs;
+  /// Per-thread-block scheduling overhead; makes many tiny blocks slower
+  /// than few large ones (the paper's "hardware underutilization" note for
+  /// 512-element partitions in Fig. 5).
+  double block_overhead_s = 1.2 * kUs;
+  /// GPU TLB page size (Karnagel et al.: 2 MB pages).
+  uint64_t tlb_page_bytes = 2 * kMiB;
+};
+
+/// One interconnect link (PCIe 3.0 x16 in the paper's server).
+struct LinkSpec {
+  /// Effective payload bandwidth of PCIe 3.0 x16 (~12-13 GB/s of the
+  /// 15.75 GB/s raw after protocol overhead).
+  double bandwidth_gbps = 12.5;
+  double latency_s = 5 * kUs;
+};
+
+/// Convert GB/s to bytes/second (decimal GB, as vendors quote).
+constexpr double GbpsToBytes(double gbps) { return gbps * 1e9; }
+
+}  // namespace hape::sim
+
+#endif  // HAPE_SIM_SPEC_H_

@@ -1,0 +1,145 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hape::sim {
+
+namespace {
+
+/// Cycles consumed by one uncontended atomic RMW on a CPU core.
+constexpr double kCpuAtomicCycles = 25.0;
+/// Cycles consumed by one atomic RMW on a GPU (amortized, warp-aggregated).
+constexpr double kGpuAtomicCycles = 4.0;
+/// Memory-level parallelism per CPU core (outstanding misses) and DRAM
+/// access latency; bounds random-access throughput when few cores run.
+constexpr double kCpuMlp = 10.0;
+constexpr double kCpuDramLatency = 90e-9;
+/// SIMT lanes retiring one simple tuple-op per cycle per SM.
+constexpr double kGpuLanesPerSm = 128.0;
+
+}  // namespace
+
+TrafficStats& TrafficStats::operator+=(const TrafficStats& o) {
+  // Weighted-average the two rate-like fields by their base counts so that
+  // accumulation over morsels keeps them meaningful.
+  const uint64_t w_old = dram_seq_write_bytes;
+  const uint64_t w_new = o.dram_seq_write_bytes;
+  if (w_old + w_new > 0) {
+    write_coalescing = (write_coalescing * w_old + o.write_coalescing * w_new) /
+                       static_cast<double>(w_old + w_new);
+  }
+  const uint64_t l_old = l1_line_accesses;
+  const uint64_t l_new = o.l1_line_accesses;
+  if (l_old + l_new > 0) {
+    l1_miss_rate = (l1_miss_rate * l_old + o.l1_miss_rate * l_new) /
+                   static_cast<double>(l_old + l_new);
+  }
+  dram_seq_read_bytes += o.dram_seq_read_bytes;
+  dram_seq_write_bytes += o.dram_seq_write_bytes;
+  dram_rand_accesses += o.dram_rand_accesses;
+  scratchpad_accesses += o.scratchpad_accesses;
+  l1_line_accesses += o.l1_line_accesses;
+  tuple_ops += o.tuple_ops;
+  atomics += o.atomics;
+  return *this;
+}
+
+std::string TrafficStats::ToString() const {
+  std::ostringstream ss;
+  ss << "TrafficStats{seq_rd=" << dram_seq_read_bytes
+     << "B, seq_wr=" << dram_seq_write_bytes << "B (coal=" << write_coalescing
+     << "), rand=" << dram_rand_accesses << ", spad=" << scratchpad_accesses
+     << ", l1=" << l1_line_accesses << " (miss=" << l1_miss_rate
+     << "), ops=" << tuple_ops << ", atomics=" << atomics << "}";
+  return ss.str();
+}
+
+SimTime MemoryModel::CpuTime(const CpuSpec& spec, const TrafficStats& stats,
+                             int parallel_workers) {
+  const int w = std::max(1, std::min(parallel_workers, spec.cores));
+  const double bw = GbpsToBytes(spec.dram_gbps);
+
+  // DRAM bandwidth component: every random access and L1 miss over-fetches a
+  // full cache line.
+  double bytes = static_cast<double>(stats.dram_seq_read_bytes);
+  if (stats.dram_seq_write_bytes > 0) {
+    bytes += stats.dram_seq_write_bytes /
+             std::max(1e-6, stats.write_coalescing);
+  }
+  bytes += static_cast<double>(stats.dram_rand_accesses) * spec.cache_line;
+  bytes += stats.l1_line_accesses * stats.l1_miss_rate * spec.cache_line;
+  const double mem_t = bytes / bw;
+
+  // Latency component: random accesses are also bounded by per-core MLP.
+  const double rand_rate = w * kCpuMlp / kCpuDramLatency;
+  const double lat_t = stats.dram_rand_accesses / rand_rate;
+
+  // Compute component.
+  const double cycles_per_s = spec.clock_ghz * 1e9;
+  const double comp_t = (stats.tuple_ops / spec.ops_per_cycle +
+                         stats.atomics * kCpuAtomicCycles) /
+                        (cycles_per_s * w);
+  return std::max({mem_t, lat_t, comp_t});
+}
+
+SimTime MemoryModel::GpuTimeNoLaunch(const GpuSpec& spec,
+                                     const TrafficStats& stats,
+                                     uint64_t blocks) {
+  const double bw = GbpsToBytes(spec.dram_gbps);
+
+  double bytes = static_cast<double>(stats.dram_seq_read_bytes);
+  if (stats.dram_seq_write_bytes > 0) {
+    bytes += stats.dram_seq_write_bytes /
+             std::max(1e-6, stats.write_coalescing);
+  }
+  bytes += static_cast<double>(stats.dram_rand_accesses) * spec.rand_granule;
+  bytes += stats.l1_line_accesses * stats.l1_miss_rate * spec.l1_sector;
+  const double mem_t = bytes / bw;
+
+  const double cycles_per_s = spec.clock_ghz * 1e9;
+  // Scratchpad: each SM serves `banks` 4-byte words per cycle; conflicts are
+  // folded into the access count by the recorder.
+  const double spad_t =
+      stats.scratchpad_accesses / (cycles_per_s * spec.num_sms * spec.banks);
+  // L1: one line-granular access per SM per cycle — random word accesses
+  // through L1 waste the rest of the line (the paper's over-fetch argument).
+  const double l1_t = stats.l1_line_accesses / (cycles_per_s * spec.num_sms);
+  const double comp_t =
+      (stats.tuple_ops + stats.atomics * kGpuAtomicCycles) /
+      (cycles_per_s * spec.num_sms * kGpuLanesPerSm);
+
+  // Thread-block scheduling overhead, amortized over the SMs.
+  const double sched_t = blocks * spec.block_overhead_s / spec.num_sms;
+
+  return std::max({mem_t, spad_t, l1_t, comp_t}) + sched_t;
+}
+
+SimTime MemoryModel::GpuTime(const GpuSpec& spec, const TrafficStats& stats,
+                             uint64_t blocks) {
+  return spec.kernel_launch_s + GpuTimeNoLaunch(spec, stats, blocks);
+}
+
+double MemoryModel::BankConflictFactor(int banks, uint64_t distinct_words) {
+  if (distinct_words <= 1) return 1.0;  // broadcast is conflict-free
+  const double p = static_cast<double>(
+      std::min<uint64_t>(banks, distinct_words));
+  // Empirical approximation: 32 lanes hashing into p usable banks serialize
+  // ~2.2x when p == 32 (balls-into-bins max load), degrading as p shrinks.
+  return std::min(32.0, 2.2 * 32.0 / p);
+}
+
+double MemoryModel::CacheHitRate(uint64_t capacity, uint64_t working_set,
+                                 uint64_t streaming_bytes) {
+  if (working_set == 0) return 1.0;
+  const double denom = static_cast<double>(working_set + streaming_bytes);
+  return std::min(1.0, capacity / denom);
+}
+
+double MemoryModel::CoalescingEfficiency(uint64_t run_bytes, uint64_t line) {
+  if (run_bytes == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(run_bytes) / line);
+}
+
+}  // namespace hape::sim

@@ -1,0 +1,89 @@
+#ifndef HAPE_SIM_TRAFFIC_H_
+#define HAPE_SIM_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/spec.h"
+
+namespace hape::sim {
+
+/// Logical memory traffic recorded by an operator while it processes real
+/// data. Operators fill one of these per kernel / per morsel; the
+/// MemoryModel converts it to simulated seconds via a roofline (max of the
+/// memory-time and compute-time components).
+struct TrafficStats {
+  // -- device DRAM ----------------------------------------------------------
+  uint64_t dram_seq_read_bytes = 0;
+  uint64_t dram_seq_write_bytes = 0;
+  /// Random DRAM accesses; each costs a full cache line of bandwidth
+  /// (the over-fetch the paper's §4.1 describes).
+  uint64_t dram_rand_accesses = 0;
+  /// Coalescing efficiency in (0,1] applied to dram_seq_write_bytes:
+  /// partitioned writes with short same-partition runs waste part of each
+  /// DRAM transaction (GPU partitioning pass, Fig. 4 discussion).
+  double write_coalescing = 1.0;
+
+  // -- on-chip ---------------------------------------------------------------
+  /// Scratchpad (GPU shared memory) accesses, bank-conflict serialization
+  /// already folded into the count by the recorder (see BankConflictFactor).
+  uint64_t scratchpad_accesses = 0;
+  /// L1 accesses at cache-line granularity: every random L1 access consumes
+  /// a full line of L1 bandwidth, independent of the requested word size.
+  uint64_t l1_line_accesses = 0;
+  /// Fraction of l1_line_accesses that miss and go to DRAM (line granule).
+  double l1_miss_rate = 0.0;
+
+  // -- compute ---------------------------------------------------------------
+  /// Plain per-tuple work (hashing, comparisons, arithmetic) in "simple op"
+  /// units; converted with the device's scalar/SIMT throughput.
+  uint64_t tuple_ops = 0;
+  /// Atomic RMW operations on shared structures.
+  uint64_t atomics = 0;
+
+  TrafficStats& operator+=(const TrafficStats& o);
+  std::string ToString() const;
+};
+
+/// Converts TrafficStats to simulated time for a given device.
+/// The model is a roofline: time = max(memory_time, onchip_time,
+/// compute_time). This captures the paper's bandwidth-bound arguments
+/// without cycle-accurate simulation.
+class MemoryModel {
+ public:
+  /// Seconds for `stats` executed by `parallel_workers` CPU cores of `spec`
+  /// sharing one socket's DRAM. `parallel_workers` scales compute; DRAM
+  /// bandwidth is the socket's and does not scale with cores.
+  static SimTime CpuTime(const CpuSpec& spec, const TrafficStats& stats,
+                         int parallel_workers);
+
+  /// Seconds for `stats` executed as one GPU kernel grid on `spec`.
+  /// `blocks` is the number of thread blocks (adds block scheduling
+  /// overhead); includes one kernel launch.
+  static SimTime GpuTime(const GpuSpec& spec, const TrafficStats& stats,
+                         uint64_t blocks);
+
+  /// Same as GpuTime but without the kernel-launch constant; used when many
+  /// logical kernels are fused/batched into one launch.
+  static SimTime GpuTimeNoLaunch(const GpuSpec& spec,
+                                 const TrafficStats& stats, uint64_t blocks);
+
+  /// Expected serialization factor (>= 1) for scratchpad accesses where each
+  /// warp's 32 lanes hit pow2-`distinct_words` distinct 4-byte words spread
+  /// uniformly over `banks` banks. 1.0 == conflict-free.
+  static double BankConflictFactor(int banks, uint64_t distinct_words);
+
+  /// Hit rate for a cache of `capacity` bytes holding a random-access
+  /// working set of `working_set` bytes while `streaming_bytes` of streaming
+  /// data pollute it (the Fig. 5 L1-pollution effect). In [0, 1].
+  static double CacheHitRate(uint64_t capacity, uint64_t working_set,
+                             uint64_t streaming_bytes);
+
+  /// Coalescing efficiency in (0,1] for writes whose same-destination run
+  /// length is `run_bytes`, on a device with `line` transaction granularity.
+  static double CoalescingEfficiency(uint64_t run_bytes, uint64_t line);
+};
+
+}  // namespace hape::sim
+
+#endif  // HAPE_SIM_TRAFFIC_H_

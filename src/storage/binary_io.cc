@@ -1,0 +1,96 @@
+#include "storage/binary_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hape::storage {
+
+namespace fs = std::filesystem;
+
+Status BinaryIo::WriteTable(const Table& table, const std::string& dir) {
+  std::error_code ec;
+  const fs::path tdir = fs::path(dir) / table.name();
+  fs::create_directories(tdir, ec);
+  if (ec) return Status::IOError("cannot create " + tdir.string());
+
+  std::ofstream manifest(tdir / "schema.txt");
+  if (!manifest) return Status::IOError("cannot open schema.txt for write");
+  for (int i = 0; i < table.schema().num_fields(); ++i) {
+    const Field& f = table.schema().field(i);
+    manifest << f.name << " " << TypeName(f.type) << "\n";
+  }
+  manifest.close();
+
+  for (int i = 0; i < table.num_columns(); ++i) {
+    const Field& f = table.schema().field(i);
+    const ColumnPtr& col = table.column(i);
+    std::ofstream out(tdir / (f.name + ".bin"), std::ios::binary);
+    if (!out) return Status::IOError("cannot open column file " + f.name);
+    out.write(reinterpret_cast<const char*>(col->raw_data()),
+              static_cast<std::streamsize>(col->byte_size()));
+    if (!out) return Status::IOError("short write for column " + f.name);
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> BinaryIo::ReadTable(const std::string& dir,
+                                     const std::string& name, int home_node) {
+  const fs::path tdir = fs::path(dir) / name;
+  std::ifstream manifest(tdir / "schema.txt");
+  if (!manifest) {
+    return Status::IOError("cannot open " + (tdir / "schema.txt").string());
+  }
+  std::vector<Field> fields;
+  std::string fname, ftype;
+  while (manifest >> fname >> ftype) {
+    DataType t;
+    if (ftype == "int32") {
+      t = DataType::kInt32;
+    } else if (ftype == "int64") {
+      t = DataType::kInt64;
+    } else if (ftype == "float64") {
+      t = DataType::kFloat64;
+    } else {
+      return Status::IOError("unknown type " + ftype + " in manifest");
+    }
+    fields.push_back(Field{fname, t});
+  }
+
+  std::vector<ColumnPtr> columns;
+  for (const Field& f : fields) {
+    const fs::path file = tdir / (f.name + ".bin");
+    std::error_code ec;
+    const uint64_t bytes = fs::file_size(file, ec);
+    if (ec) return Status::IOError("cannot stat " + file.string());
+    if (bytes % TypeSize(f.type) != 0) {
+      return Status::IOError("column file size not a multiple of type size: " +
+                             file.string());
+    }
+    const size_t rows = bytes / TypeSize(f.type);
+    auto col = std::make_shared<Column>(f.type);
+    std::ifstream in(file, std::ios::binary);
+    if (!in) return Status::IOError("cannot open " + file.string());
+    switch (f.type) {
+      case DataType::kInt32:
+        col->mutable_i32().resize(rows);
+        break;
+      case DataType::kInt64:
+        col->mutable_i64().resize(rows);
+        break;
+      case DataType::kFloat64:
+        col->mutable_f64().resize(rows);
+        break;
+    }
+    in.read(reinterpret_cast<char*>(col->mutable_raw_data()),
+            static_cast<std::streamsize>(bytes));
+    if (!in) return Status::IOError("short read for " + file.string());
+    columns.push_back(std::move(col));
+  }
+  auto schema = std::make_shared<Schema>(std::move(fields));
+  return std::make_shared<Table>(name, std::move(schema), std::move(columns),
+                                 home_node);
+}
+
+}  // namespace hape::storage

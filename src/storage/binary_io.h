@@ -1,0 +1,27 @@
+#ifndef HAPE_STORAGE_BINARY_IO_H_
+#define HAPE_STORAGE_BINARY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hape::storage {
+
+/// Binary columnar on-disk format (the engine's input format per §6.4):
+/// a directory per table holding one raw little-endian file per column plus
+/// a small text manifest (`schema.txt`: one "name type" line per column).
+class BinaryIo {
+ public:
+  /// Write `table` under `dir/<table name>/`. Creates directories.
+  static Status WriteTable(const Table& table, const std::string& dir);
+
+  /// Read the table previously written as `dir/<name>/`.
+  static Result<TablePtr> ReadTable(const std::string& dir,
+                                    const std::string& name,
+                                    int home_node = 0);
+};
+
+}  // namespace hape::storage
+
+#endif  // HAPE_STORAGE_BINARY_IO_H_

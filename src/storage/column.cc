@@ -1,0 +1,88 @@
+#include "storage/column.h"
+
+namespace hape::storage {
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kInt32:
+      data_ = std::vector<int32_t>{};
+      break;
+    case DataType::kInt64:
+      data_ = std::vector<int64_t>{};
+      break;
+    case DataType::kFloat64:
+      data_ = std::vector<double>{};
+      break;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+int64_t Column::GetInt(size_t i) const {
+  switch (type_) {
+    case DataType::kInt32:
+      return i32()[i];
+    case DataType::kInt64:
+      return i64()[i];
+    case DataType::kFloat64:
+      return static_cast<int64_t>(f64()[i]);
+  }
+  return 0;
+}
+
+double Column::GetDouble(size_t i) const {
+  switch (type_) {
+    case DataType::kInt32:
+      return i32()[i];
+    case DataType::kInt64:
+      return static_cast<double>(i64()[i]);
+    case DataType::kFloat64:
+      return f64()[i];
+  }
+  return 0;
+}
+
+void Column::AppendInt(int64_t v) {
+  switch (type_) {
+    case DataType::kInt32:
+      mutable_i32().push_back(static_cast<int32_t>(v));
+      break;
+    case DataType::kInt64:
+      mutable_i64().push_back(v);
+      break;
+    case DataType::kFloat64:
+      mutable_f64().push_back(static_cast<double>(v));
+      break;
+  }
+}
+
+void Column::AppendDouble(double v) {
+  switch (type_) {
+    case DataType::kInt32:
+      mutable_i32().push_back(static_cast<int32_t>(v));
+      break;
+    case DataType::kInt64:
+      mutable_i64().push_back(static_cast<int64_t>(v));
+      break;
+    case DataType::kFloat64:
+      mutable_f64().push_back(v);
+      break;
+  }
+}
+
+void Column::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+const void* Column::raw_data() const {
+  return std::visit([](const auto& v) -> const void* { return v.data(); },
+                    data_);
+}
+
+void* Column::mutable_raw_data() {
+  return std::visit([](auto& v) -> void* { return v.data(); }, data_);
+}
+
+}  // namespace hape::storage

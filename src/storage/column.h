@@ -1,0 +1,71 @@
+#ifndef HAPE_STORAGE_COLUMN_H_
+#define HAPE_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/types.h"
+
+namespace hape::storage {
+
+/// A typed, contiguous column of values. Columns are the unit of storage;
+/// packets reference slices of them. Copyable (deep) and movable.
+class Column {
+ public:
+  explicit Column(DataType type);
+  explicit Column(std::vector<int32_t> v) : type_(DataType::kInt32),
+                                            data_(std::move(v)) {}
+  explicit Column(std::vector<int64_t> v) : type_(DataType::kInt64),
+                                            data_(std::move(v)) {}
+  explicit Column(std::vector<double> v) : type_(DataType::kFloat64),
+                                           data_(std::move(v)) {}
+
+  DataType type() const { return type_; }
+  size_t size() const;
+  uint64_t byte_size() const { return size() * TypeSize(type_); }
+
+  std::span<const int32_t> i32() const {
+    return std::get<std::vector<int32_t>>(data_);
+  }
+  std::span<const int64_t> i64() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  std::span<const double> f64() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  std::vector<int32_t>& mutable_i32() {
+    return std::get<std::vector<int32_t>>(data_);
+  }
+  std::vector<int64_t>& mutable_i64() {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  std::vector<double>& mutable_f64() {
+    return std::get<std::vector<double>>(data_);
+  }
+
+  /// Widening accessors: integer columns read as int64, any column read as
+  /// double. Used by the generic operators (joins key on int64).
+  int64_t GetInt(size_t i) const;
+  double GetDouble(size_t i) const;
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void Reserve(size_t n);
+
+  const void* raw_data() const;
+  void* mutable_raw_data();
+
+ private:
+  DataType type_;
+  std::variant<std::vector<int32_t>, std::vector<int64_t>,
+               std::vector<double>>
+      data_;
+};
+
+using ColumnPtr = std::shared_ptr<Column>;
+
+}  // namespace hape::storage
+
+#endif  // HAPE_STORAGE_COLUMN_H_

@@ -1,0 +1,101 @@
+#include "storage/datagen.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace hape::storage {
+
+Rng::Rng(uint64_t seed) {
+  // Split the seed into two non-zero lanes via the murmur finalizer.
+  s0_ = HashMurmur64(seed + 1);
+  s1_ = HashMurmur64(seed + 0x9e3779b97f4a7c15ULL);
+  if (s0_ == 0) s0_ = 1;
+  if (s1_ == 0) s1_ = 2;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  HAPE_DCHECK(bound > 0);
+  return Next() % bound;
+}
+
+double Rng::NextDouble() {
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+std::vector<int64_t> DataGen::UniqueShuffled(size_t n, uint64_t seed) {
+  std::vector<int64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  Rng rng(seed);
+  for (size_t i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(v[i - 1], v[rng.Below(i)]);
+  }
+  return v;
+}
+
+std::vector<int64_t> DataGen::UniformInt(size_t n, int64_t lo, int64_t hi,
+                                         uint64_t seed) {
+  HAPE_CHECK(hi >= lo);
+  std::vector<int64_t> v(n);
+  Rng rng(seed);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  for (auto& x : v) x = lo + static_cast<int64_t>(rng.Below(span));
+  return v;
+}
+
+std::vector<double> DataGen::UniformDouble(size_t n, double lo, double hi,
+                                           uint64_t seed) {
+  std::vector<double> v(n);
+  Rng rng(seed);
+  for (auto& x : v) x = lo + rng.NextDouble() * (hi - lo);
+  return v;
+}
+
+std::vector<int64_t> DataGen::Zipf(size_t n, size_t domain, double theta,
+                                   uint64_t seed) {
+  HAPE_CHECK(domain > 0);
+  std::vector<int64_t> v(n);
+  Rng rng(seed);
+  if (theta <= 0) {
+    for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
+    return v;
+  }
+  // Standard Zipf via the rejection-free inverse-CDF approximation
+  // (Gray et al., "Quickly generating billion-record synthetic databases").
+  const double zetan = [&] {
+    double z = 0;
+    for (size_t i = 1; i <= domain; ++i) z += 1.0 / std::pow(i, theta);
+    return z;
+  }();
+  const double alpha = 1.0 / (1.0 - theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / domain, 1.0 - theta)) /
+      (1.0 - (1.0 + 1.0 / std::pow(2.0, theta)) / zetan);
+  for (auto& x : v) {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan;
+    if (uz < 1.0) {
+      x = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta)) {
+      x = 1;
+    } else {
+      x = static_cast<int64_t>(domain *
+                               std::pow(eta * u - eta + 1.0, alpha));
+      if (x >= static_cast<int64_t>(domain)) x = domain - 1;
+    }
+  }
+  return v;
+}
+
+}  // namespace hape::storage

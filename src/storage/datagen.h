@@ -1,0 +1,48 @@
+#ifndef HAPE_STORAGE_DATAGEN_H_
+#define HAPE_STORAGE_DATAGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hape::storage {
+
+/// Synthetic workload generators used by the join microbenchmarks
+/// (§6.2-§6.3) and the property tests. All are deterministic in `seed`.
+class DataGen {
+ public:
+  /// Keys 0..n-1 in a pseudorandom order. The paper's equi-join experiments
+  /// use two tables with exactly the same key sets, so joining two
+  /// independently shuffled copies yields exactly n output tuples.
+  static std::vector<int64_t> UniqueShuffled(size_t n, uint64_t seed);
+
+  /// n values uniform in [lo, hi].
+  static std::vector<int64_t> UniformInt(size_t n, int64_t lo, int64_t hi,
+                                         uint64_t seed);
+  static std::vector<double> UniformDouble(size_t n, double lo, double hi,
+                                           uint64_t seed);
+
+  /// n values in [0, domain) following a Zipf distribution with parameter
+  /// `theta` (0 == uniform). Used by skew ablations.
+  static std::vector<int64_t> Zipf(size_t n, size_t domain, double theta,
+                                   uint64_t seed);
+};
+
+/// Small, fast, seedable PRNG (xorshift128+); enough quality for workload
+/// synthesis and cheap enough for billions of draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+  uint64_t Next();
+  /// Uniform in [0, bound).
+  uint64_t Below(uint64_t bound);
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace hape::storage
+
+#endif  // HAPE_STORAGE_DATAGEN_H_

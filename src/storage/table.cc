@@ -1,0 +1,72 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+
+namespace hape::storage {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (int i = 0; i < static_cast<int>(fields_.size()); ++i) {
+    index_[fields_[i].name] = i;
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Table::Table(std::string name, SchemaPtr schema,
+             std::vector<ColumnPtr> columns, int home_node)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      columns_(std::move(columns)),
+      home_node_(home_node) {
+  HAPE_CHECK(schema_ != nullptr);
+  HAPE_CHECK(static_cast<int>(columns_.size()) == schema_->num_fields())
+      << "column count mismatch for table " << name_;
+  num_rows_ = columns_.empty() ? 0 : columns_[0]->size();
+  for (int i = 0; i < static_cast<int>(columns_.size()); ++i) {
+    HAPE_CHECK(columns_[i]->size() == num_rows_)
+        << "ragged column " << schema_->field(i).name;
+    HAPE_CHECK(columns_[i]->type() == schema_->field(i).type)
+        << "type mismatch for column " << schema_->field(i).name;
+  }
+}
+
+const ColumnPtr& Table::column(const std::string& name) const {
+  const int i = schema_->IndexOf(name);
+  HAPE_CHECK(i >= 0) << "no column " << name << " in table " << name_;
+  return columns_[i];
+}
+
+uint64_t Table::byte_size() const {
+  uint64_t total = 0;
+  for (const auto& c : columns_) total += c->byte_size();
+  return total;
+}
+
+Status Catalog::Register(TablePtr table) {
+  if (tables_.count(table->name())) {
+    return Status::InvalidArgument("table already registered: " +
+                                   table->name());
+  }
+  tables_[table->name()] = std::move(table);
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no such table: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) names.push_back(k);
+  return names;
+}
+
+}  // namespace hape::storage

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_joins.h"
+#include "ops/join_kernels.h"
+#include "storage/datagen.h"
+
+namespace hape::baselines {
+namespace {
+
+ops::JoinInput MakeInput(std::vector<int32_t>* store, uint64_t nominal,
+                         size_t actual) {
+  auto k1 = storage::DataGen::UniqueShuffled(actual, 1);
+  auto k2 = storage::DataGen::UniqueShuffled(actual, 2);
+  store->assign(actual * 4, 0);
+  for (size_t i = 0; i < actual; ++i) {
+    (*store)[i] = static_cast<int32_t>(k1[i]);
+    (*store)[actual + i] = 3;
+    (*store)[2 * actual + i] = static_cast<int32_t>(k2[i]);
+    (*store)[3 * actual + i] = 4;
+  }
+  ops::JoinInput in;
+  in.r_key = std::span(store->data(), actual);
+  in.r_pay = std::span(store->data() + actual, actual);
+  in.s_key = std::span(store->data() + 2 * actual, actual);
+  in.s_pay = std::span(store->data() + 3 * actual, actual);
+  in.nominal_r = in.nominal_s = nominal;
+  return in;
+}
+
+TEST(DbmsC, CorrectResult) {
+  std::vector<int32_t> store;
+  auto in = MakeInput(&store, 1 << 15, 1 << 15);
+  const auto out = DbmsCJoin(in, sim::CpuSpec{}, 24);
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(out.matches, 1u << 15);
+  EXPECT_DOUBLE_EQ(out.sum_r_pay, 3.0 * (1 << 15));
+}
+
+TEST(DbmsC, SlowerThanGeneratedEngineJoin) {
+  std::vector<int32_t> store;
+  auto in = MakeInput(&store, 128ull << 20, 1 << 14);
+  const auto ours = ops::CpuNoPartitionJoin(in, sim::CpuSpec{}, 24);
+  const auto theirs = DbmsCJoin(in, sim::CpuSpec{}, 24);
+  EXPECT_GT(theirs.seconds, ours.seconds);
+}
+
+TEST(DbmsC, WellBelowPcieThroughput) {
+  // §6.3: DBMS C's throughput stays significantly below PCIe — the reason
+  // co-processing pays off at all.
+  std::vector<int32_t> store;
+  auto in = MakeInput(&store, 1024ull << 20, 1 << 14);
+  const auto out = DbmsCJoin(in, sim::CpuSpec{}, 24);
+  const double bytes = (in.nominal_r + in.nominal_s) * 8.0;
+  const double throughput = bytes / out.seconds;
+  EXPECT_LT(throughput, sim::GbpsToBytes(12.5));
+}
+
+class DbmsGTest : public ::testing::Test {
+ protected:
+  DbmsGTest() : topo_(sim::Topology::PaperServer()) {}
+  sim::Topology topo_;
+  std::vector<int32_t> store_;
+};
+
+TEST_F(DbmsGTest, CorrectResultInGpu) {
+  auto in = MakeInput(&store_, 1 << 15, 1 << 15);
+  const auto out = DbmsGJoin(in, &topo_, /*data_gpu_resident=*/true);
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(out.matches, 1u << 15);
+}
+
+TEST_F(DbmsGTest, SlowerThanHardwareConsciousGpuJoin) {
+  auto in = MakeInput(&store_, 64ull << 20, 1 << 14);
+  const auto ours = ops::GpuRadixJoin(in, sim::GpuSpec{});
+  topo_.Reset();
+  const auto theirs = DbmsGJoin(in, &topo_, true);
+  ASSERT_TRUE(ours.status.ok());
+  // Paper headline: 3.5x against GPU alternatives.
+  EXPECT_GT(theirs.seconds / ours.seconds, 2.0);
+}
+
+TEST_F(DbmsGTest, CpuResidentDataPaysPcie) {
+  auto in = MakeInput(&store_, 64ull << 20, 1 << 14);
+  const auto resident = DbmsGJoin(in, &topo_, true);
+  topo_.Reset();
+  const auto remote = DbmsGJoin(in, &topo_, false);
+  EXPECT_GT(remote.seconds, resident.seconds);
+}
+
+TEST_F(DbmsGTest, CollapsesOutOfGpu) {
+  // Fig. 7: once the working set leaves device memory, UVA random accesses
+  // over PCIe destroy throughput.
+  auto in_fit = MakeInput(&store_, 256ull << 20, 1 << 14);
+  const auto fit = DbmsGJoin(in_fit, &topo_, false);
+  topo_.Reset();
+  std::vector<int32_t> store2;
+  auto in_spill = MakeInput(&store2, 1024ull << 20, 1 << 14);
+  const auto spill = DbmsGJoin(in_spill, &topo_, false);
+  // 4x the data, but far worse than 4x the time.
+  EXPECT_GT(spill.seconds / fit.seconds, 20.0);
+}
+
+}  // namespace
+}  // namespace hape::baselines

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/sinks.h"
+#include "engine/stages.h"
+#include "memory/gather.h"
+
+namespace hape::engine {
+namespace {
+
+using expr::Expr;
+
+memory::Batch MakeBatch(std::vector<int64_t> keys, std::vector<double> vals,
+                        int node = 0) {
+  memory::Batch b;
+  b.rows = keys.size();
+  b.mem_node = node;
+  b.columns = {std::make_shared<storage::Column>(std::move(keys)),
+               std::make_shared<storage::Column>(std::move(vals))};
+  return b;
+}
+
+// ---- batch & gather ----------------------------------------------------------
+
+TEST(Batch, ChunkColumnsSplitsEvenly) {
+  auto col = std::make_shared<storage::Column>(
+      std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6});
+  auto chunks = memory::ChunkColumns({col}, 7, 3, /*mem_node=*/1);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].rows, 3u);
+  EXPECT_EQ(chunks[2].rows, 1u);
+  EXPECT_EQ(chunks[2].columns[0]->i64()[0], 6);
+  EXPECT_EQ(chunks[1].mem_node, 1);
+}
+
+TEST(Batch, ChunkEmptyYieldsOneEmptyPacket) {
+  auto col = std::make_shared<storage::Column>(storage::DataType::kInt64);
+  auto chunks = memory::ChunkColumns({col}, 0, 4, 0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].rows, 0u);
+}
+
+TEST(Batch, ByteSizeSumsColumns) {
+  auto b = MakeBatch({1, 2}, {0.5, 1.5});
+  EXPECT_EQ(b.byte_size(), 2 * 8u + 2 * 8u);
+}
+
+TEST(Gather, TakeReordersAndRepeats) {
+  storage::Column c(std::vector<int32_t>{5, 6, 7});
+  std::vector<uint32_t> rows{2, 0, 2};
+  auto out = memory::Take(c, rows);
+  EXPECT_EQ(out->i32()[0], 7);
+  EXPECT_EQ(out->i32()[1], 5);
+  EXPECT_EQ(out->i32()[2], 7);
+}
+
+TEST(Gather, TakeBatchAppliesToAllColumns) {
+  auto b = MakeBatch({10, 20, 30}, {1, 2, 3});
+  std::vector<uint32_t> rows{1};
+  memory::TakeBatch(&b, rows);
+  EXPECT_EQ(b.rows, 1u);
+  EXPECT_EQ(b.columns[0]->i64()[0], 20);
+  EXPECT_DOUBLE_EQ(b.columns[1]->f64()[0], 2.0);
+}
+
+// ---- stages -------------------------------------------------------------------
+
+TEST(Stages, ScanChargesBytes) {
+  auto b = MakeBatch({1, 2, 3}, {1, 2, 3});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  ScanStage()(&b, &t, be);
+  EXPECT_EQ(t.dram_seq_read_bytes, b.byte_size());
+}
+
+TEST(Stages, FilterCompactsAndCharges) {
+  auto b = MakeBatch({1, 2, 3, 4}, {1, 2, 3, 4});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  FilterStage(Expr::Gt(Expr::Col(0), Expr::Int(2)))(&b, &t, be);
+  EXPECT_EQ(b.rows, 2u);
+  EXPECT_EQ(b.columns[0]->i64()[0], 3);
+  EXPECT_GT(t.tuple_ops, 0u);
+}
+
+TEST(Stages, ProjectReplacesColumns) {
+  auto b = MakeBatch({1, 2}, {10, 20});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  ProjectStage({Expr::Mul(Expr::Col(0), Expr::Col(1))})(&b, &t, be);
+  ASSERT_EQ(b.num_columns(), 1);
+  EXPECT_DOUBLE_EQ(b.columns[0]->f64()[1], 40.0);
+}
+
+JoinStatePtr MakeJoinState(std::vector<int64_t> keys,
+                           std::vector<double> payload) {
+  auto state = std::make_shared<JoinState>(keys.size());
+  state->payload.columns = {
+      std::make_shared<storage::Column>(std::move(payload))};
+  state->payload.rows = keys.size();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    state->ht.Insert(keys[i], static_cast<uint32_t>(i));
+  }
+  state->nominal_rows = keys.size();
+  return state;
+}
+
+TEST(Stages, ProbeInnerJoinAppendsPayload) {
+  auto state = MakeJoinState({100, 200}, {1.5, 2.5});
+  auto b = MakeBatch({200, 300, 100}, {7, 8, 9});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  ProbeStage(state, Expr::Col(0))(&b, &t, be);
+  ASSERT_EQ(b.rows, 2u);  // 300 dropped
+  ASSERT_EQ(b.num_columns(), 3);
+  EXPECT_EQ(b.columns[0]->i64()[0], 200);
+  EXPECT_DOUBLE_EQ(b.columns[2]->f64()[0], 2.5);  // matched build payload
+  EXPECT_EQ(b.columns[0]->i64()[1], 100);
+  EXPECT_DOUBLE_EQ(b.columns[2]->f64()[1], 1.5);
+}
+
+TEST(Stages, ProbeDuplicateBuildKeysExpand) {
+  auto state = MakeJoinState({5, 5}, {1.0, 2.0});
+  auto b = MakeBatch({5}, {0});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  ProbeStage(state, Expr::Col(0))(&b, &t, be);
+  EXPECT_EQ(b.rows, 2u);
+}
+
+TEST(Stages, ProbeGpuPartitionedAvoidsRandomTraffic) {
+  auto state = MakeJoinState({1, 2, 3}, {1, 2, 3});
+  state->nominal_rows = 100'000'000;  // big table: random if oblivious
+  codegen::GpuBackend gpu{sim::GpuSpec{}};
+  {
+    auto b = MakeBatch({1, 2}, {0, 0});
+    sim::TrafficStats t;
+    state->hardware_conscious = false;
+    ProbeStage(state, Expr::Col(0))(&b, &t, gpu);
+    EXPECT_GT(t.dram_rand_accesses, 0u);
+  }
+  {
+    auto b = MakeBatch({1, 2}, {0, 0});
+    sim::TrafficStats t;
+    state->hardware_conscious = true;
+    ProbeStage(state, Expr::Col(0))(&b, &t, gpu);
+    EXPECT_EQ(t.dram_rand_accesses, 0u);
+    EXPECT_GT(t.scratchpad_accesses, 0u);
+  }
+}
+
+// ---- sinks --------------------------------------------------------------------
+
+TEST(Sinks, CollectGathersBatches) {
+  CollectSink sink;
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  sink.Consume(0, MakeBatch({1}, {1}), &t, be);
+  sink.Consume(1, MakeBatch({2, 3}, {2, 3}), &t, be);
+  EXPECT_EQ(sink.total_rows(), 3u);
+  EXPECT_GT(t.dram_seq_write_bytes, 0u);
+}
+
+TEST(Sinks, BuildSinkPopulatesJoinState) {
+  auto state = std::make_shared<JoinState>(4);
+  BuildSink sink(state, Expr::Col(0), {1});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  sink.Consume(0, MakeBatch({10, 20}, {1.5, 2.5}), &t, be);
+  sink.Consume(0, MakeBatch({30}, {3.5}), &t, be);
+  sink.Finish(&t);
+  EXPECT_EQ(state->ht.size(), 3u);
+  EXPECT_EQ(state->payload.rows, 3u);
+  bool found = false;
+  state->ht.ForEachMatch(30, [&](uint32_t row) {
+    found = true;
+    EXPECT_DOUBLE_EQ(state->payload.columns[0]->f64()[row], 3.5);
+  });
+  EXPECT_TRUE(found);
+  EXPECT_GT(t.atomics, 0u);
+}
+
+TEST(Sinks, HashAggGroupsAcrossWorkers) {
+  HashAggSink sink(Expr::Col(0), {AggDef{AggOp::kSum, Expr::Col(1)},
+                                  AggDef{AggOp::kCount, nullptr},
+                                  AggDef{AggOp::kMin, Expr::Col(1)},
+                                  AggDef{AggOp::kMax, Expr::Col(1)}});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  sink.Consume(0, MakeBatch({1, 2, 1}, {10, 20, 30}), &t, be);
+  sink.Consume(5, MakeBatch({2, 1}, {5, 1}), &t, be);  // other worker
+  sink.Finish(&t);
+  const auto& r = sink.result();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.at(1)[0], 41.0);
+  EXPECT_DOUBLE_EQ(r.at(1)[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.at(1)[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.at(1)[3], 30.0);
+  EXPECT_DOUBLE_EQ(r.at(2)[0], 25.0);
+}
+
+TEST(Sinks, HashAggNullKeyIsGlobalGroup) {
+  HashAggSink sink(nullptr, {AggDef{AggOp::kSum, Expr::Col(1)}});
+  sim::TrafficStats t;
+  codegen::CpuBackend be{sim::CpuSpec{}};
+  sink.Consume(0, MakeBatch({1, 2, 3}, {1, 2, 3}), &t, be);
+  sink.Finish(&t);
+  ASSERT_EQ(sink.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(sink.result().at(0)[0], 6.0);
+}
+
+// ---- executor -------------------------------------------------------------------
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : topo_(sim::Topology::PaperServer()), ex_(&topo_) {}
+  sim::Topology topo_;
+  Executor ex_;
+};
+
+TEST_F(ExecutorTest, RunsPipelineAndCounts) {
+  Pipeline p;
+  for (int i = 0; i < 8; ++i) p.inputs.push_back(MakeBatch({1, 2}, {1, 2}));
+  p.stages.push_back(ScanStage());
+  CollectSink sink;
+  p.sink = &sink;
+  auto st = ex_.Run(&p, topo_.CpuDeviceIds());
+  EXPECT_EQ(st.packets, 8u);
+  EXPECT_EQ(st.rows_in, 16u);
+  EXPECT_EQ(st.rows_out, 16u);
+  EXPECT_EQ(sink.total_rows(), 16u);
+  EXPECT_GT(st.finish, 0.0);
+}
+
+TEST_F(ExecutorTest, ParallelismReducesSimTime) {
+  // Compute-bound pipeline (a cheap-to-ship, expensive-to-process packet
+  // mix) so the second socket's cores matter more than the QPI hop.
+  auto heavy = Expr::Col(0);
+  for (int i = 0; i < 32; ++i) heavy = Expr::Add(heavy, Expr::Col(0));
+  auto make = [&](int packets) {
+    Pipeline p;
+    for (int i = 0; i < packets; ++i) {
+      p.inputs.push_back(MakeBatch(std::vector<int64_t>(1000, 1),
+                                   std::vector<double>(1000, 1)));
+    }
+    p.scale = 1000;
+    p.stages.push_back(ProjectStage({heavy}));
+    return p;
+  };
+  Pipeline one = make(24), many = make(24);
+  auto t_one = ex_.Run(&one, {0});                    // one socket
+  auto t_two = ex_.Run(&many, topo_.CpuDeviceIds());  // both sockets
+  EXPECT_LT(t_two.seconds(), t_one.seconds());
+}
+
+TEST_F(ExecutorTest, GpuPacketsPayTransfer) {
+  Pipeline p;
+  p.inputs.push_back(MakeBatch(std::vector<int64_t>(1000, 1),
+                               std::vector<double>(1000, 1), /*node=*/0));
+  p.scale = 1;
+  p.stages.push_back(ScanStage());
+  auto gpu_only = ex_.Run(&p, topo_.GpuDeviceIds());
+  // Time must include at least the PCIe latency.
+  EXPECT_GT(gpu_only.seconds(), 4e-6);
+}
+
+TEST_F(ExecutorTest, ScaleMultipliesTraffic) {
+  auto mk = [&] {
+    Pipeline p;
+    p.inputs.push_back(MakeBatch(std::vector<int64_t>(100, 1),
+                                 std::vector<double>(100, 1)));
+    p.stages.push_back(ScanStage());
+    return p;
+  };
+  Pipeline small = mk(), big = mk();
+  big.scale = 1000;
+  auto ts = ex_.Run(&small, {0});
+  auto tb = ex_.Run(&big, {0});
+  EXPECT_GT(tb.traffic.dram_seq_read_bytes,
+            ts.traffic.dram_seq_read_bytes * 500);
+}
+
+TEST_F(ExecutorTest, HashPolicyHonorsPartitionId) {
+  Pipeline p;
+  p.policy = RoutingPolicy::kHashBased;
+  for (int i = 0; i < 4; ++i) {
+    auto b = MakeBatch({1}, {1});
+    b.partition_id = 7;  // same partition -> same worker
+    p.inputs.push_back(std::move(b));
+  }
+  auto st = ex_.Run(&p, topo_.CpuDeviceIds());
+  EXPECT_EQ(st.packets, 4u);
+  // All four packets serialized on one worker: finish ~ 4x one packet.
+  Pipeline q;
+  q.policy = RoutingPolicy::kLoadAware;
+  for (int i = 0; i < 4; ++i) q.inputs.push_back(MakeBatch({1}, {1}));
+  auto st2 = ex_.Run(&q, topo_.CpuDeviceIds());
+  EXPECT_GE(st.seconds(), st2.seconds());
+}
+
+TEST_F(ExecutorTest, BroadcastMulticastBeatsRepeatedUnicast) {
+  const uint64_t bytes = 1ull << 30;
+  const sim::SimTime multi = ex_.Broadcast(bytes, 0, {2, 3});
+  topo_.Reset();
+  sim::SimTime uni = 0;
+  for (int node : {2, 3}) {
+    uni = std::max(uni, topo_.TransferFinish(0, node, 0, bytes));
+  }
+  EXPECT_LE(multi, uni);
+}
+
+TEST_F(ExecutorTest, VectorAtATimeCostsMore) {
+  auto mk = [&](bool vec) {
+    Pipeline p;
+    p.vector_at_a_time = vec;
+    p.scale = 100;
+    for (int i = 0; i < 4; ++i) {
+      p.inputs.push_back(MakeBatch(std::vector<int64_t>(4096, 1),
+                                   std::vector<double>(4096, 1)));
+    }
+    p.stages.push_back(ScanStage());
+    p.stages.push_back(
+        FilterStage(Expr::Gt(Expr::Col(0), Expr::Int(0))));
+    return p;
+  };
+  Pipeline jit = mk(false), vec = mk(true);
+  EXPECT_LT(ex_.Run(&jit, {0}).seconds(), ex_.Run(&vec, {0}).seconds());
+}
+
+TEST_F(ExecutorTest, OperatorAtATimeCostsDeviceMemoryTraffic) {
+  auto mk = [&](bool opat) {
+    Pipeline p;
+    p.operator_at_a_time = opat;
+    p.scale = 1000;
+    for (int i = 0; i < 4; ++i) {
+      p.inputs.push_back(MakeBatch(std::vector<int64_t>(4096, 1),
+                                   std::vector<double>(4096, 1), 2));
+    }
+    p.stages.push_back(ScanStage());
+    p.stages.push_back(FilterStage(Expr::Gt(Expr::Col(0), Expr::Int(0))));
+    return p;
+  };
+  Pipeline fused = mk(false), mat = mk(true);
+  EXPECT_LT(ex_.Run(&fused, topo_.GpuDeviceIds()).seconds(),
+            ex_.Run(&mat, topo_.GpuDeviceIds()).seconds());
+}
+
+TEST(RoutingPolicy, Names) {
+  EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kLoadAware), "load-aware");
+  EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kLocalityAware),
+               "locality-aware");
+  EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kHashBased), "hash-based");
+}
+
+}  // namespace
+}  // namespace hape::engine

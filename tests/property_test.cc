@@ -1,0 +1,215 @@
+// Property-based tests: invariants that must hold across randomized
+// workloads, algorithm choices, and model parameters. Uses parameterized
+// gtest sweeps as the property harness.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "coproc/coproc_join.h"
+#include "ops/join_kernels.h"
+#include "sim/topology.h"
+#include "storage/datagen.h"
+
+namespace hape {
+namespace {
+
+using ops::JoinInput;
+
+struct Workload {
+  size_t rows;
+  size_t key_domain;  // < rows => duplicates; == rows with shuffle => unique
+  double zipf_theta;
+  uint64_t seed;
+};
+
+class JoinEquivalence : public ::testing::TestWithParam<Workload> {
+ protected:
+  JoinInput Make(const Workload& w) {
+    using storage::DataGen;
+    r_key_.resize(w.rows);
+    s_key_.resize(w.rows);
+    r_pay_.resize(w.rows);
+    s_pay_.resize(w.rows);
+    const auto rk = w.zipf_theta > 0
+                        ? DataGen::Zipf(w.rows, w.key_domain, w.zipf_theta,
+                                        w.seed)
+                        : DataGen::UniformInt(w.rows, 0,
+                                              w.key_domain - 1, w.seed);
+    const auto sk = w.zipf_theta > 0
+                        ? DataGen::Zipf(w.rows, w.key_domain, w.zipf_theta,
+                                        w.seed + 1)
+                        : DataGen::UniformInt(w.rows, 0, w.key_domain - 1,
+                                              w.seed + 1);
+    for (size_t i = 0; i < w.rows; ++i) {
+      r_key_[i] = static_cast<int32_t>(rk[i]);
+      s_key_[i] = static_cast<int32_t>(sk[i]);
+      r_pay_[i] = static_cast<int32_t>(i % 997);
+      s_pay_[i] = static_cast<int32_t>(i % 1009);
+    }
+    JoinInput in;
+    in.r_key = r_key_;
+    in.r_pay = r_pay_;
+    in.s_key = s_key_;
+    in.s_pay = s_pay_;
+    in.nominal_r = in.nominal_s = w.rows;
+    return in;
+  }
+
+  // Trusted O(n) nested-map join oracle.
+  struct Oracle {
+    uint64_t matches = 0;
+    double sum_r = 0, sum_s = 0;
+  };
+  Oracle Reference(const JoinInput& in) {
+    std::unordered_map<int32_t, std::pair<uint64_t, double>> build;
+    for (size_t i = 0; i < in.r_key.size(); ++i) {
+      auto& e = build[in.r_key[i]];
+      e.first += 1;
+      e.second += in.r_pay[i];
+    }
+    Oracle o;
+    for (size_t i = 0; i < in.s_key.size(); ++i) {
+      auto it = build.find(in.s_key[i]);
+      if (it == build.end()) continue;
+      o.matches += it->second.first;
+      o.sum_r += it->second.second;
+      o.sum_s += static_cast<double>(in.s_pay[i]) * it->second.first;
+    }
+    return o;
+  }
+
+  std::vector<int32_t> r_key_, r_pay_, s_key_, s_pay_;
+};
+
+TEST_P(JoinEquivalence, EveryAlgorithmMatchesOracle) {
+  const JoinInput in = Make(GetParam());
+  const Oracle want = Reference(in);
+
+  const auto check = [&](const ops::JoinOutcome& out, const char* name) {
+    ASSERT_TRUE(out.status.ok()) << name << ": " << out.status.ToString();
+    EXPECT_EQ(out.matches, want.matches) << name;
+    EXPECT_NEAR(out.sum_r_pay, want.sum_r, 1e-6) << name;
+    EXPECT_NEAR(out.sum_s_pay, want.sum_s, 1e-6) << name;
+  };
+  check(ops::GpuRadixJoin(in, sim::GpuSpec{}), "gpu_radix_sm");
+  check(ops::GpuRadixJoin(in, sim::GpuSpec{}, ops::ProbeMemory::kL1),
+        "gpu_radix_l1");
+  check(ops::GpuNoPartitionJoin(in, sim::GpuSpec{}), "gpu_nopart");
+  check(ops::CpuRadixJoin(in, sim::CpuSpec{}, 24), "cpu_radix");
+  check(ops::CpuNoPartitionJoin(in, sim::CpuSpec{}, 24), "cpu_nopart");
+  sim::Topology topo = sim::Topology::PaperServer();
+  check(static_cast<const ops::JoinOutcome&>(
+            [&] {
+              auto c = coproc::CoprocRadixJoin(in, &topo, 2);
+              ops::JoinOutcome o;
+              o.status = c.status;
+              o.matches = c.matches;
+              o.sum_r_pay = c.sum_r_pay;
+              o.sum_s_pay = c.sum_s_pay;
+              o.seconds = c.seconds;
+              return o;
+            }()),
+        "coproc");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, JoinEquivalence,
+    ::testing::Values(
+        Workload{1, 1, 0, 1},                  // single tuple
+        Workload{100, 10, 0, 2},               // heavy duplicates
+        Workload{1000, 1000, 0, 3},            // uniform
+        Workload{5000, 50000, 0, 4},           // sparse (many misses)
+        Workload{5000, 500, 0.5, 5},           // mild skew
+        Workload{5000, 500, 0.9, 6},           // heavy skew
+        Workload{20000, 20000, 0, 7},          // larger uniform
+        Workload{4096, 4096, 0, 8},            // pow2 sizes
+        Workload{4097, 17, 0, 9}));            // odd sizes, tiny domain
+
+// ---- partitioning invariants ---------------------------------------------------
+
+class PartitionInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionInvariants, EveryKeyLandsInItsPartition) {
+  const int bits = GetParam();
+  const size_t n = 8192;
+  auto keys = storage::DataGen::UniformInt(n, 0, 1 << 20, 11);
+  // Ownership: RadixOf assigns each key exactly one partition, stable
+  // across calls and consistent under pass composition.
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = RadixOf(keys[i], 0, bits);
+    ASSERT_LT(p, 1u << bits);
+    ASSERT_EQ(p, RadixOf(keys[i], 0, bits));
+    if (bits >= 2) {
+      const int lo = bits / 2, hi = bits - lo;
+      const uint32_t p1 = RadixOf(keys[i], 0, lo);
+      const uint32_t p2 = RadixOf(keys[i], lo, hi);
+      ASSERT_EQ((p2 << lo) | p1, p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PartitionInvariants,
+                         ::testing::Values(1, 2, 4, 6, 8, 11, 14));
+
+// ---- simulation sanity across sizes --------------------------------------------
+
+class SimScaling : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimScaling, NominalScalingPreservesOrdering) {
+  // The partitioned GPU join must beat the non-partitioned one at every
+  // nominal scale that fits the device (the Fig. 6 dominance property).
+  const uint64_t nominal = GetParam() << 20;
+  const size_t actual = 1 << 13;
+  auto rk = storage::DataGen::UniqueShuffled(actual, 1);
+  auto sk = storage::DataGen::UniqueShuffled(actual, 2);
+  std::vector<int32_t> r_key(actual), r_pay(actual, 1), s_key(actual),
+      s_pay(actual, 2);
+  for (size_t i = 0; i < actual; ++i) {
+    r_key[i] = static_cast<int32_t>(rk[i]);
+    s_key[i] = static_cast<int32_t>(sk[i]);
+  }
+  JoinInput in{r_key, r_pay, s_key, s_pay, nominal, nominal};
+  const auto part = ops::GpuRadixJoin(in, sim::GpuSpec{});
+  const auto nopart = ops::GpuNoPartitionJoin(in, sim::GpuSpec{});
+  ASSERT_TRUE(part.status.ok());
+  ASSERT_TRUE(nopart.status.ok());
+  EXPECT_LT(part.seconds, nopart.seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimScaling,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+// ---- discrete-event determinism -------------------------------------------------
+
+TEST(Determinism, JoinKernelsAreBitwiseRepeatable) {
+  std::vector<int32_t> store;
+  const size_t n = 1 << 14;
+  auto k = storage::DataGen::UniqueShuffled(n, 5);
+  std::vector<int32_t> r_key(n), r_pay(n, 1), s_key(n), s_pay(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    r_key[i] = static_cast<int32_t>(k[i]);
+    s_key[i] = static_cast<int32_t>(k[(i + 1) % n]);
+  }
+  JoinInput in{r_key, r_pay, s_key, s_pay, 64ull << 20, 64ull << 20};
+  const auto a = ops::GpuRadixJoin(in, sim::GpuSpec{});
+  const auto b = ops::GpuRadixJoin(in, sim::GpuSpec{});
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.seconds, b.seconds);  // bit-identical simulated time
+}
+
+TEST(Determinism, CoprocIsRepeatableAfterTopologyReset) {
+  std::vector<int32_t> r_key{1, 2, 3}, r_pay{1, 1, 1}, s_key{3, 2, 9},
+      s_pay{5, 5, 5};
+  JoinInput in{r_key, r_pay, s_key, s_pay, 512ull << 20, 512ull << 20};
+  sim::Topology topo = sim::Topology::PaperServer();
+  const auto a = coproc::CoprocRadixJoin(in, &topo, 2);
+  topo.Reset();
+  const auto b = coproc::CoprocRadixJoin(in, &topo, 2);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.matches, b.matches);
+}
+
+}  // namespace
+}  // namespace hape

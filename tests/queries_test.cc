@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "queries/tpch_queries.h"
+#include "storage/tpch.h"
+
+namespace hape::queries {
+namespace {
+
+/// Shared fixture: one generated TPC-H instance (SF 0.01 actual, SF 100
+/// nominal), reused across all query tests.
+class TpchQueries : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new sim::Topology(sim::Topology::PaperServer());
+    ctx_ = new TpchContext();
+    ctx_->topo = topo_;
+    ctx_->sf_actual = 0.01;
+    ctx_->sf_nominal = 100.0;
+    ASSERT_TRUE(PrepareTpch(ctx_).ok());
+  }
+  void SetUp() override {
+    topo_->Reset();
+    ctx_->partitioned_gpu_join = true;
+  }
+
+  static void ExpectSameGroups(const QueryResult& ref, const QueryResult& got,
+                               double tol = 1e-9) {
+    ASSERT_FALSE(got.DidNotFinish()) << got.status.ToString();
+    ASSERT_EQ(ref.groups.size(), got.groups.size());
+    for (const auto& [key, vals] : ref.groups) {
+      auto it = got.groups.find(key);
+      ASSERT_NE(it, got.groups.end()) << "missing group " << key;
+      ASSERT_EQ(vals.size(), it->second.size());
+      for (size_t i = 0; i < vals.size(); ++i) {
+        EXPECT_NEAR(it->second[i] / (std::abs(vals[i]) + 1),
+                    vals[i] / (std::abs(vals[i]) + 1), tol)
+            << "group " << key << " agg " << i;
+      }
+    }
+  }
+
+  static sim::Topology* topo_;
+  static TpchContext* ctx_;
+};
+sim::Topology* TpchQueries::topo_ = nullptr;
+TpchContext* TpchQueries::ctx_ = nullptr;
+
+// ---- correctness across configurations ----------------------------------------
+
+struct QueryCase {
+  const char* name;
+  QueryFn run;
+  QueryResult (*ref)(const TpchContext&);
+};
+
+class QueryCorrectness
+    : public TpchQueries,
+      public ::testing::WithParamInterface<
+          std::tuple<QueryCase, EngineConfig>> {};
+
+TEST_P(QueryCorrectness, MatchesScalarReference) {
+  const auto& [qc, config] = GetParam();
+  topo_->Reset();
+  const QueryResult got = qc.run(ctx_, config);
+  if (got.DidNotFinish()) {
+    // Only the documented DNFs are acceptable: DBMS G on Q1/Q5/Q9 and
+    // GPU-only Q9.
+    const bool dbmsg_dnf = config == EngineConfig::kDbmsG &&
+                           std::string(qc.name) != "q6";
+    const bool gpu_q9 = config == EngineConfig::kProteusGpu &&
+                        std::string(qc.name) == "q9";
+    EXPECT_TRUE(dbmsg_dnf || gpu_q9)
+        << qc.name << "/" << ConfigName(config) << " unexpectedly DNF: "
+        << got.status.ToString();
+    return;
+  }
+  ExpectSameGroups(qc.ref(*ctx_), got);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueriesAllConfigs, QueryCorrectness,
+    ::testing::Combine(
+        ::testing::Values(QueryCase{"q1", RunQ1, RefQ1},
+                          QueryCase{"q5", RunQ5, RefQ5},
+                          QueryCase{"q6", RunQ6, RefQ6},
+                          QueryCase{"q9", RunQ9, RefQ9}),
+        ::testing::Values(EngineConfig::kDbmsC, EngineConfig::kProteusCpu,
+                          EngineConfig::kProteusHybrid,
+                          EngineConfig::kProteusGpu, EngineConfig::kDbmsG)),
+    [](const ::testing::TestParamInfo<std::tuple<QueryCase, EngineConfig>>&
+           info) {
+      std::string s = std::get<0>(info.param).name;
+      s += "_";
+      s += ConfigName(std::get<1>(info.param));
+      for (auto& c : s) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return s;
+    });
+
+// ---- result sanity -------------------------------------------------------------
+
+TEST_F(TpchQueries, Q1HasFourGroups) {
+  const auto r = RefQ1(*ctx_);
+  EXPECT_EQ(r.groups.size(), 4u);  // (A,F), (N,F), (N,O), (R,F)
+}
+
+TEST_F(TpchQueries, Q5GroupsAreAsianNations) {
+  const auto r = RefQ5(*ctx_);
+  EXPECT_GE(r.groups.size(), 1u);
+  EXPECT_LE(r.groups.size(), 5u);  // 5 nations in ASIA
+  for (const auto& [k, v] : r.groups) {
+    EXPECT_EQ(storage::tpch::kNationRegion[k], storage::tpch::kRegionAsia);
+    EXPECT_GT(v[0], 0.0);  // revenue positive
+  }
+}
+
+TEST_F(TpchQueries, Q6SingleGroupPositive) {
+  const auto r = RefQ6(*ctx_);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_GT(r.groups.at(0)[0], 0.0);
+}
+
+TEST_F(TpchQueries, Q9CoversNationsAndYears) {
+  const auto r = RefQ9(*ctx_);
+  EXPECT_GT(r.groups.size(), 25u);  // nations x ~7 years
+  for (const auto& [k, v] : r.groups) {
+    const int64_t year = k % 10000;
+    EXPECT_GE(year, 1992);
+    EXPECT_LE(year, 1998);
+  }
+}
+
+// ---- performance shape (Fig. 8) -------------------------------------------------
+
+TEST_F(TpchQueries, ScanBoundQueriesFavorCpu) {
+  for (QueryFn q : {static_cast<QueryFn>(RunQ1), static_cast<QueryFn>(RunQ6)}) {
+    topo_->Reset();
+    const double cpu = q(ctx_, EngineConfig::kProteusCpu).seconds;
+    topo_->Reset();
+    const double gpu = q(ctx_, EngineConfig::kProteusGpu).seconds;
+    EXPECT_GT(gpu / cpu, 2.0);  // paper: >= 2.65x
+  }
+}
+
+TEST_F(TpchQueries, JoinHeavyQ5FavorsGpu) {
+  topo_->Reset();
+  const double cpu = RunQ5(ctx_, EngineConfig::kProteusCpu).seconds;
+  topo_->Reset();
+  const double gpu = RunQ5(ctx_, EngineConfig::kProteusGpu).seconds;
+  EXPECT_GT(cpu / gpu, 1.1);  // paper: 1.4x
+  EXPECT_LT(cpu / gpu, 2.5);
+}
+
+TEST_F(TpchQueries, HybridBestOnEveryQuery) {
+  for (QueryFn q : {static_cast<QueryFn>(RunQ1), static_cast<QueryFn>(RunQ5),
+                    static_cast<QueryFn>(RunQ6),
+                    static_cast<QueryFn>(RunQ9)}) {
+    topo_->Reset();
+    const double cpu = q(ctx_, EngineConfig::kProteusCpu).seconds;
+    topo_->Reset();
+    const auto gpu_r = q(ctx_, EngineConfig::kProteusGpu);
+    topo_->Reset();
+    const double hybrid = q(ctx_, EngineConfig::kProteusHybrid).seconds;
+    EXPECT_LE(hybrid, cpu * 1.001);
+    if (!gpu_r.DidNotFinish()) {
+      EXPECT_LE(hybrid, gpu_r.seconds * 1.001);
+    }
+  }
+}
+
+TEST_F(TpchQueries, Q9HybridCoProcessingDoublesCpuOnly) {
+  topo_->Reset();
+  const double cpu = RunQ9(ctx_, EngineConfig::kProteusCpu).seconds;
+  topo_->Reset();
+  const double hybrid = RunQ9(ctx_, EngineConfig::kProteusHybrid).seconds;
+  EXPECT_GT(cpu / hybrid, 1.5);  // paper: 2x
+}
+
+TEST_F(TpchQueries, Q9GpuOnlyOutOfMemory) {
+  topo_->Reset();
+  const auto r = RunQ9(ctx_, EngineConfig::kProteusGpu);
+  ASSERT_TRUE(r.DidNotFinish());
+  EXPECT_EQ(r.status.code(), StatusCode::kOutOfMemory);
+}
+
+TEST_F(TpchQueries, DbmsGOnlyRunsQ6) {
+  topo_->Reset();
+  EXPECT_FALSE(RunQ6(ctx_, EngineConfig::kDbmsG).DidNotFinish());
+  for (QueryFn q : {static_cast<QueryFn>(RunQ1), static_cast<QueryFn>(RunQ5),
+                    static_cast<QueryFn>(RunQ9)}) {
+    topo_->Reset();
+    EXPECT_TRUE(q(ctx_, EngineConfig::kDbmsG).DidNotFinish());
+  }
+}
+
+TEST_F(TpchQueries, DbmsCOverheadLargestOnQ1) {
+  // §6.4: multiple aggregates make DBMS C's extra vector passes visible on
+  // Q1, while other queries stay comparable to Proteus CPU.
+  topo_->Reset();
+  const double c1 = RunQ1(ctx_, EngineConfig::kDbmsC).seconds;
+  topo_->Reset();
+  const double p1 = RunQ1(ctx_, EngineConfig::kProteusCpu).seconds;
+  EXPECT_GT(c1 / p1, 1.3);
+  topo_->Reset();
+  const double c5 = RunQ5(ctx_, EngineConfig::kDbmsC).seconds;
+  topo_->Reset();
+  const double p5 = RunQ5(ctx_, EngineConfig::kProteusCpu).seconds;
+  EXPECT_LT(c5 / p5, c1 / p1);
+}
+
+TEST_F(TpchQueries, Fig9PartitionedJoinWinsOnGpuAndHybrid) {
+  for (auto config :
+       {EngineConfig::kProteusGpu, EngineConfig::kProteusHybrid}) {
+    topo_->Reset();
+    ctx_->partitioned_gpu_join = false;
+    const double nopart = RunQ5(ctx_, config).seconds;
+    topo_->Reset();
+    ctx_->partitioned_gpu_join = true;
+    const double part = RunQ5(ctx_, config).seconds;
+    EXPECT_GT(nopart / part, 1.05) << ConfigName(config);
+    EXPECT_LT(nopart / part, 3.0) << ConfigName(config);
+  }
+}
+
+TEST_F(TpchQueries, ConfigNamesStable) {
+  EXPECT_STREQ(ConfigName(EngineConfig::kDbmsC), "DBMS C");
+  EXPECT_STREQ(ConfigName(EngineConfig::kProteusHybrid), "Proteus Hybrid");
+}
+
+}  // namespace
+}  // namespace hape::queries

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/hash.h"
+#include "engine/zip_split.h"
+#include "storage/datagen.h"
+
+namespace hape::engine {
+namespace {
+
+memory::Batch KeyBatch(std::vector<int64_t> keys, int32_t pid = -1,
+                       int node = 0) {
+  memory::Batch b;
+  b.rows = keys.size();
+  b.mem_node = node;
+  b.partition_id = pid;
+  b.columns = {std::make_shared<storage::Column>(std::move(keys))};
+  return b;
+}
+
+TEST(PartitionBatches, OwnershipAndCoverage) {
+  auto keys = storage::DataGen::UniformInt(5000, 0, 1 << 20, 1);
+  std::vector<memory::Batch> in;
+  in.push_back(KeyBatch(keys));
+  const int bits = 4;
+  auto parts = PartitionBatches(in, 0, bits);
+  size_t total = 0;
+  for (const auto& p : parts) {
+    ASSERT_GE(p.partition_id, 0);
+    ASSERT_LT(p.partition_id, 1 << bits);
+    total += p.rows;
+    const auto& col = *p.columns[0];
+    for (size_t r = 0; r < p.rows; ++r) {
+      ASSERT_EQ(
+          RadixOf(static_cast<uint64_t>(col.GetInt(r)), 0, bits),
+          static_cast<uint32_t>(p.partition_id));
+    }
+  }
+  EXPECT_EQ(total, keys.size());  // no tuple lost or duplicated
+}
+
+TEST(PartitionBatches, ZeroBitsIsIdentityPartition) {
+  std::vector<memory::Batch> in;
+  in.push_back(KeyBatch({1, 2, 3}));
+  auto parts = PartitionBatches(in, 0, 0);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].rows, 3u);
+  EXPECT_EQ(parts[0].partition_id, 0);
+}
+
+TEST(PartitionBatches, MultipleInputPacketsKeepNode) {
+  std::vector<memory::Batch> in;
+  in.push_back(KeyBatch({1, 2, 3, 4}, -1, /*node=*/1));
+  in.push_back(KeyBatch({5, 6, 7, 8}, -1, /*node=*/1));
+  auto parts = PartitionBatches(in, 0, 2);
+  for (const auto& p : parts) EXPECT_EQ(p.mem_node, 1);
+}
+
+TEST(Zip, MatchesByPartitionId) {
+  std::vector<memory::Batch> build, probe;
+  build.push_back(KeyBatch({1, 2}, 0));
+  build.push_back(KeyBatch({3}, 1));
+  probe.push_back(KeyBatch({9}, 1));
+  probe.push_back(KeyBatch({7, 8}, 0));
+  auto zipped = Zip(std::move(build), std::move(probe));
+  ASSERT_TRUE(zipped.ok());
+  const auto& pairs = zipped.value();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].partition_id, 0);
+  EXPECT_EQ(pairs[0].build.rows, 2u);
+  EXPECT_EQ(pairs[0].probe.rows, 2u);
+  EXPECT_EQ(pairs[1].partition_id, 1);
+  EXPECT_EQ(pairs[1].probe.columns[0]->i64()[0], 9);
+}
+
+TEST(Zip, ConcatenatesFragmentsOfSamePartition) {
+  std::vector<memory::Batch> build, probe;
+  build.push_back(KeyBatch({1}, 3));
+  build.push_back(KeyBatch({2, 3}, 3));  // second fragment of partition 3
+  probe.push_back(KeyBatch({4}, 3));
+  auto zipped = Zip(std::move(build), std::move(probe));
+  ASSERT_TRUE(zipped.ok());
+  ASSERT_EQ(zipped.value().size(), 1u);
+  EXPECT_EQ(zipped.value()[0].build.rows, 3u);
+}
+
+TEST(Zip, SynthesizesEmptySideForOneSidedPartitions) {
+  std::vector<memory::Batch> build, probe;
+  build.push_back(KeyBatch({1}, 0));
+  probe.push_back(KeyBatch({2}, 5));  // no build partition 5
+  auto zipped = Zip(std::move(build), std::move(probe));
+  ASSERT_TRUE(zipped.ok());
+  const auto& pairs = zipped.value();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].probe.rows, 0u);  // empty probe for partition 0
+  EXPECT_EQ(pairs[1].build.rows, 0u);  // empty build for partition 5
+}
+
+TEST(Zip, RejectsUnpackedPackets) {
+  std::vector<memory::Batch> build, probe;
+  build.push_back(KeyBatch({1}, -1));  // missing packing trait
+  probe.push_back(KeyBatch({2}, 0));
+  auto zipped = Zip(std::move(build), std::move(probe));
+  EXPECT_FALSE(zipped.ok());
+  EXPECT_EQ(zipped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Zip, RejectsEmptyStreams) {
+  std::vector<memory::Batch> probe;
+  probe.push_back(KeyBatch({2}, 0));
+  EXPECT_FALSE(Zip({}, std::move(probe)).ok());
+}
+
+TEST(Split, InverseOfZipPairing) {
+  std::vector<memory::Batch> build, probe;
+  build.push_back(KeyBatch({1, 2}, 0));
+  build.push_back(KeyBatch({3}, 2));
+  probe.push_back(KeyBatch({4}, 0));
+  probe.push_back(KeyBatch({5}, 2));
+  auto zipped = Zip(std::move(build), std::move(probe));
+  ASSERT_TRUE(zipped.ok());
+  auto [builds, probes] = Split(std::move(zipped.value()));
+  ASSERT_EQ(builds.size(), 2u);
+  ASSERT_EQ(probes.size(), 2u);
+  for (size_t i = 0; i < builds.size(); ++i) {
+    EXPECT_EQ(builds[i].partition_id, probes[i].partition_id);
+  }
+  EXPECT_EQ(builds[1].columns[0]->i64()[0], 3);
+  EXPECT_EQ(probes[1].columns[0]->i64()[0], 5);
+}
+
+TEST(ZipSplit, EndToEndCoPartitionPipeline) {
+  // Partition two relations, zip, split, and verify the co-partitioning
+  // invariant the §5 plan relies on: every (build, probe) key pair that
+  // joins lands in the same co-partition.
+  auto rkeys = storage::DataGen::UniqueShuffled(2000, 1);
+  auto skeys = storage::DataGen::UniqueShuffled(2000, 2);
+  std::vector<memory::Batch> r, s;
+  r.push_back(KeyBatch(std::move(rkeys)));
+  s.push_back(KeyBatch(std::move(skeys)));
+  const int bits = 3;
+  auto zipped = Zip(PartitionBatches(r, 0, bits),
+                    PartitionBatches(s, 0, bits));
+  ASSERT_TRUE(zipped.ok());
+  size_t rtotal = 0, stotal = 0;
+  for (const auto& cp : zipped.value()) {
+    rtotal += cp.build.rows;
+    stotal += cp.probe.rows;
+    for (size_t i = 0; i < cp.build.rows; ++i) {
+      ASSERT_EQ(RadixOf(cp.build.columns[0]->GetInt(i), 0, bits),
+                static_cast<uint32_t>(cp.partition_id));
+    }
+    for (size_t i = 0; i < cp.probe.rows; ++i) {
+      ASSERT_EQ(RadixOf(cp.probe.columns[0]->GetInt(i), 0, bits),
+                static_cast<uint32_t>(cp.partition_id));
+    }
+  }
+  EXPECT_EQ(rtotal, 2000u);
+  EXPECT_EQ(stotal, 2000u);
+}
+
+}  // namespace
+}  // namespace hape::engine
