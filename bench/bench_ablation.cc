@@ -14,10 +14,9 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/logging.h"
 #include "coproc/coproc_join.h"
-#include "engine/executor.h"
-#include "engine/sinks.h"
-#include "engine/stages.h"
+#include "engine/engine.h"
 #include "queries/tpch_queries.h"
 #include "sim/topology.h"
 
@@ -27,7 +26,7 @@ using namespace hape;  // NOLINT
 
 // ---- A1: router policies ----------------------------------------------------
 
-double RunQ6Hybrid(engine::RoutingPolicy policy) {
+double RunQ6Hybrid(engine::RoutingPolicy routing) {
   static sim::Topology topo = sim::Topology::PaperServer();
   static queries::TpchContext* ctx = [] {
     auto* c = new queries::TpchContext();
@@ -37,26 +36,26 @@ double RunQ6Hybrid(engine::RoutingPolicy policy) {
     return c;
   }();
   topo.Reset();
-  engine::Executor ex(&topo);
   auto lineitem = ctx->catalog.Get("lineitem").value();
-  std::vector<storage::ColumnPtr> cols = {lineitem->column("l_shipdate"),
-                                          lineitem->column("l_discount"),
-                                          lineitem->column("l_extendedprice")};
-  engine::Pipeline p;
-  p.scale = ctx->scale();
-  p.policy = policy;
-  p.inputs = memory::ChunkColumns(
-      cols, lineitem->num_rows(),
-      std::max<size_t>(256, static_cast<size_t>(4e6 / ctx->scale())), 0);
-  p.stages.push_back(engine::ScanStage());
-  engine::HashAggSink sink(
-      nullptr, {engine::AggDef{engine::AggOp::kSum,
-                               expr::Expr::Mul(expr::Expr::Col(2),
-                                               expr::Expr::Col(1))}});
-  p.sink = &sink;
-  std::vector<int> devices = topo.CpuDeviceIds();
-  for (int g : topo.GpuDeviceIds()) devices.push_back(g);
-  return ex.Run(&p, devices).finish;
+
+  engine::PlanBuilder b("a1-scan-agg");
+  auto pipe = b.Scan(
+      lineitem, {"l_shipdate", "l_discount", "l_extendedprice"},
+      std::max<size_t>(256, static_cast<size_t>(4e6 / ctx->scale())));
+  pipe.Scale(ctx->scale());
+  pipe.Aggregate(nullptr,
+                 {engine::AggDef{engine::AggOp::kSum,
+                                 expr::Expr::Mul(expr::Expr::Col(2),
+                                                 expr::Expr::Col(1))}});
+  engine::QueryPlan plan = std::move(b).Build();
+
+  engine::ExecutionPolicy policy = engine::ExecutionPolicy::ForConfig(
+      topo, engine::EngineConfig::kProteusHybrid);
+  policy.routing = routing;
+  engine::Engine eng(&topo);
+  auto stats = eng.Run(&plan, policy);
+  HAPE_CHECK(stats.ok()) << stats.status().ToString();
+  return stats.value().finish;
 }
 
 // ---- A2: broadcast strategies -----------------------------------------------

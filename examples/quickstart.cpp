@@ -1,14 +1,13 @@
-// Quickstart: build a tiny table, run a filter+aggregate pipeline on the
-// simulated paper server in CPU-only, GPU-only and hybrid configurations,
-// and print both the (host-verified) result and the simulated times.
+// Quickstart: declare a plan with PlanBuilder, run it through the Engine
+// facade on the simulated paper server in CPU-only, GPU-only and hybrid
+// configurations, and print both the (host-verified) result and the
+// simulated times.
 //
 //   $ ./example_quickstart
 
 #include <cstdio>
 
-#include "engine/executor.h"
-#include "engine/sinks.h"
-#include "engine/stages.h"
+#include "engine/engine.h"
 #include "sim/topology.h"
 #include "storage/datagen.h"
 
@@ -17,7 +16,7 @@ using namespace hape;  // NOLINT — example code
 int main() {
   // 1. The simulated server of the paper: 2x12-core Xeon + 2x GTX 1080.
   sim::Topology topo = sim::Topology::PaperServer();
-  engine::Executor executor(&topo);
+  engine::Engine eng(&topo);
 
   // 2. Some data: 1M rows of (value, amount), CPU-resident (node 0).
   const size_t n = 1 << 20;
@@ -26,25 +25,31 @@ int main() {
   auto amount = std::make_shared<storage::Column>(
       storage::DataGen::UniformDouble(n, 0.0, 10.0, /*seed=*/2));
 
-  // 3. A fused pipeline: scan -> filter(value < 10) -> sum(amount).
-  //    `scale` lets the cost model treat the 1M rows as 100M.
+  // 3. A declarative plan: scan -> filter(value < 10) -> sum(amount).
+  //    Scale(100) lets the cost model treat the 1M rows as 100M. Device
+  //    placement lives in the ExecutionPolicy, not in the plan.
   auto run = [&](const char* name, std::vector<int> devices) {
-    engine::Pipeline p;
-    p.name = "quickstart";
-    p.scale = 100.0;
-    p.inputs = memory::ChunkColumns({value, amount}, n, 1 << 14, 0);
-    p.stages.push_back(engine::ScanStage());
-    p.stages.push_back(engine::FilterStage(
-        expr::Expr::Lt(expr::Expr::Col(0), expr::Expr::Int(10))));
-    engine::HashAggSink sink(
+    engine::PlanBuilder b("quickstart");
+    auto pipe =
+        b.Source("scan", memory::ChunkColumns({value, amount}, n, 1 << 14, 0));
+    pipe.Scale(100.0).Filter(
+        expr::Expr::Lt(expr::Expr::Col(0), expr::Expr::Int(10)));
+    engine::AggHandle agg = pipe.Aggregate(
         nullptr, {engine::AggDef{engine::AggOp::kSum, expr::Expr::Col(1)},
                   engine::AggDef{engine::AggOp::kCount, nullptr}});
-    p.sink = &sink;
+    engine::QueryPlan plan = std::move(b).Build();
+
+    engine::ExecutionPolicy policy;
+    policy.devices = std::move(devices);
     topo.Reset();
-    const engine::ExecStats stats = executor.Run(&p, devices);
-    const auto& agg = sink.result().at(0);
+    auto stats = eng.Run(&plan, policy);
+    if (!stats.ok()) {
+      std::printf("%-10s %s\n", name, stats.status().ToString().c_str());
+      return;
+    }
+    const auto& aggs = agg.result().at(0);
     std::printf("%-10s sum=%.1f count=%.0f  sim_time=%.2f ms\n", name,
-                agg[0], agg[1], stats.seconds() * 1e3);
+                aggs[0], aggs[1], stats.value().finish * 1e3);
   };
 
   std::vector<int> cpus = topo.CpuDeviceIds();

@@ -1,14 +1,14 @@
 // Demonstrates the HetExchange router's packet-routing policies (§4.2) on a
 // hybrid CPU+GPU pipeline: load-aware, locality-aware and hash-based, with
-// data spread across both sockets so locality actually matters.
+// data spread across both sockets so locality actually matters. The policy
+// is part of the declarative ExecutionPolicy — the plan itself is identical
+// across runs.
 //
 //   $ ./example_routing_policies
 
 #include <cstdio>
 
-#include "engine/executor.h"
-#include "engine/sinks.h"
-#include "engine/stages.h"
+#include "engine/engine.h"
 #include "sim/topology.h"
 #include "storage/datagen.h"
 
@@ -16,7 +16,7 @@ using namespace hape;  // NOLINT — example code
 
 int main() {
   sim::Topology topo = sim::Topology::PaperServer();
-  engine::Executor executor(&topo);
+  engine::Engine eng(&topo);
 
   const size_t rows = 1 << 18;
   auto key = std::make_shared<storage::Column>(
@@ -39,22 +39,30 @@ int main() {
   for (int g : topo.GpuDeviceIds()) devices.push_back(g);
 
   std::printf("hybrid scan-aggregate over packets scattered on 2 sockets\n");
-  for (auto policy : {engine::RoutingPolicy::kLoadAware,
-                      engine::RoutingPolicy::kLocalityAware,
-                      engine::RoutingPolicy::kHashBased}) {
-    engine::Pipeline p;
-    p.scale = 500.0;
-    p.policy = policy;
-    p.inputs = make_inputs();
-    p.stages.push_back(engine::ScanStage());
-    engine::HashAggSink sink(
+  for (auto routing : {engine::RoutingPolicy::kLoadAware,
+                       engine::RoutingPolicy::kLocalityAware,
+                       engine::RoutingPolicy::kHashBased}) {
+    engine::PlanBuilder b("routing-demo");
+    auto pipe = b.Source("scan", make_inputs(),
+                         engine::SourceOptions{/*scale=*/500.0,
+                                               /*charge_source_read=*/true});
+    engine::AggHandle agg = pipe.Aggregate(
         nullptr, {engine::AggDef{engine::AggOp::kSum, expr::Expr::Col(1)}});
-    p.sink = &sink;
+    engine::QueryPlan plan = std::move(b).Build();
+
+    engine::ExecutionPolicy policy;
+    policy.devices = devices;
+    policy.routing = routing;
     topo.Reset();
-    const engine::ExecStats st = executor.Run(&p, devices);
+    auto stats = eng.Run(&plan, policy);
+    if (!stats.ok()) {
+      std::printf("  %-16s %s\n", engine::RoutingPolicyName(routing),
+                  stats.status().ToString().c_str());
+      continue;
+    }
     std::printf("  %-16s %8.2f ms   (sum=%.1f)\n",
-                engine::RoutingPolicyName(policy), st.seconds() * 1e3,
-                sink.result().at(0)[0]);
+                engine::RoutingPolicyName(routing),
+                stats.value().finish * 1e3, agg.result().at(0)[0]);
   }
   std::printf(
       "\nload-aware balances finish times; locality-aware avoids QPI/PCIe\n"

@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
   ctx.topo = &topo;
   ctx.sf_actual = argc > 1 ? std::atof(argv[1]) : 0.02;
   ctx.sf_nominal = 100.0;
+  if (ctx.sf_actual <= 0.0) {
+    std::fprintf(stderr, "usage: %s [scale_factor_actual > 0]\n", argv[0]);
+    return 1;
+  }
   if (const Status st = PrepareTpch(&ctx); !st.ok()) {
     std::fprintf(stderr, "generation failed: %s\n", st.ToString().c_str());
     return 1;

@@ -1,0 +1,280 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "ops/join_kernels.h"
+#include "sim/traffic.h"
+
+namespace hape::engine {
+
+namespace {
+
+/// Bytes per tuple shipped by the CPU-side co-partition pass: the join key
+/// plus a row id, matching what the generated co-partitioner materializes.
+constexpr uint64_t kCoPartitionTupleBytes = 16;
+
+std::string GiBString(uint64_t bytes) {
+  return std::to_string(bytes >> 30);
+}
+
+}  // namespace
+
+Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
+                               const std::vector<char>& ran,
+                               const std::vector<sim::SimTime>& finished,
+                               PlacementState* placement, sim::SimTime* t,
+                               RunStats* out) {
+  // The tables of this round: every state probed by some pipeline whose
+  // build pipeline has finished and that is not yet device-resident, in
+  // build declaration order (deterministic sums and broadcasts). Builds
+  // downstream of a probe (multi-level DAGs) are placed by a later round.
+  std::unordered_set<const JoinState*> probed;
+  for (size_t i = 0; i < plan->num_pipelines(); ++i) {
+    for (const JoinStatePtr& s : plan->node(static_cast<int>(i)).probed) {
+      probed.insert(s.get());
+    }
+  }
+  std::vector<int> build_nodes;
+  for (size_t i = 0; i < plan->num_pipelines(); ++i) {
+    const PlanNode& n = plan->node(static_cast<int>(i));
+    if (n.is_build && ran[i] && probed.count(n.built_state.get()) > 0 &&
+        placement->placed.count(n.built_state.get()) == 0) {
+      build_nodes.push_back(static_cast<int>(i));
+    }
+  }
+  if (build_nodes.empty()) return Status::OK();
+
+  // The round starts once its builds are done (and no earlier than the
+  // previous round).
+  for (int b : build_nodes) *t = std::max(*t, finished[b]);
+
+  // GPU destinations under this policy.
+  std::vector<int> gpu_nodes;
+  for (int d : policy.devices) {
+    const sim::Device& dev = topo_->device(d);
+    if (dev.type != sim::DeviceType::kGpu) continue;
+    if (std::find(gpu_nodes.begin(), gpu_nodes.end(), dev.mem_node) ==
+        gpu_nodes.end()) {
+      gpu_nodes.push_back(dev.mem_node);
+    }
+  }
+
+  uint64_t total = 0;
+  for (int b : build_nodes) total += plan->node(b).built_state->NominalBytes();
+
+  uint64_t min_budget = std::numeric_limits<uint64_t>::max();
+  for (int node : gpu_nodes) {
+    const uint64_t cap = topo_->mem_node(node).capacity();
+    const uint64_t reserved = std::min(cap, policy.device_reserved_bytes);
+    min_budget = std::min(min_budget, cap - reserved);
+  }
+  const bool fits =
+      policy.build_staging_factor *
+          static_cast<double>(placement->resident_bytes + total) <=
+      static_cast<double>(min_budget);
+
+  std::vector<int> heavy_nodes;
+  for (int b : build_nodes) {
+    if (plan->node(b).heavy_build) heavy_nodes.push_back(b);
+  }
+  const int from_node =
+      plan->node(build_nodes.front()).built_state->location_node;
+
+  if (fits) {
+    // Broadcast every table once (topology-aware multicast mem-move, §4.2).
+    for (int b : heavy_nodes) {
+      plan->mutable_node(b).built_state->hardware_conscious =
+          policy.partitioned_gpu_join;
+    }
+    // Non-partitioned heavy joins hash-partition their build sides across
+    // the GPUs, so every probe packet shuffles between devices at each such
+    // join (§6.4); the partitioned plan co-partitions once instead.
+    for (size_t i = 0; i < plan->num_pipelines(); ++i) {
+      PlanNode& n = plan->mutable_node(static_cast<int>(i));
+      bool probes_heavy = false;
+      for (const JoinStatePtr& s : n.probed) {
+        for (int b : heavy_nodes) {
+          if (plan->node(b).built_state.get() == s.get()) probes_heavy = true;
+        }
+      }
+      if (probes_heavy) {
+        n.pipeline.wire_amplification = policy.partitioned_gpu_join
+                                            ? 1.0
+                                            : policy.shuffle_wire_amplification;
+      }
+    }
+    *t = executor_.Broadcast(total, from_node, gpu_nodes, *t);
+    out->broadcast_bytes += total;
+    for (int b : build_nodes) {
+      placement->placed.insert(plan->node(b).built_state.get());
+    }
+    placement->resident_bytes += total;
+    return Status::OK();
+  }
+
+  if (policy.UsesCpu(*topo_) && !heavy_nodes.empty() &&
+      !policy.build_devices.empty()) {
+    // Operator-level co-processing (§5): the largest heavy build is
+    // co-partitioned with its probe side on the CPU at low fanout so that
+    // each co-partition's table slice fits the GPUs; each co-partition then
+    // crosses PCIe once, riding with the probe packets. Charge the CPU-side
+    // pass and the broadcast of the remaining (small enough) tables.
+    int big = heavy_nodes.front();
+    for (int b : heavy_nodes) {
+      if (plan->node(b).built_state->NominalBytes() >
+          plan->node(big).built_state->NominalBytes()) {
+        big = b;
+      }
+    }
+    const JoinStatePtr& big_state = plan->node(big).built_state;
+    uint64_t probe_tuples = 0;
+    for (size_t i = 0; i < plan->num_pipelines(); ++i) {
+      const PlanNode& n = plan->node(static_cast<int>(i));
+      for (const JoinStatePtr& s : n.probed) {
+        if (s.get() != big_state.get()) continue;
+        uint64_t rows = 0;
+        for (const memory::Batch& b : n.pipeline.inputs) rows += b.rows;
+        probe_tuples += static_cast<uint64_t>(rows * n.pipeline.scale);
+        break;
+      }
+    }
+    const uint64_t copart_bytes =
+        probe_tuples * kCoPartitionTupleBytes + big_state->NominalBytes();
+    sim::TrafficStats pass;
+    pass.dram_seq_read_bytes = copart_bytes;
+    pass.dram_seq_write_bytes = copart_bytes;
+    pass.write_coalescing = 0.9;
+    pass.tuple_ops = copart_bytes / 8;
+    const sim::CpuSpec server = ops::ServerCpuSpec(
+        topo_->device(policy.build_devices.front()).cpu,
+        static_cast<int>(policy.build_devices.size()));
+    *t += sim::MemoryModel::CpuTime(server, pass, server.cores);
+
+    uint64_t rest = 0;
+    for (int b : build_nodes) {
+      if (b != big) rest += plan->node(b).built_state->NominalBytes();
+    }
+    *t = executor_.Broadcast(rest, from_node, gpu_nodes, *t);
+    // Co-partitioned execution is inherently partitioned: the heavy joins
+    // run hardware-conscious on the GPUs.
+    for (int b : heavy_nodes) {
+      plan->mutable_node(b).built_state->hardware_conscious = true;
+    }
+    for (int b : build_nodes) {
+      placement->placed.insert(plan->node(b).built_state.get());
+    }
+    // The co-partitioned table streams through with the probe packets; only
+    // the broadcast tables stay resident.
+    placement->resident_bytes += rest;
+    out->broadcast_bytes += rest;
+    out->co_processed = true;
+    return Status::OK();
+  }
+
+  return Status::OutOfMemory(
+      "hash tables (" + std::to_string(total >> 20) + " MiB, " +
+      std::to_string(policy.build_staging_factor) +
+      "x with build staging) exceed GPU memory budget " +
+      std::to_string(min_budget >> 20) + " MiB");
+}
+
+Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
+  if (plan->executed()) {
+    return Status::InvalidArgument(
+        "plan '" + plan->name() +
+        "' was already executed (plans consume their input packets)");
+  }
+  if (Status st = plan->Validate(topo_); !st.ok()) return st;
+  if (Status st = policy.Validate(*topo_); !st.ok()) return st;
+
+  // Admission under operator-at-a-time execution: every stage boundary
+  // materializes its full output in device memory, so the declared
+  // intermediate footprint must fit the smallest device memory used.
+  if (policy.model == ExecutionModel::kOperatorAtATime &&
+      plan->declared_intermediate_bytes() > 0) {
+    uint64_t budget = std::numeric_limits<uint64_t>::max();
+    for (int d : policy.devices) {
+      budget = std::min(budget,
+                        topo_->mem_node(topo_->device(d).mem_node).capacity());
+    }
+    if (plan->declared_intermediate_bytes() > budget) {
+      return Status::NotSupported(
+          "operator-at-a-time intermediate of " +
+          GiBString(plan->declared_intermediate_bytes()) + " GiB (" +
+          plan->declared_intermediate_label() + ") exceeds device memory");
+    }
+  }
+
+  auto order = plan->TopologicalOrder();
+  HAPE_CHECK(order.ok());  // Validate() already checked for cycles
+  plan->mark_executed();
+
+  RunStats out;
+  const int n = static_cast<int>(plan->num_pipelines());
+  std::vector<sim::SimTime> finished(n, 0);
+  std::vector<char> ran(n, 0);
+  // Placement is needed only when probes can land on a GPU.
+  const bool needs_placement = policy.UsesGpu(*topo_);
+  PlacementState placement;
+  sim::SimTime placement_finish = 0;
+
+  for (int idx : order.value()) {
+    PlanNode& node = plan->mutable_node(idx);
+
+    if (needs_placement) {
+      bool unplaced = false;
+      for (const JoinStatePtr& s : node.probed) {
+        if (placement.placed.count(s.get()) == 0) unplaced = true;
+      }
+      if (unplaced) {
+        // This node's builds are among its deps, so they have finished;
+        // the round also places every other finished probed build.
+        sim::SimTime t = placement_finish;
+        if (Status st = PlaceJoinStates(plan, policy, ran, finished,
+                                        &placement, &t, &out);
+            !st.ok()) {
+          return st;
+        }
+        placement_finish = t;
+        out.placement_finish = t;
+      }
+    }
+
+    sim::SimTime start = node.probed.empty() ? 0 : placement_finish;
+    for (int d : node.deps) start = std::max(start, finished[d]);
+
+    const std::vector<int>& devices =
+        !node.run_on.empty()
+            ? node.run_on
+            : (node.is_build ? policy.build_devices : policy.devices);
+    if (devices.empty()) {
+      return Status::InvalidArgument(
+          "pipeline '" + node.pipeline.name +
+          "' is a build but the policy provides no build devices");
+    }
+    node.pipeline.policy = policy.routing;
+    node.pipeline.vector_at_a_time =
+        policy.model == ExecutionModel::kVectorAtATime;
+    node.pipeline.operator_at_a_time =
+        policy.model == ExecutionModel::kOperatorAtATime;
+
+    const ExecStats st = executor_.Run(&node.pipeline, devices, start);
+    finished[idx] = st.finish;
+    ran[idx] = 1;
+    out.finish = std::max(out.finish, st.finish);
+    out.pipelines.push_back(PipelineRunStats{node.pipeline.name, st});
+
+    if (node.is_build) {
+      node.built_state->nominal_rows = static_cast<uint64_t>(
+          node.built_state->payload.rows * node.pipeline.scale);
+      node.built_state->location_node =
+          topo_->device(devices.front()).mem_node;
+    }
+  }
+  return out;
+}
+
+}  // namespace hape::engine

@@ -1,0 +1,78 @@
+#ifndef HAPE_ENGINE_ENGINE_H_
+#define HAPE_ENGINE_ENGINE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "engine/policy.h"
+
+namespace hape::engine {
+
+/// Execution record of one pipeline of a plan run (in execution order).
+struct PipelineRunStats {
+  std::string name;
+  ExecStats stats;
+};
+
+/// QueryResult-shaped outcome of Engine::Run.
+struct RunStats {
+  sim::SimTime finish = 0;
+  /// Finish time of the automatic data-placement step (broadcasts and, for
+  /// oversized builds, the CPU-side co-partition pass); 0 when no placement
+  /// was needed.
+  sim::SimTime placement_finish = 0;
+  /// Bytes broadcast to device memories during placement (nominal scale).
+  uint64_t broadcast_bytes = 0;
+  /// True when an oversized heavy build was co-partitioned on the CPU
+  /// instead of broadcast (§5 operator-level co-processing).
+  bool co_processed = false;
+  std::vector<PipelineRunStats> pipelines;
+};
+
+/// The engine facade: validates a QueryPlan against an ExecutionPolicy,
+/// orders its pipelines topologically, inserts the mem-moves the placement
+/// requires (hash-table broadcasts, co-partition passes), executes every
+/// pipeline, and reports per-pipeline ExecStats. All heterogeneity decisions
+/// (which devices, which join flavor, what crosses which interconnect) are
+/// taken here — plans stay declarative.
+class Engine {
+ public:
+  explicit Engine(sim::Topology* topo) : topo_(topo), executor_(topo) {}
+
+  /// Execute `plan` under `policy`. The plan is consumed (its input packets
+  /// are moved into the pipelines); a second Run on the same plan fails.
+  Result<RunStats> Run(QueryPlan* plan, const ExecutionPolicy& policy);
+
+  Executor& executor() { return executor_; }
+  sim::Topology* topology() { return topo_; }
+
+ private:
+  /// One placement round for GPU execution: place every not-yet-placed
+  /// probed hash table whose build has finished — broadcast when the
+  /// tables fit device memory (with build staging, counting tables already
+  /// resident), fall back to §5 co-processing for the largest heavy build
+  /// when they don't and the policy includes CPUs, and fail with
+  /// OutOfMemory otherwise. Advances `*t` past the placement traffic.
+  /// Multi-level join DAGs (a build downstream of a probe) trigger one
+  /// round per level.
+  struct PlacementState {
+    std::unordered_set<const JoinState*> placed;
+    uint64_t resident_bytes = 0;
+  };
+  Status PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
+                         const std::vector<char>& ran,
+                         const std::vector<sim::SimTime>& finished,
+                         PlacementState* placement, sim::SimTime* t,
+                         RunStats* out);
+
+  sim::Topology* topo_;
+  Executor executor_;
+};
+
+}  // namespace hape::engine
+
+#endif  // HAPE_ENGINE_ENGINE_H_

@@ -44,7 +44,8 @@ class Sink {
 
 /// One pipeline of a broken-down heterogeneity-aware plan (§3): a packet
 /// source, a chain of fused stages, and a sink, executed at some degree of
-/// parallelism on one or more devices.
+/// parallelism on one or more devices. The pipeline owns its sink; plans
+/// built with PlanBuilder own their pipelines (move-only as a result).
 struct Pipeline {
   std::string name;
   std::vector<memory::Batch> inputs;
@@ -55,7 +56,7 @@ struct Pipeline {
   /// pipelines over just-produced intermediates may not).
   bool charge_source_read = true;
   std::vector<Stage> stages;
-  Sink* sink = nullptr;
+  std::unique_ptr<Sink> sink;
   RoutingPolicy policy = RoutingPolicy::kLoadAware;
   /// Interconnect amplification for packets that cross devices. Plans whose
   /// build sides are hash-partitioned across multiple GPUs (instead of

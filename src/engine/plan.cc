@@ -1,0 +1,233 @@
+#include "engine/plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hape::engine {
+
+// ---- PipelineBuilder --------------------------------------------------------
+
+PlanNode& PipelineBuilder::node() { return plan_->nodes_[node_]; }
+
+PipelineBuilder& PipelineBuilder::Named(std::string name) {
+  node().pipeline.name = std::move(name);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Scale(double scale) {
+  node().pipeline.scale = scale;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Filter(expr::ExprPtr pred) {
+  node().pipeline.stages.push_back(FilterStage(std::move(pred)));
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Project(std::vector<expr::ExprPtr> exprs) {
+  node().pipeline.stages.push_back(ProjectStage(std::move(exprs)));
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Probe(const BuildHandle& build,
+                                        expr::ExprPtr key) {
+  HAPE_CHECK(build.state() != nullptr)
+      << "pipeline '" << node().pipeline.name
+      << "' probes an empty build handle";
+  node().pipeline.stages.push_back(ProbeStage(build.state(), std::move(key)));
+  node().probed.push_back(build.state());
+  return After(build.pipeline());
+}
+
+PipelineBuilder& PipelineBuilder::After(int pipeline_id) {
+  auto& deps = node().deps;
+  if (std::find(deps.begin(), deps.end(), pipeline_id) == deps.end()) {
+    deps.push_back(pipeline_id);
+  }
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::OnDevices(std::vector<int> device_ids) {
+  node().run_on = std::move(device_ids);
+  return *this;
+}
+
+BuildHandle PipelineBuilder::HashBuild(expr::ExprPtr key,
+                                       std::vector<int> payload_cols,
+                                       const BuildOptions& opts) {
+  PlanNode& n = node();
+  HAPE_CHECK(n.pipeline.sink == nullptr)
+      << "pipeline '" << n.pipeline.name << "' already has a sink";
+  auto state = std::make_shared<JoinState>(
+      static_cast<size_t>(n.source_rows * opts.expected_selectivity) + 16);
+  n.pipeline.sink =
+      std::make_unique<BuildSink>(state, std::move(key),
+                                  std::move(payload_cols));
+  n.is_build = true;
+  n.heavy_build = opts.heavy;
+  n.built_state = state;
+  BuildHandle h;
+  h.pipeline_ = node_;
+  h.state_ = std::move(state);
+  return h;
+}
+
+AggHandle PipelineBuilder::Aggregate(expr::ExprPtr key,
+                                     std::vector<AggDef> aggs) {
+  PlanNode& n = node();
+  HAPE_CHECK(n.pipeline.sink == nullptr)
+      << "pipeline '" << n.pipeline.name << "' already has a sink";
+  auto sink = std::make_unique<HashAggSink>(std::move(key), std::move(aggs));
+  AggHandle h;
+  h.pipeline_ = node_;
+  h.sink_ = sink.get();
+  n.pipeline.sink = std::move(sink);
+  return h;
+}
+
+CollectHandle PipelineBuilder::Collect() {
+  PlanNode& n = node();
+  HAPE_CHECK(n.pipeline.sink == nullptr)
+      << "pipeline '" << n.pipeline.name << "' already has a sink";
+  auto sink = std::make_unique<CollectSink>();
+  CollectHandle h;
+  h.pipeline_ = node_;
+  h.sink_ = sink.get();
+  n.pipeline.sink = std::move(sink);
+  return h;
+}
+
+// ---- PlanBuilder ------------------------------------------------------------
+
+PipelineBuilder PlanBuilder::Scan(const storage::TablePtr& table,
+                                  const std::vector<std::string>& columns,
+                                  size_t chunk_rows) {
+  std::vector<storage::ColumnPtr> selected;
+  selected.reserve(columns.size());
+  for (const auto& name : columns) selected.push_back(table->column(name));
+  PlanNode node;
+  node.pipeline.name = table->name();
+  node.pipeline.inputs = memory::ChunkColumns(
+      selected, table->num_rows(), chunk_rows, table->home_node());
+  node.source_rows = table->num_rows();
+  node.pipeline.stages.push_back(ScanStage());
+  nodes_.push_back(std::move(node));
+  return PipelineBuilder(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+PipelineBuilder PlanBuilder::Source(std::string name,
+                                    std::vector<memory::Batch> inputs,
+                                    const SourceOptions& opts) {
+  PlanNode node;
+  node.pipeline.name = std::move(name);
+  for (const auto& b : inputs) node.source_rows += b.rows;
+  node.pipeline.inputs = std::move(inputs);
+  node.pipeline.scale = opts.scale;
+  node.pipeline.charge_source_read = opts.charge_source_read;
+  if (opts.charge_source_read) {
+    node.pipeline.stages.push_back(ScanStage());
+  }
+  nodes_.push_back(std::move(node));
+  return PipelineBuilder(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+PlanBuilder& PlanBuilder::DeclareMaterializedIntermediate(
+    uint64_t nominal_bytes, std::string label) {
+  intermediate_bytes_ = nominal_bytes;
+  intermediate_label_ = std::move(label);
+  return *this;
+}
+
+QueryPlan PlanBuilder::Build() && {
+  QueryPlan plan;
+  plan.name_ = std::move(name_);
+  plan.intermediate_bytes_ = intermediate_bytes_;
+  plan.intermediate_label_ = std::move(intermediate_label_);
+  for (const PlanNode& n : nodes_) {
+    if (n.built_state != nullptr) plan.built_.insert(n.built_state.get());
+  }
+  plan.nodes_ = std::move(nodes_);
+  return plan;
+}
+
+// ---- QueryPlan --------------------------------------------------------------
+
+int QueryPlan::BuildNodeOf(const JoinState* state) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].built_state.get() == state) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status QueryPlan::Validate(const sim::Topology* topo) const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("plan '" + name_ + "' has no pipelines");
+  }
+  const int n = static_cast<int>(nodes_.size());
+  for (int i = 0; i < n; ++i) {
+    const PlanNode& node = nodes_[i];
+    const std::string id = "pipeline '" + node.pipeline.name + "' (#" +
+                           std::to_string(i) + ")";
+    if (node.pipeline.sink == nullptr) {
+      return Status::InvalidArgument(id + " has no sink");
+    }
+    if (node.pipeline.stages.empty()) {
+      return Status::InvalidArgument(id + " has an empty stage chain");
+    }
+    for (int d : node.deps) {
+      if (d < 0 || d >= n) {
+        return Status::InvalidArgument(id + " depends on unknown pipeline #" +
+                                       std::to_string(d));
+      }
+    }
+    for (const JoinStatePtr& s : node.probed) {
+      if (!OwnsState(s.get())) {
+        return Status::InvalidArgument(
+            id + " probes a hash table not built by this plan");
+      }
+    }
+    if (topo != nullptr) {
+      const int ndev = static_cast<int>(topo->devices().size());
+      for (int d : node.run_on) {
+        if (d < 0 || d >= ndev) {
+          return Status::InvalidArgument(id + " targets unknown device id " +
+                                         std::to_string(d));
+        }
+      }
+    }
+  }
+  auto order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+  return Status::OK();
+}
+
+Result<std::vector<int>> QueryPlan::TopologicalOrder() const {
+  const int n = static_cast<int>(nodes_.size());
+  std::vector<char> done(n, 0);
+  std::vector<int> order;
+  order.reserve(n);
+  while (static_cast<int>(order.size()) < n) {
+    int pick = -1;
+    for (int i = 0; i < n && pick < 0; ++i) {
+      if (done[i]) continue;
+      bool ready = true;
+      for (int d : nodes_[i].deps) {
+        if (d < 0 || d >= n || !done[d]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) pick = i;
+    }
+    if (pick < 0) {
+      return Status::InvalidArgument("dependency cycle among pipelines of '" +
+                                     name_ + "'");
+    }
+    done[pick] = 1;
+    order.push_back(pick);
+  }
+  return order;
+}
+
+}  // namespace hape::engine

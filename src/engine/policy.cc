@@ -1,0 +1,103 @@
+#include "engine/policy.h"
+
+#include <string>
+
+namespace hape::engine {
+
+const char* ConfigName(EngineConfig c) {
+  switch (c) {
+    case EngineConfig::kDbmsC:
+      return "DBMS C";
+    case EngineConfig::kProteusCpu:
+      return "Proteus CPUs";
+    case EngineConfig::kProteusHybrid:
+      return "Proteus Hybrid";
+    case EngineConfig::kProteusGpu:
+      return "Proteus GPUs";
+    case EngineConfig::kDbmsG:
+      return "DBMS G";
+  }
+  return "?";
+}
+
+const char* ExecutionModelName(ExecutionModel m) {
+  switch (m) {
+    case ExecutionModel::kJitFused:
+      return "jit-fused";
+    case ExecutionModel::kVectorAtATime:
+      return "vector-at-a-time";
+    case ExecutionModel::kOperatorAtATime:
+      return "operator-at-a-time";
+  }
+  return "?";
+}
+
+ExecutionPolicy ExecutionPolicy::ForConfig(const sim::Topology& topo,
+                                           EngineConfig config) {
+  ExecutionPolicy p;
+  const std::vector<int> cpus = topo.CpuDeviceIds();
+  const std::vector<int> gpus = topo.GpuDeviceIds();
+  p.build_devices = cpus;
+  switch (config) {
+    case EngineConfig::kDbmsC:
+      p.devices = cpus;
+      p.model = ExecutionModel::kVectorAtATime;
+      break;
+    case EngineConfig::kProteusCpu:
+      p.devices = cpus;
+      break;
+    case EngineConfig::kProteusHybrid:
+      p.devices = cpus;
+      p.devices.insert(p.devices.end(), gpus.begin(), gpus.end());
+      break;
+    case EngineConfig::kProteusGpu:
+      p.devices = gpus;
+      break;
+    case EngineConfig::kDbmsG:
+      p.devices = gpus;
+      p.model = ExecutionModel::kOperatorAtATime;
+      break;
+  }
+  return p;
+}
+
+Status ExecutionPolicy::Validate(const sim::Topology& topo) const {
+  if (devices.empty()) {
+    return Status::InvalidArgument("execution policy has no devices");
+  }
+  const int n = static_cast<int>(topo.devices().size());
+  for (int d : devices) {
+    if (d < 0 || d >= n) {
+      return Status::InvalidArgument("unknown device id " +
+                                     std::to_string(d));
+    }
+  }
+  for (int d : build_devices) {
+    if (d < 0 || d >= n) {
+      return Status::InvalidArgument("unknown build device id " +
+                                     std::to_string(d));
+    }
+    if (topo.device(d).type != sim::DeviceType::kCpu) {
+      return Status::InvalidArgument(
+          "build device " + std::to_string(d) +
+          " is not a CPU (build sides are host-resident)");
+    }
+  }
+  return Status::OK();
+}
+
+bool ExecutionPolicy::UsesGpu(const sim::Topology& topo) const {
+  for (int d : devices) {
+    if (topo.device(d).type == sim::DeviceType::kGpu) return true;
+  }
+  return false;
+}
+
+bool ExecutionPolicy::UsesCpu(const sim::Topology& topo) const {
+  for (int d : devices) {
+    if (topo.device(d).type == sim::DeviceType::kCpu) return true;
+  }
+  return false;
+}
+
+}  // namespace hape::engine

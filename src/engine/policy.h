@@ -1,0 +1,78 @@
+#ifndef HAPE_ENGINE_POLICY_H_
+#define HAPE_ENGINE_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/pipeline.h"
+#include "sim/topology.h"
+
+namespace hape::engine {
+
+/// The five system configurations of Fig. 8. Lives in the engine so that a
+/// configuration maps to one declarative ExecutionPolicy instead of being
+/// re-interpreted by every query (the paper's argument: heterogeneity
+/// decisions belong inside the engine, not in the plans).
+enum class EngineConfig {
+  kDbmsC,          // vectorized CPU commercial baseline
+  kProteusCpu,     // our engine, both CPU sockets
+  kProteusHybrid,  // our engine, all CPUs + all GPUs
+  kProteusGpu,     // our engine, both GPUs
+  kDbmsG,          // operator-at-a-time GPU commercial baseline
+};
+
+const char* ConfigName(EngineConfig c);
+
+/// Stage-boundary execution model (§2.2): how much of the pipeline stays in
+/// registers between operators.
+enum class ExecutionModel {
+  kJitFused,         // generated code, intermediates stay in registers
+  kVectorAtATime,    // DBMS C: cache-resident vector per stage boundary
+  kOperatorAtATime,  // DBMS G: full materialization in device memory
+};
+
+const char* ExecutionModelName(ExecutionModel m);
+
+/// Declarative description of *where and how* a QueryPlan executes. Derived
+/// once (usually via ForConfig) and passed to Engine::Run; queries never
+/// switch on the configuration themselves.
+struct ExecutionPolicy {
+  /// Devices that execute scan/probe pipelines (the router fans packets out
+  /// over all of their workers).
+  std::vector<int> devices;
+  /// Devices that execute pipeline-breaker build pipelines. Build sides are
+  /// host-resident and control-flow heavy, so these are the CPU sockets in
+  /// every shipped configuration.
+  std::vector<int> build_devices;
+  RoutingPolicy routing = RoutingPolicy::kLoadAware;
+  ExecutionModel model = ExecutionModel::kJitFused;
+  /// Fig. 9 switch: execute heavy GPU-side joins as the hardware-conscious
+  /// partitioned (radix) join instead of the non-partitioned one.
+  bool partitioned_gpu_join = true;
+  /// Device memory reserved for code and packet buffers when deciding
+  /// whether broadcast hash tables fit a GPU.
+  uint64_t device_reserved_bytes = 256 * sim::kMiB;
+  /// Building a device-resident table needs the table plus staged build
+  /// input: capacity checks multiply table bytes by this factor.
+  double build_staging_factor = 2.0;
+  /// Interconnect amplification charged to pipelines probing heavy build
+  /// sides that were hash-partitioned across GPUs instead of co-partitioned
+  /// (§6.4: every probe packet shuffles between devices at each such join).
+  double shuffle_wire_amplification = 2.0;
+
+  /// The policy of one Fig. 8 configuration on `topo`.
+  static ExecutionPolicy ForConfig(const sim::Topology& topo,
+                                   EngineConfig config);
+
+  /// Checks device ids against `topo` (unknown ids, empty device set,
+  /// non-CPU build devices).
+  Status Validate(const sim::Topology& topo) const;
+
+  bool UsesGpu(const sim::Topology& topo) const;
+  bool UsesCpu(const sim::Topology& topo) const;
+};
+
+}  // namespace hape::engine
+
+#endif  // HAPE_ENGINE_POLICY_H_

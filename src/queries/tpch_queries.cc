@@ -4,25 +4,21 @@
 #include <unordered_map>
 
 #include "common/logging.h"
-#include "engine/sinks.h"
-#include "engine/stages.h"
-#include "memory/batch.h"
-#include "ops/join_kernels.h"
+#include "ops/hash_table.h"
 #include "storage/tpch.h"
 
 namespace hape::queries {
 
 using engine::AggDef;
+using engine::AggHandle;
 using engine::AggOp;
-using engine::BuildSink;
-using engine::CollectSink;
-using engine::Executor;
-using engine::HashAggSink;
-using engine::JoinState;
-using engine::JoinStatePtr;
-using engine::Pipeline;
+using engine::BuildOptions;
+using engine::Engine;
+using engine::ExecutionPolicy;
+using engine::PipelineBuilder;
+using engine::PlanBuilder;
+using engine::QueryPlan;
 using expr::Expr;
-using expr::ExprPtr;
 using storage::TablePtr;
 
 namespace {
@@ -33,152 +29,49 @@ constexpr int32_t kY1995Lo = storage::tpch::Date(1995, 1, 1);
 /// Composite-key multiplier for (partkey, suppkey); larger than any suppkey.
 constexpr int64_t kPsKeyMul = 100000000;
 
-struct RunEnv {
-  std::vector<int> devices;
-  bool vector_at_a_time = false;
-  bool operator_at_a_time = false;
-  bool uses_gpu = false;
-  bool uses_cpu = false;
-};
-
-RunEnv EnvFor(const TpchContext& ctx, EngineConfig config) {
-  RunEnv env;
-  const auto cpus = ctx.topo->CpuDeviceIds();
-  const auto gpus = ctx.topo->GpuDeviceIds();
-  switch (config) {
-    case EngineConfig::kDbmsC:
-      env.devices = cpus;
-      env.vector_at_a_time = true;
-      env.uses_cpu = true;
-      break;
-    case EngineConfig::kProteusCpu:
-      env.devices = cpus;
-      env.uses_cpu = true;
-      break;
-    case EngineConfig::kProteusHybrid:
-      env.devices = cpus;
-      env.devices.insert(env.devices.end(), gpus.begin(), gpus.end());
-      env.uses_cpu = true;
-      env.uses_gpu = true;
-      break;
-    case EngineConfig::kProteusGpu:
-      env.devices = gpus;
-      env.uses_gpu = true;
-      break;
-    case EngineConfig::kDbmsG:
-      env.devices = gpus;
-      env.operator_at_a_time = true;
-      env.uses_gpu = true;
-      break;
-  }
-  return env;
-}
-
-/// Scan pipeline over `cols` of `table`, chunked into packets.
-Pipeline MakeScan(const TpchContext& ctx, const TablePtr& table,
-                  const std::vector<std::string>& cols, const RunEnv& env) {
-  std::vector<storage::ColumnPtr> selected;
-  selected.reserve(cols.size());
-  for (const auto& name : cols) selected.push_back(table->column(name));
-  // Packets hold `nominal_packet_rows` paper-scale tuples, i.e. that many
-  // divided by the sampling ratio in actual rows.
+/// Scan pipeline over `cols` of `table`: packets hold `nominal_packet_rows`
+/// paper-scale tuples, i.e. that many divided by the sampling ratio in
+/// actual rows.
+PipelineBuilder TpchScan(PlanBuilder* b, const TpchContext& ctx,
+                         const TablePtr& table,
+                         const std::vector<std::string>& cols) {
   const size_t chunk_actual = std::max<size_t>(
       256, static_cast<size_t>(ctx.nominal_packet_rows / ctx.scale()));
-  Pipeline p;
-  p.name = table->name();
-  p.inputs = memory::ChunkColumns(selected, table->num_rows(), chunk_actual,
-                                  table->home_node());
-  p.scale = ctx.scale();
-  p.vector_at_a_time = env.vector_at_a_time;
-  p.operator_at_a_time = env.operator_at_a_time;
-  p.stages.push_back(engine::ScanStage());
-  return p;
+  auto pipe = b->Scan(table, cols, chunk_actual);
+  pipe.Scale(ctx.scale());
+  return pipe;
 }
 
 uint64_t NominalRows(const TpchContext& ctx, const TablePtr& t) {
   return static_cast<uint64_t>(t->num_rows() * ctx.scale());
 }
 
-/// Build a JoinState by running a build pipeline on the CPU sockets (all
-/// build sides are CPU-resident; GPU plans broadcast the finished table).
-/// Returns the build pipeline's finish time.
-struct BuildOut {
-  JoinStatePtr state;
-  sim::SimTime finish = 0;
-};
-
-BuildOut BuildHashTable(Executor* ex, const TpchContext& ctx,
-                        const RunEnv& env, const TablePtr& table,
-                        const std::vector<std::string>& cols,
-                        ExprPtr filter, ExprPtr key,
-                        std::vector<int> payload_cols, sim::SimTime start,
-                        double build_selectivity = 1.0) {
-  BuildOut out;
-  Pipeline p = MakeScan(ctx, table, cols, env);
-  if (filter != nullptr) p.stages.push_back(engine::FilterStage(filter));
-  out.state = std::make_shared<JoinState>(
-      static_cast<size_t>(table->num_rows() * build_selectivity) + 16);
-  BuildSink sink(out.state, key, std::move(payload_cols));
-  p.sink = &sink;
-  // Builds run on the CPU sockets: the build sides live in host memory and
-  // shared-table construction is a CPU-friendly control-flow-heavy task.
-  engine::ExecStats st = ex->Run(&p, ctx.topo->CpuDeviceIds(), start);
-  out.state->nominal_rows =
-      static_cast<uint64_t>(out.state->payload.rows * ctx.scale());
-  out.state->location_node = 0;
-  out.finish = st.finish;
-  return out;
+/// Planner estimate of a hash table built over `rows` nominal tuples with
+/// one 8-byte payload column (the shape of every build in these plans).
+uint64_t HashTableBytes(uint64_t rows) {
+  return ops::ChainedHashTable::NominalBytes(rows, 8);
 }
 
-/// GPU residency check + broadcast for the probe-side hash tables of a
-/// GPU/hybrid plan. Building a device-resident table needs the table plus
-/// staged build input (2x), reserving 256 MiB for code and packet buffers.
-Status PlaceTablesOnGpus(Executor* ex, const TpchContext& ctx,
-                         const std::vector<JoinStatePtr>& states,
-                         sim::SimTime* start) {
-  uint64_t total = 0;
-  for (const auto& s : states) total += s->NominalBytes();
-  const auto gpu_ids = ctx.topo->GpuDeviceIds();
-  for (int g : gpu_ids) {
-    const auto& node = ctx.topo->mem_node(ctx.topo->device(g).mem_node);
-    const uint64_t budget = node.capacity() - 256 * sim::kMiB;
-    if (2 * total > budget) {
-      return Status::OutOfMemory(
-          "hash tables (" + std::to_string(total >> 20) +
-          " MiB, 2x with build staging) exceed GPU memory budget " +
-          std::to_string(budget >> 20) + " MiB");
-    }
-  }
-  std::vector<int> nodes;
-  for (int g : gpu_ids) nodes.push_back(ctx.topo->device(g).mem_node);
-  *start = ex->Broadcast(total, /*from_node=*/0, nodes, *start);
-  return Status::OK();
-}
-
-QueryResult FinishAgg(const engine::ExecStats& st, const HashAggSink& sink) {
+/// Execute the finished plan through the Engine facade under the
+/// configuration's policy and package the result.
+QueryResult RunPlan(TpchContext* ctx, EngineConfig config, QueryPlan plan,
+                    const AggHandle& agg) {
   QueryResult r;
-  r.seconds = st.finish;
-  r.groups = sink.result();
+  ExecutionPolicy policy = ExecutionPolicy::ForConfig(*ctx->topo, config);
+  policy.partitioned_gpu_join = ctx->partitioned_gpu_join;
+  Engine eng(ctx->topo);
+  auto run = eng.Run(&plan, policy);
+  if (!run.ok()) {
+    r.status = run.status();
+    return r;
+  }
+  r.exec = std::move(run.value());
+  r.seconds = r.exec.finish;
+  r.groups = agg.result();
   return r;
 }
 
 }  // namespace
-
-const char* ConfigName(EngineConfig c) {
-  switch (c) {
-    case EngineConfig::kDbmsC:
-      return "DBMS C";
-    case EngineConfig::kProteusCpu:
-      return "Proteus CPUs";
-    case EngineConfig::kProteusHybrid:
-      return "Proteus Hybrid";
-    case EngineConfig::kProteusGpu:
-      return "Proteus GPUs";
-    case EngineConfig::kDbmsG:
-      return "DBMS G";
-  }
-  return "?";
-}
 
 Status PrepareTpch(TpchContext* ctx, uint64_t seed) {
   storage::tpch::TpchGenerator gen(ctx->sf_actual, seed, /*home_node=*/0);
@@ -189,41 +82,26 @@ Status PrepareTpch(TpchContext* ctx, uint64_t seed) {
 
 QueryResult RunQ1(TpchContext* ctx, EngineConfig config) {
   QueryResult r;
-  const RunEnv env = EnvFor(*ctx, config);
   auto lineitem = ctx->catalog.Get("lineitem");
   if (!lineitem.ok()) {
     r.status = lineitem.status();
     return r;
   }
 
-  if (config == EngineConfig::kDbmsG) {
-    // Q1's selection keeps ~98% of lineitem: operator-at-a-time execution
-    // must materialize a ~26 GB intermediate in device memory. DNF.
-    const uint64_t inter =
-        static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.98) *
-        44;
-    r.status = Status::NotSupported(
-        "operator-at-a-time intermediate of " +
-        std::to_string(inter >> 30) + " GiB exceeds GPU memory");
-    return r;
-  }
-
-  Executor ex(ctx->topo);
+  PlanBuilder b("q1");
   // Columns: 0 flag, 1 status, 2 qty, 3 extprice, 4 discount, 5 tax,
   // 6 shipdate.
-  Pipeline p = MakeScan(*ctx, lineitem.value(),
-                        {"l_returnflag", "l_linestatus", "l_quantity",
-                         "l_extendedprice", "l_discount", "l_tax",
-                         "l_shipdate"},
-                        env);
-  p.name = "q1";
-  p.stages.push_back(
-      engine::FilterStage(Expr::Le(Expr::Col(6), Expr::Int(kQ1Cutoff))));
+  auto pipe = TpchScan(&b, *ctx, lineitem.value(),
+                       {"l_returnflag", "l_linestatus", "l_quantity",
+                        "l_extendedprice", "l_discount", "l_tax",
+                        "l_shipdate"});
+  pipe.Named("q1");
+  pipe.Filter(Expr::Le(Expr::Col(6), Expr::Int(kQ1Cutoff)));
   auto disc_price = Expr::Mul(Expr::Col(3),
                               Expr::Sub(Expr::Double(1.0), Expr::Col(4)));
   auto charge = Expr::Mul(disc_price,
                           Expr::Add(Expr::Double(1.0), Expr::Col(5)));
-  HashAggSink sink(
+  AggHandle agg = pipe.Aggregate(
       Expr::Add(Expr::Mul(Expr::Col(0), Expr::Int(2)), Expr::Col(1)),
       {AggDef{AggOp::kSum, Expr::Col(2)},      // sum_qty
        AggDef{AggOp::kSum, Expr::Col(3)},      // sum_base_price
@@ -231,237 +109,186 @@ QueryResult RunQ1(TpchContext* ctx, EngineConfig config) {
        AggDef{AggOp::kSum, charge},            // sum_charge
        AggDef{AggOp::kSum, Expr::Col(4)},      // sum_discount (for avg)
        AggDef{AggOp::kCount, nullptr}});       // count(*)
-  p.sink = &sink;
-  engine::ExecStats st = ex.Run(&p, env.devices);
-  return FinishAgg(st, sink);
+  // Q1's selection keeps ~98% of lineitem at ~44 B/tuple: an
+  // operator-at-a-time execution must materialize a ~26 GB intermediate in
+  // device memory — Fig. 8's DBMS G DNF.
+  b.DeclareMaterializedIntermediate(
+      static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.98) * 44,
+      "Q1 selection output");
+  return RunPlan(ctx, config, std::move(b).Build(), agg);
 }
 
 // ---- Q6: selective scan + single aggregate ----------------------------------
 
 QueryResult RunQ6(TpchContext* ctx, EngineConfig config) {
   QueryResult r;
-  const RunEnv env = EnvFor(*ctx, config);
   auto lineitem = ctx->catalog.Get("lineitem");
   if (!lineitem.ok()) {
     r.status = lineitem.status();
     return r;
   }
-  Executor ex(ctx->topo);
+
+  PlanBuilder b("q6");
   // Columns: 0 shipdate, 1 discount, 2 quantity, 3 extendedprice.
-  Pipeline p = MakeScan(*ctx, lineitem.value(),
-                        {"l_shipdate", "l_discount", "l_quantity",
-                         "l_extendedprice"},
-                        env);
-  p.name = "q6";
+  auto pipe = TpchScan(&b, *ctx, lineitem.value(),
+                       {"l_shipdate", "l_discount", "l_quantity",
+                        "l_extendedprice"});
+  pipe.Named("q6");
   auto pred = Expr::And(
       Expr::And(Expr::Ge(Expr::Col(0), Expr::Int(kY1994Lo)),
                 Expr::Lt(Expr::Col(0), Expr::Int(kY1995Lo))),
       Expr::And(Expr::Between(Expr::Col(1), Expr::Double(0.0499),
                               Expr::Double(0.0701)),
                 Expr::Lt(Expr::Col(2), Expr::Double(24.0))));
-  p.stages.push_back(engine::FilterStage(pred));
-  HashAggSink sink(nullptr, {AggDef{AggOp::kSum,
-                                    Expr::Mul(Expr::Col(3), Expr::Col(1))}});
-  p.sink = &sink;
-  engine::ExecStats st = ex.Run(&p, env.devices);
-  return FinishAgg(st, sink);
+  pipe.Filter(pred);
+  AggHandle agg = pipe.Aggregate(
+      nullptr, {AggDef{AggOp::kSum, Expr::Mul(Expr::Col(3), Expr::Col(1))}});
+  // Q6's selection keeps ~2% of lineitem — the one intermediate DBMS G can
+  // hold, which is why it finishes only this query.
+  b.DeclareMaterializedIntermediate(
+      static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.02) * 32,
+      "Q6 selection output");
+  return RunPlan(ctx, config, std::move(b).Build(), agg);
 }
 
 // ---- Q5: join-heavy, group by nation ----------------------------------------
 
 QueryResult RunQ5(TpchContext* ctx, EngineConfig config) {
   QueryResult r;
-  const RunEnv env = EnvFor(*ctx, config);
   auto lineitem = ctx->catalog.Get("lineitem");
   auto orders = ctx->catalog.Get("orders");
   auto customer = ctx->catalog.Get("customer");
   auto supplier = ctx->catalog.Get("supplier");
   auto nation = ctx->catalog.Get("nation");
-  if (!lineitem.ok()) {
-    r.status = lineitem.status();
-    return r;
-  }
-
-  if (config == EngineConfig::kDbmsG) {
-    r.status = Status::NotSupported(
-        "snowflake join DAG with CPU-resident inputs: operator-at-a-time "
-        "join intermediates (~9 GiB of materialized matches) exceed GPU "
-        "memory");
-    return r;
-  }
-
-  Executor ex(ctx->topo);
-  sim::SimTime t = 0;
-
-  // Build side 1: nations of region ASIA (regionkey dictionary-folded).
-  BuildOut asia = BuildHashTable(
-      &ex, *ctx, env, nation.value(),
-      {"n_nationkey", "n_regionkey", "n_name"},
-      Expr::Eq(Expr::Col(1), Expr::Int(storage::tpch::kRegionAsia)),
-      Expr::Col(0), {2}, t, 0.3);
-  // Build side 2: customer (custkey -> nationkey).
-  BuildOut cust = BuildHashTable(&ex, *ctx, env, customer.value(),
-                                 {"c_custkey", "c_nationkey"}, nullptr,
-                                 Expr::Col(0), {1}, t);
-  // Build side 3: orders restricted to 1994 (orderkey -> custkey).
-  BuildOut ords = BuildHashTable(
-      &ex, *ctx, env, orders.value(),
-      {"o_orderkey", "o_custkey", "o_orderdate"},
-      Expr::And(Expr::Ge(Expr::Col(2), Expr::Int(kY1994Lo)),
-                Expr::Lt(Expr::Col(2), Expr::Int(kY1995Lo))),
-      Expr::Col(0), {1}, t, 0.2);
-  // Build side 4: supplier (suppkey -> nationkey).
-  BuildOut supp = BuildHashTable(&ex, *ctx, env, supplier.value(),
-                                 {"s_suppkey", "s_nationkey"}, nullptr,
-                                 Expr::Col(0), {1}, t);
-  t = std::max({asia.finish, cust.finish, ords.finish, supp.finish});
-
-  const bool hw_conscious = ctx->partitioned_gpu_join;
-  ords.state->hardware_conscious = hw_conscious;
-  cust.state->hardware_conscious = hw_conscious;
-
-  if (env.uses_gpu) {
-    Status st = PlaceTablesOnGpus(
-        &ex, *ctx, {asia.state, cust.state, ords.state, supp.state}, &t);
-    if (!st.ok()) {
-      r.status = st;
+  for (const auto* t : {&lineitem, &orders, &customer, &supplier, &nation}) {
+    if (!t->ok()) {
+      r.status = t->status();
       return r;
     }
   }
 
+  PlanBuilder b("q5");
+
+  // Build side 1: nations of region ASIA (regionkey dictionary-folded).
+  auto asia =
+      TpchScan(&b, *ctx, nation.value(),
+               {"n_nationkey", "n_regionkey", "n_name"})
+          .Filter(Expr::Eq(Expr::Col(1),
+                           Expr::Int(storage::tpch::kRegionAsia)))
+          .HashBuild(Expr::Col(0), {2},
+                     BuildOptions{/*expected_selectivity=*/0.3,
+                                  /*heavy=*/false});
+  // Build side 2: customer (custkey -> nationkey). Heavy: ~15M build tuples
+  // at SF 100.
+  auto cust = TpchScan(&b, *ctx, customer.value(),
+                       {"c_custkey", "c_nationkey"})
+                  .HashBuild(Expr::Col(0), {1},
+                             BuildOptions{/*expected_selectivity=*/1.0,
+                                          /*heavy=*/true});
+  // Build side 3: orders restricted to 1994 (orderkey -> custkey). Heavy.
+  auto ords =
+      TpchScan(&b, *ctx, orders.value(),
+               {"o_orderkey", "o_custkey", "o_orderdate"})
+          .Filter(Expr::And(Expr::Ge(Expr::Col(2), Expr::Int(kY1994Lo)),
+                            Expr::Lt(Expr::Col(2), Expr::Int(kY1995Lo))))
+          .HashBuild(Expr::Col(0), {1},
+                     BuildOptions{/*expected_selectivity=*/0.2,
+                                  /*heavy=*/true});
+  // Build side 4: supplier (suppkey -> nationkey).
+  auto supp = TpchScan(&b, *ctx, supplier.value(),
+                       {"s_suppkey", "s_nationkey"})
+                  .HashBuild(Expr::Col(0), {1});
+
   // Probe pipeline over lineitem.
   // Columns: 0 l_orderkey, 1 l_suppkey, 2 l_extendedprice, 3 l_discount.
-  Pipeline p = MakeScan(*ctx, lineitem.value(),
+  auto probe = TpchScan(&b, *ctx, lineitem.value(),
                         {"l_orderkey", "l_suppkey", "l_extendedprice",
-                         "l_discount"},
-                        env);
-  p.name = "q5-probe";
-  if (env.uses_gpu && !hw_conscious) {
-    // Non-partitioned plan: the big build sides are hash-partitioned across
-    // the GPUs, so every probe packet is shuffled between devices at the
-    // heavy joins — roughly doubling its interconnect traffic. The
-    // partitioned plan co-partitions once on the CPU side instead (§5).
-    p.wire_amplification = 2.0;
-  }
-  p.stages.push_back(engine::ProbeStage(ords.state, Expr::Col(0)));  // +4 o_custkey
-  p.stages.push_back(engine::ProbeStage(cust.state, Expr::Col(4)));  // +5 c_nationkey
-  p.stages.push_back(engine::ProbeStage(supp.state, Expr::Col(1)));  // +6 s_nationkey
-  p.stages.push_back(
-      engine::FilterStage(Expr::Eq(Expr::Col(5), Expr::Col(6))));
-  p.stages.push_back(engine::ProbeStage(asia.state, Expr::Col(6)));  // +7 n_name
-  HashAggSink sink(Expr::Col(7),
-                   {AggDef{AggOp::kSum,
-                           Expr::Mul(Expr::Col(2),
-                                     Expr::Sub(Expr::Double(1.0),
-                                               Expr::Col(3)))}});
-  p.sink = &sink;
-  engine::ExecStats st = ex.Run(&p, env.devices, t);
-  return FinishAgg(st, sink);
+                         "l_discount"});
+  probe.Named("q5-probe")
+      .Probe(ords, Expr::Col(0))   // +4 o_custkey
+      .Probe(cust, Expr::Col(4))   // +5 c_nationkey
+      .Probe(supp, Expr::Col(1))   // +6 s_nationkey
+      .Filter(Expr::Eq(Expr::Col(5), Expr::Col(6)))
+      .Probe(asia, Expr::Col(6));  // +7 n_name
+  AggHandle agg = probe.Aggregate(
+      Expr::Col(7),
+      {AggDef{AggOp::kSum,
+              Expr::Mul(Expr::Col(2),
+                        Expr::Sub(Expr::Double(1.0), Expr::Col(3)))}});
+  // Snowflake join DAG with CPU-resident inputs: operator-at-a-time
+  // execution materializes every join's matches (~9 GiB) in device memory.
+  b.DeclareMaterializedIntermediate(
+      static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.2) * 80,
+      "materialized join matches");
+  return RunPlan(ctx, config, std::move(b).Build(), agg);
 }
 
 // ---- Q9*: join-heavy with an out-of-GPU build side --------------------------
 
 QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
   QueryResult r;
-  const RunEnv env = EnvFor(*ctx, config);
   auto lineitem = ctx->catalog.Get("lineitem");
   auto orders = ctx->catalog.Get("orders");
   auto supplier = ctx->catalog.Get("supplier");
   auto partsupp = ctx->catalog.Get("partsupp");
-  if (!lineitem.ok()) {
-    r.status = lineitem.status();
-    return r;
-  }
-
-  if (config == EngineConfig::kDbmsG) {
-    r.status = Status::NotSupported(
-        "build sides (full orders + partsupp) plus materialized "
-        "intermediates exceed GPU memory");
-    return r;
-  }
-
-  Executor ex(ctx->topo);
-  sim::SimTime t = 0;
-
-  // Build sides: the *unfiltered* orders table is the problem child —
-  // ~3.4 GiB of hash table at SF 100 (§6.4: Q9's intermediate results push
-  // hash-table requirements past GPU memory).
-  BuildOut ords = BuildHashTable(&ex, *ctx, env, orders.value(),
-                                 {"o_orderkey", "o_orderdate"}, nullptr,
-                                 Expr::Col(0), {1}, t);
-  BuildOut supp = BuildHashTable(&ex, *ctx, env, supplier.value(),
-                                 {"s_suppkey", "s_nationkey"}, nullptr,
-                                 Expr::Col(0), {1}, t);
-  BuildOut ps = BuildHashTable(
-      &ex, *ctx, env, partsupp.value(),
-      {"ps_partkey", "ps_suppkey", "ps_supplycost"}, nullptr,
-      Expr::Add(Expr::Mul(Expr::Col(0), Expr::Int(kPsKeyMul)),
-                Expr::Col(1)),
-      {2}, t);
-  t = std::max({ords.finish, supp.finish, ps.finish});
-
-  const bool hybrid = config == EngineConfig::kProteusHybrid;
-  if (env.uses_gpu && !hybrid) {
-    Status st =
-        PlaceTablesOnGpus(&ex, *ctx, {ords.state, supp.state, ps.state}, &t);
-    if (!st.ok()) {
-      r.status = st;  // GPU-only Q9 DNF, as in Fig. 8
+  for (const auto* t : {&lineitem, &orders, &supplier, &partsupp}) {
+    if (!t->ok()) {
+      r.status = t->status();
       return r;
     }
   }
-  if (hybrid) {
-    // Operator-level co-processing (§5): the oversized lineitem x orders
-    // join is co-partitioned on the CPU at low fanout so that each
-    // co-partition's table slice fits the GPUs; each co-partition then
-    // crosses PCIe once. Charge the CPU-side pass and the broadcast of the
-    // small tables; the per-co-partition slices ride with the packets.
-    const uint64_t copart_bytes =
-        static_cast<uint64_t>(NominalRows(*ctx, lineitem.value())) * 16 +
-        ords.state->NominalBytes();
-    sim::TrafficStats pass;
-    pass.dram_seq_read_bytes = copart_bytes;
-    pass.dram_seq_write_bytes = copart_bytes;
-    pass.write_coalescing = 0.9;
-    pass.tuple_ops = copart_bytes / 8;
-    const sim::CpuSpec server = ops::ServerCpuSpec(
-        ctx->topo->device(0).cpu,
-        static_cast<int>(ctx->topo->CpuDeviceIds().size()));
-    t += sim::MemoryModel::CpuTime(server, pass, server.cores);
-    std::vector<int> gnodes;
-    for (int g : ctx->topo->GpuDeviceIds()) {
-      gnodes.push_back(ctx->topo->device(g).mem_node);
-    }
-    t = ex.Broadcast(supp.state->NominalBytes() + ps.state->NominalBytes(),
-                     0, gnodes, t);
-    ords.state->hardware_conscious = true;
-    ps.state->hardware_conscious = true;
-  }
+
+  PlanBuilder b("q9");
+
+  // Build sides: the *unfiltered* orders table is the problem child —
+  // ~3.4 GiB of hash table at SF 100 (§6.4: Q9's intermediate results push
+  // hash-table requirements past GPU memory). The engine's placement step
+  // reacts: broadcast is impossible, so GPU-only DNFs and hybrid falls back
+  // to the §5 co-processing join.
+  auto ords = TpchScan(&b, *ctx, orders.value(),
+                       {"o_orderkey", "o_orderdate"})
+                  .HashBuild(Expr::Col(0), {1},
+                             BuildOptions{/*expected_selectivity=*/1.0,
+                                          /*heavy=*/true});
+  auto supp = TpchScan(&b, *ctx, supplier.value(),
+                       {"s_suppkey", "s_nationkey"})
+                  .HashBuild(Expr::Col(0), {1});
+  auto ps = TpchScan(&b, *ctx, partsupp.value(),
+                     {"ps_partkey", "ps_suppkey", "ps_supplycost"})
+                .HashBuild(Expr::Add(Expr::Mul(Expr::Col(0),
+                                               Expr::Int(kPsKeyMul)),
+                                     Expr::Col(1)),
+                           {2},
+                           BuildOptions{/*expected_selectivity=*/1.0,
+                                        /*heavy=*/true});
 
   // Probe pipeline over lineitem.
   // Columns: 0 l_orderkey, 1 l_partkey, 2 l_suppkey, 3 l_quantity,
   // 4 l_extendedprice, 5 l_discount.
-  Pipeline p = MakeScan(*ctx, lineitem.value(),
+  auto probe = TpchScan(&b, *ctx, lineitem.value(),
                         {"l_orderkey", "l_partkey", "l_suppkey",
-                         "l_quantity", "l_extendedprice", "l_discount"},
-                        env);
-  p.name = "q9-probe";
-  p.stages.push_back(engine::ProbeStage(ords.state, Expr::Col(0)));  // +6 o_orderdate
-  p.stages.push_back(engine::ProbeStage(supp.state, Expr::Col(2)));  // +7 s_nationkey
-  p.stages.push_back(engine::ProbeStage(
-      ps.state, Expr::Add(Expr::Mul(Expr::Col(1), Expr::Int(kPsKeyMul)),
-                          Expr::Col(2))));                           // +8 ps_supplycost
+                         "l_quantity", "l_extendedprice", "l_discount"});
+  probe.Named("q9-probe")
+      .Probe(ords, Expr::Col(0))   // +6 o_orderdate
+      .Probe(supp, Expr::Col(2))   // +7 s_nationkey
+      .Probe(ps, Expr::Add(Expr::Mul(Expr::Col(1), Expr::Int(kPsKeyMul)),
+                           Expr::Col(2)));  // +8 ps_supplycost
   // amount = extprice*(1-discount) - supplycost*quantity
   auto amount = Expr::Sub(
       Expr::Mul(Expr::Col(4), Expr::Sub(Expr::Double(1.0), Expr::Col(5))),
       Expr::Mul(Expr::Col(8), Expr::Col(3)));
   // group key = nationkey * 10000 + year(o_orderdate)
-  HashAggSink sink(
+  AggHandle agg = probe.Aggregate(
       Expr::Add(Expr::Mul(Expr::Col(7), Expr::Int(10000)),
                 Expr::Div(Expr::Col(6), Expr::Int(10000))),
       {AggDef{AggOp::kSum, amount}});
-  p.sink = &sink;
-  engine::ExecStats st = ex.Run(&p, env.devices, t);
-  return FinishAgg(st, sink);
+  // Build sides (full orders + partsupp) plus materialized join matches.
+  b.DeclareMaterializedIntermediate(
+      HashTableBytes(NominalRows(*ctx, orders.value())) +
+          HashTableBytes(NominalRows(*ctx, partsupp.value())) +
+          NominalRows(*ctx, lineitem.value()) * 16,
+      "build sides (full orders + partsupp) plus intermediates");
+  return RunPlan(ctx, config, std::move(b).Build(), agg);
 }
 
 // ---- trusted scalar references ----------------------------------------------

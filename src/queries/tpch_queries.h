@@ -6,28 +6,24 @@
 #include <vector>
 
 #include "common/status.h"
-#include "engine/executor.h"
+#include "engine/engine.h"
 #include "sim/topology.h"
 #include "storage/table.h"
 
 namespace hape::queries {
 
-/// The five system configurations of Fig. 8.
-enum class EngineConfig {
-  kDbmsC,          // vectorized CPU commercial baseline
-  kProteusCpu,     // our engine, both CPU sockets
-  kProteusHybrid,  // our engine, all CPUs + all GPUs
-  kProteusGpu,     // our engine, both GPUs
-  kDbmsG,          // operator-at-a-time GPU commercial baseline
-};
-
-const char* ConfigName(EngineConfig c);
+/// The five system configurations of Fig. 8 (defined by the engine; a
+/// configuration is just a named ExecutionPolicy).
+using engine::ConfigName;
+using engine::EngineConfig;
 
 struct QueryResult {
   Status status = Status::OK();       // NotSupported / OutOfMemory == DNF
   sim::SimTime seconds = 0;
   /// Canonical comparable result: group key -> aggregate values.
   std::map<int64_t, std::vector<double>> groups;
+  /// Per-pipeline execution record reported by the Engine facade.
+  engine::RunStats exec;
   bool DidNotFinish() const { return !status.ok(); }
 };
 
@@ -52,7 +48,9 @@ struct TpchContext {
 Status PrepareTpch(TpchContext* ctx, uint64_t seed = 42);
 
 /// Run TPC-H Q1 / Q5 / Q6 / Q9* under `config` (Q9* = the paper's variant:
-/// no LIKE predicate and no join to the filtered part table).
+/// no LIKE predicate and no join to the filtered part table). Each query
+/// declares a QueryPlan with PlanBuilder and executes it through the Engine
+/// facade under the configuration's ExecutionPolicy.
 QueryResult RunQ1(TpchContext* ctx, EngineConfig config);
 QueryResult RunQ5(TpchContext* ctx, EngineConfig config);
 QueryResult RunQ6(TpchContext* ctx, EngineConfig config);

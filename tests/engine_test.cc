@@ -222,13 +222,14 @@ TEST_F(ExecutorTest, RunsPipelineAndCounts) {
   Pipeline p;
   for (int i = 0; i < 8; ++i) p.inputs.push_back(MakeBatch({1, 2}, {1, 2}));
   p.stages.push_back(ScanStage());
-  CollectSink sink;
-  p.sink = &sink;
+  auto owned = std::make_unique<CollectSink>();
+  CollectSink* sink = owned.get();
+  p.sink = std::move(owned);  // pipelines own their sinks
   auto st = ex_.Run(&p, topo_.CpuDeviceIds());
   EXPECT_EQ(st.packets, 8u);
   EXPECT_EQ(st.rows_in, 16u);
   EXPECT_EQ(st.rows_out, 16u);
-  EXPECT_EQ(sink.total_rows(), 16u);
+  EXPECT_EQ(sink->total_rows(), 16u);
   EXPECT_GT(st.finish, 0.0);
 }
 

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/policy.h"
+#include "sim/topology.h"
+#include "storage/column.h"
+
+namespace hape::engine {
+namespace {
+
+using expr::Expr;
+
+std::vector<memory::Batch> MakeBatches(int packets, size_t rows_per_packet) {
+  std::vector<memory::Batch> out;
+  for (int p = 0; p < packets; ++p) {
+    memory::Batch b;
+    b.rows = rows_per_packet;
+    std::vector<int64_t> keys(rows_per_packet);
+    std::vector<double> vals(rows_per_packet);
+    for (size_t i = 0; i < rows_per_packet; ++i) {
+      keys[i] = static_cast<int64_t>(i % 10);
+      vals[i] = 1.0;
+    }
+    b.columns = {std::make_shared<storage::Column>(std::move(keys)),
+                 std::make_shared<storage::Column>(std::move(vals))};
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+// ---- builder round-trip ------------------------------------------------------
+
+TEST(PlanBuilder, RoundTripStructure) {
+  PlanBuilder b("round-trip");
+  auto pipe = b.Source("scan", MakeBatches(2, 64));
+  pipe.Filter(Expr::Gt(Expr::Col(0), Expr::Int(3)));
+  AggHandle agg = pipe.Aggregate(nullptr,
+                                 {AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+
+  EXPECT_EQ(plan.name(), "round-trip");
+  ASSERT_EQ(plan.num_pipelines(), 1u);
+  const PlanNode& node = plan.node(0);
+  EXPECT_EQ(node.pipeline.name, "scan");
+  EXPECT_EQ(node.pipeline.stages.size(), 2u);  // scan + filter
+  EXPECT_NE(node.pipeline.sink, nullptr);      // owned by the plan
+  EXPECT_TRUE(node.deps.empty());
+  EXPECT_EQ(agg.pipeline(), 0);
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(PlanBuilder, BuildProbeCreatesDependencyEdge) {
+  PlanBuilder b("join");
+  BuildHandle build =
+      b.Source("build-side", MakeBatches(1, 32)).HashBuild(Expr::Col(0), {1});
+  auto probe = b.Source("probe-side", MakeBatches(1, 32));
+  probe.Probe(build, Expr::Col(0));
+  probe.Aggregate(nullptr, {AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+
+  ASSERT_EQ(plan.num_pipelines(), 2u);
+  EXPECT_TRUE(plan.node(0).is_build);
+  ASSERT_EQ(plan.node(1).deps.size(), 1u);
+  EXPECT_EQ(plan.node(1).deps[0], 0);
+  EXPECT_EQ(plan.BuildNodeOf(build.state().get()), 0);
+  ASSERT_TRUE(plan.Validate().ok());
+
+  auto order = plan.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<int>{0, 1}));
+}
+
+// ---- validation --------------------------------------------------------------
+
+TEST(QueryPlan, ValidateRejectsMissingSink) {
+  PlanBuilder b("no-sink");
+  b.Source("scan", MakeBatches(1, 8));  // no terminal
+  QueryPlan plan = std::move(b).Build();
+  const Status st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("no sink"), std::string::npos);
+}
+
+TEST(QueryPlan, ValidateRejectsEmptyStageChain) {
+  PlanBuilder b("no-stages");
+  auto pipe = b.Source("intermediates", MakeBatches(1, 8),
+                       SourceOptions{1.0, /*charge_source_read=*/false});
+  pipe.Collect();
+  QueryPlan plan = std::move(b).Build();
+  const Status st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("empty stage chain"), std::string::npos);
+}
+
+TEST(QueryPlan, ValidateRejectsDependencyCycle) {
+  PlanBuilder b("cycle");
+  auto a = b.Source("a", MakeBatches(1, 8));
+  auto c = b.Source("c", MakeBatches(1, 8));
+  a.After(c.id()).Collect();
+  c.After(a.id()).Collect();
+  QueryPlan plan = std::move(b).Build();
+  const Status st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cycle"), std::string::npos);
+  EXPECT_FALSE(plan.TopologicalOrder().ok());
+}
+
+TEST(QueryPlan, ValidateRejectsUnknownDeviceId) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  PlanBuilder b("bad-device");
+  auto pipe = b.Source("scan", MakeBatches(1, 8));
+  pipe.OnDevices({42});
+  pipe.Collect();
+  QueryPlan plan = std::move(b).Build();
+  EXPECT_TRUE(plan.Validate().ok());  // structurally fine
+  const Status st = plan.Validate(&topo);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unknown device id 42"), std::string::npos);
+}
+
+TEST(QueryPlan, ValidateRejectsForeignJoinState) {
+  PlanBuilder other("other");
+  BuildHandle foreign =
+      other.Source("build", MakeBatches(1, 8)).HashBuild(Expr::Col(0), {1});
+  QueryPlan other_plan = std::move(other).Build();
+
+  PlanBuilder b("probing");
+  auto probe = b.Source("probe", MakeBatches(1, 8));
+  probe.Probe(foreign, Expr::Col(0));
+  probe.Collect();
+  QueryPlan plan = std::move(b).Build();
+  const Status st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not built by this plan"), std::string::npos);
+}
+
+// ---- policy ------------------------------------------------------------------
+
+TEST(ExecutionPolicy, ForConfigShapes) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  const auto cpus = topo.CpuDeviceIds();
+  const auto gpus = topo.GpuDeviceIds();
+
+  auto c = ExecutionPolicy::ForConfig(topo, EngineConfig::kDbmsC);
+  EXPECT_EQ(c.devices, cpus);
+  EXPECT_EQ(c.model, ExecutionModel::kVectorAtATime);
+
+  auto h = ExecutionPolicy::ForConfig(topo, EngineConfig::kProteusHybrid);
+  EXPECT_EQ(h.devices.size(), cpus.size() + gpus.size());
+  EXPECT_TRUE(h.UsesCpu(topo));
+  EXPECT_TRUE(h.UsesGpu(topo));
+  EXPECT_EQ(h.model, ExecutionModel::kJitFused);
+
+  auto g = ExecutionPolicy::ForConfig(topo, EngineConfig::kDbmsG);
+  EXPECT_EQ(g.devices, gpus);
+  EXPECT_EQ(g.model, ExecutionModel::kOperatorAtATime);
+  EXPECT_FALSE(g.UsesCpu(topo));
+  EXPECT_EQ(g.build_devices, cpus);  // builds stay host-side
+  EXPECT_TRUE(g.Validate(topo).ok());
+}
+
+TEST(ExecutionPolicy, ValidateRejectsBadDeviceSets) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  ExecutionPolicy p;
+  EXPECT_FALSE(p.Validate(topo).ok());  // no devices
+  p.devices = {99};
+  EXPECT_FALSE(p.Validate(topo).ok());  // unknown id
+  p.devices = topo.CpuDeviceIds();
+  p.build_devices = topo.GpuDeviceIds();
+  EXPECT_FALSE(p.Validate(topo).ok());  // GPU build devices
+}
+
+// ---- engine facade -----------------------------------------------------------
+
+class EngineFacadeTest : public ::testing::Test {
+ protected:
+  EngineFacadeTest() : topo_(sim::Topology::PaperServer()), eng_(&topo_) {}
+  sim::Topology topo_;
+  Engine eng_;
+};
+
+TEST_F(EngineFacadeTest, RunsAggPlanAndReportsPerPipelineStats) {
+  PlanBuilder b("mini-agg");
+  auto pipe = b.Source("scan", MakeBatches(4, 100));
+  AggHandle agg = pipe.Aggregate(Expr::Col(0),
+                                 {AggDef{AggOp::kSum, Expr::Col(1)},
+                                  AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+
+  ExecutionPolicy policy;
+  policy.devices = topo_.CpuDeviceIds();
+  auto run = eng_.Run(&plan, policy);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run.value().finish, 0.0);
+  ASSERT_EQ(run.value().pipelines.size(), 1u);
+  EXPECT_EQ(run.value().pipelines[0].name, "scan");
+  EXPECT_EQ(run.value().pipelines[0].stats.rows_in, 400u);
+  // 4 packets x 100 rows, keys 0..9: each group sums 10 per packet.
+  ASSERT_EQ(agg.result().size(), 10u);
+  EXPECT_DOUBLE_EQ(agg.result().at(0)[0], 40.0);
+  EXPECT_DOUBLE_EQ(agg.result().at(0)[1], 40.0);
+}
+
+TEST_F(EngineFacadeTest, ProbeStartsAfterBuildFinishes) {
+  PlanBuilder b("ordered");
+  BuildHandle build =
+      b.Source("build", MakeBatches(2, 200)).HashBuild(Expr::Col(0), {1});
+  auto probe = b.Source("probe", MakeBatches(2, 200));
+  probe.Probe(build, Expr::Col(0));
+  probe.Aggregate(nullptr, {AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+
+  ExecutionPolicy policy;
+  policy.devices = topo_.CpuDeviceIds();
+  policy.build_devices = topo_.CpuDeviceIds();
+  auto run = eng_.Run(&plan, policy);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run.value().pipelines.size(), 2u);
+  const ExecStats& bs = run.value().pipelines[0].stats;
+  const ExecStats& ps = run.value().pipelines[1].stats;
+  EXPECT_GE(ps.start, bs.finish);
+  EXPECT_GT(ps.rows_out, 0u);
+}
+
+TEST_F(EngineFacadeTest, GpuProbePlacementBroadcastsTables) {
+  PlanBuilder b("gpu-placed");
+  BuildHandle build =
+      b.Source("build", MakeBatches(1, 100)).HashBuild(Expr::Col(0), {1});
+  auto probe = b.Source("probe", MakeBatches(2, 100));
+  probe.Probe(build, Expr::Col(0));
+  probe.Aggregate(nullptr, {AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+
+  ExecutionPolicy policy;
+  policy.devices = topo_.GpuDeviceIds();
+  policy.build_devices = topo_.CpuDeviceIds();
+  auto run = eng_.Run(&plan, policy);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run.value().broadcast_bytes, 0u);
+  EXPECT_GT(run.value().placement_finish, 0.0);
+  EXPECT_FALSE(run.value().co_processed);
+  // The probe pipeline waits for the broadcast mem-move.
+  EXPECT_GE(run.value().pipelines[1].stats.start,
+            run.value().placement_finish);
+}
+
+TEST_F(EngineFacadeTest, MultiLevelJoinDagPlacesTablesPerLevel) {
+  // A build downstream of a probe: pipeline 1 probes A and builds B, which
+  // pipeline 2 probes. Placement must run one round per level instead of
+  // expecting every build to precede the first probe.
+  PlanBuilder b("two-level");
+  BuildHandle a =
+      b.Source("build-a", MakeBatches(1, 50)).HashBuild(Expr::Col(0), {1});
+  auto mid = b.Source("mid", MakeBatches(1, 50));
+  mid.Probe(a, Expr::Col(0));
+  BuildHandle bh = mid.HashBuild(Expr::Col(0), {1});
+  auto probe = b.Source("probe", MakeBatches(1, 50));
+  probe.Probe(bh, Expr::Col(0));
+  probe.Aggregate(nullptr, {AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+
+  ExecutionPolicy policy;
+  policy.devices = topo_.GpuDeviceIds();  // placement rounds required
+  policy.build_devices = topo_.CpuDeviceIds();
+  auto run = eng_.Run(&plan, policy);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run.value().pipelines.size(), 3u);
+  EXPECT_GT(run.value().pipelines[2].stats.rows_out, 0u);
+  EXPECT_GT(run.value().broadcast_bytes, 0u);
+}
+
+TEST_F(EngineFacadeTest, OperatorAtATimeAdmissionRejectsBigIntermediates) {
+  PlanBuilder b("too-big");
+  auto pipe = b.Source("scan", MakeBatches(1, 8));
+  pipe.Aggregate(nullptr, {AggDef{AggOp::kCount, nullptr}});
+  b.DeclareMaterializedIntermediate(64ull * sim::kGiB, "materialized scan");
+  QueryPlan plan = std::move(b).Build();
+
+  ExecutionPolicy policy;
+  policy.devices = topo_.GpuDeviceIds();
+  policy.model = ExecutionModel::kOperatorAtATime;
+  auto run = eng_.Run(&plan, policy);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(EngineFacadeTest, PlansAreSingleShot) {
+  PlanBuilder b("once");
+  auto pipe = b.Source("scan", MakeBatches(1, 8));
+  pipe.Aggregate(nullptr, {AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+
+  ExecutionPolicy policy;
+  policy.devices = topo_.CpuDeviceIds();
+  ASSERT_TRUE(eng_.Run(&plan, policy).ok());
+  const auto again = eng_.Run(&plan, policy);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineFacadeTest, RejectsPolicyWithoutDevices) {
+  PlanBuilder b("no-devices");
+  auto pipe = b.Source("scan", MakeBatches(1, 8));
+  pipe.Aggregate(nullptr, {AggDef{AggOp::kCount, nullptr}});
+  QueryPlan plan = std::move(b).Build();
+  ExecutionPolicy policy;  // empty device set
+  EXPECT_FALSE(eng_.Run(&plan, policy).ok());
+}
+
+}  // namespace
+}  // namespace hape::engine
