@@ -1,0 +1,136 @@
+#ifndef HAPE_COMMON_JSON_H_
+#define HAPE_COMMON_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hape {
+
+/// Minimal append-only JSON writer (no external deps). Produces compact,
+/// valid JSON; used by Engine::Explain and the machine-readable bench
+/// outputs. Keys and values must be emitted in the usual alternation —
+/// misuse trips a HAPE_CHECK rather than emitting broken documents.
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Comma();
+    out_ += '{';
+    stack_.push_back(kObject);
+    fresh_ = true;
+  }
+  void EndObject() {
+    HAPE_CHECK(!stack_.empty() && stack_.back() == kObject);
+    stack_.pop_back();
+    out_ += '}';
+    fresh_ = false;
+  }
+  void BeginArray() {
+    Comma();
+    out_ += '[';
+    stack_.push_back(kArray);
+    fresh_ = true;
+  }
+  void EndArray() {
+    HAPE_CHECK(!stack_.empty() && stack_.back() == kArray);
+    stack_.pop_back();
+    out_ += ']';
+    fresh_ = false;
+  }
+  void Key(std::string_view k) {
+    HAPE_CHECK(!stack_.empty() && stack_.back() == kObject);
+    Comma();
+    AppendString(k);
+    out_ += ':';
+    fresh_ = true;  // suppress the comma before the value
+  }
+  void String(std::string_view v) {
+    Comma();
+    AppendString(v);
+  }
+  void Int(int64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Uint(uint64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Double(double v) {
+    Comma();
+    if (!std::isfinite(v)) {  // JSON has no inf/nan
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  }
+  void Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+  void Null() {
+    Comma();
+    out_ += "null";
+  }
+
+  /// The finished document; all containers must be closed.
+  const std::string& str() const {
+    HAPE_CHECK(stack_.empty()) << "unclosed JSON container";
+    return out_;
+  }
+
+ private:
+  enum Container { kObject, kArray };
+
+  void Comma() {
+    if (!fresh_ && !stack_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+
+  void AppendString(std::string_view v) {
+    out_ += '"';
+    for (char c : v) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Container> stack_;
+  bool fresh_ = true;
+};
+
+}  // namespace hape
+
+#endif  // HAPE_COMMON_JSON_H_

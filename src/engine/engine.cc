@@ -181,6 +181,18 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
       std::to_string(min_budget >> 20) + " MiB");
 }
 
+Result<opt::OptimizeResult> Engine::Optimize(QueryPlan* plan,
+                                             const ExecutionPolicy& policy) {
+  return Optimize(plan, policy, policy.optimizer);
+}
+
+Result<opt::OptimizeResult> Engine::Optimize(
+    QueryPlan* plan, const ExecutionPolicy& policy,
+    const opt::OptimizerOptions& options) {
+  opt::Optimizer optimizer(topo_, options, &stats_cache_);
+  return optimizer.OptimizePlan(plan, policy);
+}
+
 Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
   if (plan->executed()) {
     return Status::InvalidArgument(

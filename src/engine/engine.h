@@ -9,6 +9,7 @@
 #include "engine/executor.h"
 #include "engine/plan.h"
 #include "engine/policy.h"
+#include "opt/optimizer.h"
 
 namespace hape::engine {
 
@@ -47,6 +48,24 @@ class Engine {
   /// are moved into the pipelines); a second Run on the same plan fails.
   Result<RunStats> Run(QueryPlan* plan, const ExecutionPolicy& policy);
 
+  /// Cost-based optimization pass over `plan` before it runs: collects
+  /// statistics from the plan's source tables, estimates cardinalities,
+  /// reorders join probes, sizes build hash tables, derives heavy-build
+  /// marks against the policy's device-memory budget, and (optionally)
+  /// pins per-pipeline device placements. Uses `policy.optimizer` knobs;
+  /// the second overload takes explicit options.
+  Result<opt::OptimizeResult> Optimize(QueryPlan* plan,
+                                       const ExecutionPolicy& policy);
+  Result<opt::OptimizeResult> Optimize(QueryPlan* plan,
+                                       const ExecutionPolicy& policy,
+                                       const opt::OptimizerOptions& options);
+
+  /// Serialize the (optimized) plan DAG to JSON: pipelines, dependency and
+  /// build/probe edges, chosen devices, and estimated vs declared
+  /// cardinalities — the repeatable-experiment manifest half of plan
+  /// serialization.
+  std::string Explain(const QueryPlan& plan) const;
+
   Executor& executor() { return executor_; }
   sim::Topology* topology() { return topo_; }
 
@@ -71,6 +90,9 @@ class Engine {
 
   sim::Topology* topo_;
   Executor executor_;
+  /// Table statistics cached across Optimize calls (tables are immutable;
+  /// entries re-collect if a table's scale or row count changes).
+  opt::StatsCatalog stats_cache_;
 };
 
 }  // namespace hape::engine

@@ -1,0 +1,136 @@
+#include "common/json.h"
+#include "engine/engine.h"
+#include "engine/sinks.h"
+
+namespace hape::engine {
+
+namespace {
+
+const char* OpKindName(LogicalOp::Kind k) {
+  switch (k) {
+    case LogicalOp::Kind::kFilter:
+      return "filter";
+    case LogicalOp::Kind::kProject:
+      return "project";
+    case LogicalOp::Kind::kProbe:
+      return "probe";
+  }
+  return "?";
+}
+
+const char* SinkKindName(const Sink* sink) {
+  if (sink == nullptr) return "none";
+  if (dynamic_cast<const BuildSink*>(sink) != nullptr) return "hash_build";
+  if (dynamic_cast<const HashAggSink*>(sink) != nullptr) return "hash_agg";
+  if (dynamic_cast<const CollectSink*>(sink) != nullptr) return "collect";
+  return "custom";
+}
+
+void IntArray(JsonWriter* w, const std::vector<int>& v) {
+  w->BeginArray();
+  for (int x : v) w->Int(x);
+  w->EndArray();
+}
+
+}  // namespace
+
+std::string Engine::Explain(const QueryPlan& plan) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("plan");
+  w.String(plan.name());
+  w.Key("num_pipelines");
+  w.Uint(plan.num_pipelines());
+  if (plan.declared_intermediate_bytes() > 0) {
+    w.Key("declared_intermediate_bytes");
+    w.Uint(plan.declared_intermediate_bytes());
+    w.Key("declared_intermediate_label");
+    w.String(plan.declared_intermediate_label());
+  }
+  w.Key("pipelines");
+  w.BeginArray();
+  for (size_t i = 0; i < plan.num_pipelines(); ++i) {
+    const PlanNode& n = plan.node(static_cast<int>(i));
+    w.BeginObject();
+    w.Key("id");
+    w.Uint(i);
+    w.Key("name");
+    w.String(n.pipeline.name);
+    if (n.source_table != nullptr) {
+      w.Key("source");
+      w.BeginObject();
+      w.Key("table");
+      w.String(n.source_table->name());
+      w.Key("columns");
+      w.BeginArray();
+      for (const auto& c : n.source_columns) w.String(c);
+      w.EndArray();
+      w.EndObject();
+    }
+    w.Key("deps");
+    IntArray(&w, n.deps);
+    w.Key("run_on");
+    IntArray(&w, n.run_on);
+    w.Key("build");
+    w.Bool(n.is_build);
+    if (n.is_build) {
+      w.Key("heavy");
+      w.Bool(n.heavy_build);
+      if (n.build_key != nullptr) {
+        w.Key("build_key");
+        w.String(n.build_key->ToString());
+      }
+      w.Key("ht_buckets");
+      w.Uint(n.built_state->ht.num_buckets());
+    }
+    w.Key("scale");
+    w.Double(n.pipeline.scale);
+    // Declared vs estimated cardinalities: what the plan said vs what the
+    // optimizer derived (estimates are zero until Engine::Optimize ran).
+    w.Key("declared");
+    w.BeginObject();
+    w.Key("source_rows");
+    w.Uint(n.source_rows);
+    if (n.declared_selectivity >= 0) {
+      w.Key("selectivity");
+      w.Double(n.declared_selectivity);
+    }
+    w.EndObject();
+    w.Key("estimated");
+    w.BeginObject();
+    w.Key("out_rows");
+    w.Uint(n.est_out_rows);
+    w.Key("nominal_out_rows");
+    w.Uint(n.est_nominal_out_rows);
+    w.Key("cost_seconds");
+    w.Double(n.est_cost_seconds);
+    w.EndObject();
+    w.Key("ops");
+    w.BeginArray();
+    for (const LogicalOp& op : n.ops) {
+      w.BeginObject();
+      w.Key("kind");
+      w.String(OpKindName(op.kind));
+      if (op.expr != nullptr) {
+        w.Key("expr");
+        w.String(op.expr->ToString());
+      }
+      if (op.kind == LogicalOp::Kind::kProbe) {
+        w.Key("build_pipeline");
+        w.Int(plan.BuildNodeOf(op.probe_state.get()));
+        w.Key("appended_cols");
+        w.Int(op.appended_cols);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("sink");
+    w.String(SinkKindName(n.pipeline.sink.get()));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace hape::engine

@@ -21,12 +21,20 @@ PipelineBuilder& PipelineBuilder::Scale(double scale) {
 }
 
 PipelineBuilder& PipelineBuilder::Filter(expr::ExprPtr pred) {
-  node().pipeline.stages.push_back(FilterStage(std::move(pred)));
+  node().pipeline.stages.push_back(FilterStage(pred));
+  LogicalOp op;
+  op.kind = LogicalOp::Kind::kFilter;
+  op.expr = std::move(pred);
+  node().ops.push_back(std::move(op));
   return *this;
 }
 
 PipelineBuilder& PipelineBuilder::Project(std::vector<expr::ExprPtr> exprs) {
-  node().pipeline.stages.push_back(ProjectStage(std::move(exprs)));
+  node().pipeline.stages.push_back(ProjectStage(exprs));
+  LogicalOp op;
+  op.kind = LogicalOp::Kind::kProject;
+  op.exprs = std::move(exprs);
+  node().ops.push_back(std::move(op));
   return *this;
 }
 
@@ -35,8 +43,23 @@ PipelineBuilder& PipelineBuilder::Probe(const BuildHandle& build,
   HAPE_CHECK(build.state() != nullptr)
       << "pipeline '" << node().pipeline.name
       << "' probes an empty build handle";
-  node().pipeline.stages.push_back(ProbeStage(build.state(), std::move(key)));
+  node().pipeline.stages.push_back(ProbeStage(build.state(), key));
   node().probed.push_back(build.state());
+  LogicalOp op;
+  op.kind = LogicalOp::Kind::kProbe;
+  op.expr = std::move(key);
+  op.probe_state = build.state();
+  // Foreign handles (pipeline id from another plan) are rejected later by
+  // QueryPlan::Validate; guard the metadata lookup here.
+  const bool own_handle =
+      build.pipeline() >= 0 &&
+      build.pipeline() < static_cast<int>(plan_->nodes_.size()) &&
+      plan_->nodes_[build.pipeline()].built_state == build.state();
+  op.appended_cols =
+      own_handle
+          ? static_cast<int>(plan_->nodes_[build.pipeline()].build_payload.size())
+          : 0;
+  node().ops.push_back(std::move(op));
   return After(build.pipeline());
 }
 
@@ -59,14 +82,20 @@ BuildHandle PipelineBuilder::HashBuild(expr::ExprPtr key,
   PlanNode& n = node();
   HAPE_CHECK(n.pipeline.sink == nullptr)
       << "pipeline '" << n.pipeline.name << "' already has a sink";
+  // Declared selectivity is an explicit override; without one the table is
+  // sized for the full source until Engine::Optimize re-buckets it from its
+  // cardinality estimate.
+  const double sizing_sel =
+      opts.expected_selectivity < 0 ? 1.0 : opts.expected_selectivity;
   auto state = std::make_shared<JoinState>(
-      static_cast<size_t>(n.source_rows * opts.expected_selectivity) + 16);
-  n.pipeline.sink =
-      std::make_unique<BuildSink>(state, std::move(key),
-                                  std::move(payload_cols));
+      static_cast<size_t>(n.source_rows * sizing_sel) + 16);
+  n.pipeline.sink = std::make_unique<BuildSink>(state, key, payload_cols);
   n.is_build = true;
   n.heavy_build = opts.heavy;
   n.built_state = state;
+  n.declared_selectivity = opts.expected_selectivity;
+  n.build_key = std::move(key);
+  n.build_payload = std::move(payload_cols);
   BuildHandle h;
   h.pipeline_ = node_;
   h.state_ = std::move(state);
@@ -111,6 +140,8 @@ PipelineBuilder PlanBuilder::Scan(const storage::TablePtr& table,
   node.pipeline.inputs = memory::ChunkColumns(
       selected, table->num_rows(), chunk_rows, table->home_node());
   node.source_rows = table->num_rows();
+  node.source_table = table;
+  node.source_columns = columns;
   node.pipeline.stages.push_back(ScanStage());
   nodes_.push_back(std::move(node));
   return PipelineBuilder(this, static_cast<int>(nodes_.size()) - 1);

@@ -23,12 +23,16 @@ class QueryPlan;
 
 /// Options of a HashBuild terminal.
 struct BuildOptions {
-  /// Expected build-side selectivity after the pipeline's filters; sizes the
-  /// hash table (a planner cardinality estimate, as generated code would).
-  double expected_selectivity = 1.0;
+  /// DEPRECATED: hand-declared build-side selectivity. Negative (the
+  /// default) means "derive from the optimizer's cardinality estimate"
+  /// (Engine::Optimize re-buckets the table; an unoptimized Run sizes it
+  /// for the full source). A non-negative value is an explicit override
+  /// that the optimizer respects.
+  double expected_selectivity = -1.0;
   /// Marks a big build side. Heavy builds drive the engine's placement
   /// decisions on GPUs: partitioned vs non-partitioned probing (Fig. 9) and
   /// the co-processing fallback when the table exceeds device memory (§5).
+  /// Engine::Optimize derives this mark automatically from its estimates.
   bool heavy = false;
 };
 
@@ -79,6 +83,23 @@ class CollectHandle {
   CollectSink* sink_ = nullptr;
 };
 
+/// One logical operation of a pipeline's fused chain, recorded alongside
+/// the generated Stage closures. This is the declarative view the plan
+/// optimizer reasons over (selectivities, join reordering); the Stage chain
+/// can be regenerated from it after a permutation.
+struct LogicalOp {
+  enum class Kind { kFilter, kProject, kProbe };
+  Kind kind;
+  /// Filter predicate or probe key (over the packet's accumulated layout).
+  expr::ExprPtr expr;
+  /// Projection expressions (kProject).
+  std::vector<expr::ExprPtr> exprs;
+  /// Probed hash table (kProbe); its build node appends `appended_cols`
+  /// payload columns to the packet.
+  JoinStatePtr probe_state;
+  int appended_cols = 0;
+};
+
 /// One node of a QueryPlan: a pipeline (which owns its sink), the plan
 /// edges it depends on, and the metadata the Engine needs for placement.
 struct PlanNode {
@@ -94,6 +115,28 @@ struct PlanNode {
   size_t source_rows = 0;
   JoinStatePtr built_state;            // set when is_build
   std::vector<JoinStatePtr> probed;    // states probed by this pipeline
+
+  // ---- declarative annotations consumed by the plan optimizer ----
+  /// Scanned table (null for Source() pipelines) and the scanned columns,
+  /// in packet-column order. The optimizer binds per-column statistics
+  /// through these.
+  storage::TablePtr source_table;
+  std::vector<std::string> source_columns;
+  /// Logical view of the fused stage chain, in stage order.
+  std::vector<LogicalOp> ops;
+  /// Deprecated BuildOptions::expected_selectivity (< 0: none declared).
+  double declared_selectivity = -1.0;
+  /// Build terminal metadata (set when is_build): key expression and the
+  /// payload column indices carried into the hash table.
+  expr::ExprPtr build_key;
+  std::vector<int> build_payload;
+
+  // ---- optimizer outputs (0 until Engine::Optimize runs) ----
+  /// Estimated output rows of this pipeline at actual / nominal scale.
+  uint64_t est_out_rows = 0;
+  uint64_t est_nominal_out_rows = 0;
+  /// Cost-model estimate for this pipeline on its chosen device set.
+  double est_cost_seconds = 0.0;
 };
 
 /// A validated DAG of pipelines with owned sinks — the unit Engine::Run

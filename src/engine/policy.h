@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "engine/pipeline.h"
+#include "opt/options.h"
 #include "sim/topology.h"
 
 namespace hape::engine {
@@ -60,6 +61,10 @@ struct ExecutionPolicy {
   /// sides that were hash-partitioned across GPUs instead of co-partitioned
   /// (§6.4: every probe packet shuffles between devices at each such join).
   double shuffle_wire_amplification = 2.0;
+  /// Knobs of the cost-based plan optimizer used when Engine::Optimize is
+  /// called without explicit options. Defaults are the compatibility
+  /// configuration (decisions reproduce well-annotated hand plans).
+  opt::OptimizerOptions optimizer;
 
   /// The policy of one Fig. 8 configuration on `topo`.
   static ExecutionPolicy ForConfig(const sim::Topology& topo,

@@ -74,6 +74,15 @@ void BuildSink::Consume(int worker, memory::Batch&& batch,
 
 void BuildSink::Finish(sim::TrafficStats* traffic) { (void)traffic; }
 
+void BuildSink::RemapColumns(const std::vector<int>& old_to_new) {
+  key_expr_ = expr::Expr::RemapColumns(key_expr_, old_to_new);
+  for (int& c : payload_cols_) {
+    HAPE_CHECK(c >= 0 && c < static_cast<int>(old_to_new.size()) &&
+               old_to_new[c] >= 0);
+    c = old_to_new[c];
+  }
+}
+
 // ---- HashAggSink ------------------------------------------------------------
 
 HashAggSink::HashAggSink(expr::ExprPtr key_expr, std::vector<AggDef> aggs)
@@ -133,6 +142,15 @@ void HashAggSink::Consume(int worker, memory::Batch&& batch,
           break;
       }
     }
+  }
+}
+
+void HashAggSink::RemapColumns(const std::vector<int>& old_to_new) {
+  if (key_expr_ != nullptr) {
+    key_expr_ = expr::Expr::RemapColumns(key_expr_, old_to_new);
+  }
+  for (AggDef& a : aggs_) {
+    if (a.arg != nullptr) a.arg = expr::Expr::RemapColumns(a.arg, old_to_new);
   }
 }
 

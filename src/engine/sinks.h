@@ -36,6 +36,8 @@ class BuildSink final : public Sink {
   void Consume(int worker, memory::Batch&& batch, sim::TrafficStats* traffic,
                const codegen::Backend& backend) override;
   void Finish(sim::TrafficStats* traffic) override;
+  void RemapColumns(const std::vector<int>& old_to_new) override;
+  bool SupportsColumnRemap() const override { return true; }
 
   const JoinStatePtr& state() const { return state_; }
 
@@ -66,6 +68,8 @@ class HashAggSink final : public Sink {
   void Consume(int worker, memory::Batch&& batch, sim::TrafficStats* traffic,
                const codegen::Backend& backend) override;
   void Finish(sim::TrafficStats* traffic) override;
+  void RemapColumns(const std::vector<int>& old_to_new) override;
+  bool SupportsColumnRemap() const override { return true; }
 
   /// Merged result: group key -> aggregate values (in AggDef order).
   const std::map<int64_t, std::vector<double>>& result() const {

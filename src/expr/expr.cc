@@ -58,6 +58,42 @@ int Expr::MaxColumn() const {
   return m;
 }
 
+namespace {
+void CollectColumns(const Expr& e, std::vector<int>* out) {
+  if (e.kind() == ExprKind::kColRef) out->push_back(e.col_index());
+  for (const auto& c : e.children()) CollectColumns(*c, out);
+}
+}  // namespace
+
+std::vector<int> Expr::ReferencedColumns() const {
+  std::vector<int> cols;
+  CollectColumns(*this, &cols);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+ExprPtr Expr::RemapColumns(const ExprPtr& e, const std::vector<int>& old_to_new) {
+  HAPE_CHECK(e != nullptr);
+  switch (e->kind_) {
+    case ExprKind::kColRef: {
+      const int c = e->col_;
+      HAPE_CHECK(c >= 0 && c < static_cast<int>(old_to_new.size()) &&
+                 old_to_new[c] >= 0)
+          << "column $" << c << " has no remapping";
+      return old_to_new[c] == c ? e : Col(old_to_new[c]);
+    }
+    case ExprKind::kLitInt:
+    case ExprKind::kLitDouble:
+      return e;
+    case ExprKind::kNot:
+      return Not(RemapColumns(e->children_[0], old_to_new));
+    default:
+      return Binary(e->kind_, RemapColumns(e->children_[0], old_to_new),
+                    RemapColumns(e->children_[1], old_to_new));
+  }
+}
+
 std::string Expr::ToString() const {
   static const char* kOpNames[] = {"col", "int",  "double", "+",  "-",  "*",
                                    "/",   "==",   "!=",     "<",  "<=", ">",

@@ -71,6 +71,14 @@ class Expr {
   uint64_t OpCount() const;
   /// Highest column index referenced, or -1 if none.
   int MaxColumn() const;
+  /// All column indices referenced by this tree (deduplicated, ascending).
+  std::vector<int> ReferencedColumns() const;
+  /// Rebuild the tree with every column reference `i` replaced by
+  /// `old_to_new[i]`. Indices outside the map (or mapped to a negative
+  /// value) are rejected — the plan optimizer uses this when it reorders
+  /// join probes and the packet column layout shifts.
+  static ExprPtr RemapColumns(const ExprPtr& e,
+                              const std::vector<int>& old_to_new);
   std::string ToString() const;
 
  private:

@@ -6,6 +6,7 @@
 
 #include "common/bits.h"
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace hape::ops {
 
@@ -17,6 +18,16 @@ namespace hape::ops {
 class ChainedHashTable {
  public:
   explicit ChainedHashTable(size_t expected_rows) {
+    const uint64_t buckets = NextPow2(expected_rows == 0 ? 1 : expected_rows);
+    log_buckets_ = Log2Floor(buckets);
+    heads_.assign(buckets, -1);
+  }
+
+  /// Re-bucket an *empty* table for a revised cardinality estimate. The
+  /// plan optimizer sizes build tables from its own estimates after the
+  /// plan was declared (hash tables are created at HashBuild() time).
+  void Rehash(size_t expected_rows) {
+    HAPE_CHECK(keys_.empty()) << "Rehash is only valid before any Insert";
     const uint64_t buckets = NextPow2(expected_rows == 0 ? 1 : expected_rows);
     log_buckets_ = Log2Floor(buckets);
     heads_.assign(buckets, -1);

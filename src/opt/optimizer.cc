@@ -1,0 +1,452 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "engine/sinks.h"
+#include "engine/stages.h"
+#include "ops/hash_table.h"
+#include "sim/spec.h"
+
+namespace hape::opt {
+
+using engine::LogicalOp;
+using engine::PlanNode;
+using engine::QueryPlan;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Number of base (pre-join) columns of a pipeline's packets.
+int BaseColumns(const PlanNode& node) {
+  if (node.source_table != nullptr) {
+    return static_cast<int>(node.source_columns.size());
+  }
+  return node.pipeline.inputs.empty()
+             ? 0
+             : static_cast<int>(node.pipeline.inputs[0].columns.size());
+}
+
+/// Per-tuple processing weight of an op for the ordering DP. A probe
+/// dereferences the hash table (typically a cache-missing random access,
+/// worth on the order of a dozen simple ops) on top of evaluating its key;
+/// a filter only evaluates its predicate. The asymmetry matters: hoisting
+/// a mildly reducing probe above a cheap very-selective filter loses.
+constexpr double kProbeMemoryOps = 12.0;
+
+double OpWeight(const LogicalOp& op) {
+  switch (op.kind) {
+    case LogicalOp::Kind::kFilter:
+      return static_cast<double>(op.expr->OpCount() + 1);
+    case LogicalOp::Kind::kProbe:
+      return static_cast<double>(op.expr->OpCount() + 4) + kProbeMemoryOps;
+    case LogicalOp::Kind::kProject: {
+      uint64_t ops = 1;
+      for (const auto& e : op.exprs) ops += e->OpCount();
+      return static_cast<double>(ops);
+    }
+  }
+  return 1.0;
+}
+
+/// Bytes of one build-payload value of `node` (falls back to 8 for columns
+/// whose type the schema cannot resolve, e.g. join-appended ones).
+uint64_t PayloadValueBytes(const PlanNode& node, int col) {
+  if (node.source_table != nullptr &&
+      col < static_cast<int>(node.source_columns.size())) {
+    const int f = node.source_table->schema().IndexOf(node.source_columns[col]);
+    if (f >= 0) {
+      return storage::TypeSize(node.source_table->schema().field(f).type);
+    }
+  }
+  return 8;
+}
+
+}  // namespace
+
+// ---- CostModel --------------------------------------------------------------
+
+double CostModel::PipelineSeconds(const sim::Topology& topo,
+                                  const std::vector<int>& devices,
+                                  uint64_t nominal_bytes,
+                                  uint64_t nominal_ops) {
+  if (devices.empty()) return kInf;
+  double bw = 0;        // aggregate streaming bytes/s
+  double ops_rate = 0;  // aggregate simple ops/s
+  double setup = 0;     // fixed cost of involving an offload device
+  for (int d : devices) {
+    const sim::Device& dev = topo.device(d);
+    if (dev.type == sim::DeviceType::kCpu) {
+      bw += sim::GbpsToBytes(dev.cpu.dram_gbps);
+      ops_rate += dev.cpu.cores * dev.cpu.clock_ghz * 1e9 *
+                  dev.cpu.ops_per_cycle;
+    } else {
+      // Data is host-resident: a GPU ingests at most at the speed of the
+      // interconnect it sits behind, and involving it at all costs a
+      // kernel launch plus a link round-trip. The fixed part is what makes
+      // tiny pipelines (dimension scans) cheaper on a CPU subset.
+      bw += std::min(sim::GbpsToBytes(dev.gpu.dram_gbps),
+                     sim::GbpsToBytes(sim::LinkSpec{}.bandwidth_gbps));
+      ops_rate += dev.gpu.num_sms * dev.gpu.clock_ghz * 1e9 *
+                  dev.gpu.warp_size;
+      setup = std::max(setup, dev.gpu.kernel_launch_s +
+                                  sim::LinkSpec{}.latency_s);
+    }
+  }
+  return setup + std::max(static_cast<double>(nominal_bytes) / bw,
+                          static_cast<double>(nominal_ops) / ops_rate);
+}
+
+// ---- op ordering ------------------------------------------------------------
+
+std::vector<int> Optimizer::OrderOps(const std::vector<double>& factors,
+                                     const std::vector<double>& weights,
+                                     const std::vector<std::vector<int>>& deps,
+                                     int num_probes,
+                                     const OptimizerOptions& o) {
+  const int n = static_cast<int>(factors.size());
+  std::vector<int> identity(n);
+  for (int i = 0; i < n; ++i) identity[i] = i;
+  if (n < 2 || n > 63) return identity;  // >63 ops: leave as declared
+
+  auto deps_satisfied = [&](int op, uint64_t applied) {
+    for (int d : deps[op]) {
+      if ((applied & (1ull << d)) == 0) return false;
+    }
+    return true;
+  };
+
+  if (num_probes > o.dp_max_joins || n > 16) {
+    // Greedy: repeatedly apply the available op with the smallest output
+    // factor (most reducing first); original order breaks ties.
+    std::vector<int> order;
+    order.reserve(n);
+    uint64_t applied = 0;
+    while (static_cast<int>(order.size()) < n) {
+      int best = -1;
+      for (int i = 0; i < n; ++i) {
+        if ((applied & (1ull << i)) != 0 || !deps_satisfied(i, applied)) {
+          continue;
+        }
+        if (best < 0 || factors[i] < factors[best]) best = i;
+      }
+      HAPE_CHECK(best >= 0) << "cyclic op dependencies";
+      order.push_back(best);
+      applied |= 1ull << best;
+    }
+    return order;
+  }
+
+  // Exact DP over op subsets, minimizing the weighted intermediate row
+  // flow (each op charges weight * its input cardinality, in units of the
+  // source). The product of factors is order-invariant, so per-subset
+  // cardinality is well defined.
+  const uint32_t full = (1u << n) - 1;
+  std::vector<double> card(full + 1, 1.0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    const int bit = std::countr_zero(s);
+    card[s] = card[s & (s - 1)] * factors[bit];
+  }
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<int> last(full + 1, -1);
+  dp[0] = 0;
+  for (uint32_t s = 1; s <= full; ++s) {
+    // Descending op index: on cost ties the largest index runs last, which
+    // reconstructs to the original declaration order.
+    for (int i = n - 1; i >= 0; --i) {
+      if ((s & (1u << i)) == 0) continue;
+      const uint32_t prev = s & ~(1u << i);
+      if (!deps_satisfied(i, prev) || dp[prev] == kInf) continue;
+      const double c = dp[prev] + weights[i] * card[prev];
+      // Strict improvement only (with a relative margin): on cost ties the
+      // first-seen, i.e. largest, index stays last.
+      if (c < dp[s] * (1 - 1e-12) - 1e-15) {
+        dp[s] = c;
+        last[s] = i;
+      }
+    }
+  }
+  HAPE_CHECK(last[full] >= 0) << "cyclic op dependencies";
+  std::vector<int> order(n);
+  uint32_t s = full;
+  for (int p = n - 1; p >= 0; --p) {
+    order[p] = last[s];
+    s &= ~(1u << order[p]);
+  }
+  return order;
+}
+
+Status Optimizer::ReorderNode(QueryPlan* plan, int node_idx,
+                              const PlanEstimate& est,
+                              NodeDecision* decision) {
+  const PlanNode& node = plan->node(node_idx);
+  const int n = static_cast<int>(node.ops.size());
+  decision->op_order.resize(n);
+  for (int i = 0; i < n; ++i) decision->op_order[i] = i;
+  if (n < 2) return Status::OK();
+
+  if (node.pipeline.sink == nullptr ||
+      !node.pipeline.sink->SupportsColumnRemap()) {
+    // The sink materializes packets in declaration layout (CollectSink /
+    // custom sinks): a reorder would silently permute the observable
+    // columns. Leave the pipeline as declared.
+    return Status::OK();
+  }
+  int num_probes = 0;
+  for (const LogicalOp& op : node.ops) {
+    if (op.kind == LogicalOp::Kind::kProject) {
+      // Projection rewrites the packet layout wholesale; reordering across
+      // it is not column-stable. Leave such pipelines as declared.
+      return Status::OK();
+    }
+    if (op.kind == LogicalOp::Kind::kProbe) ++num_probes;
+  }
+
+  // Producer map: which op appends each column of the final layout.
+  const int base = BaseColumns(node);
+  int total = base;
+  for (const LogicalOp& op : node.ops) total += op.appended_cols;
+  std::vector<int> producer(total, -1);
+  {
+    int off = base;
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < node.ops[i].appended_cols; ++k) {
+        producer[off + k] = i;
+      }
+      off += node.ops[i].appended_cols;
+    }
+  }
+  std::vector<std::vector<int>> deps(n);
+  std::vector<double> factors(n, 1.0);
+  std::vector<double> weights(n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    factors[i] = est.nodes[node_idx].ops[i].factor;
+    weights[i] = OpWeight(node.ops[i]);
+    for (int c : node.ops[i].expr->ReferencedColumns()) {
+      if (c < 0 || c >= total) {
+        return Status::InvalidArgument(
+            "pipeline '" + node.pipeline.name + "' references column $" +
+            std::to_string(c) + " outside its layout");
+      }
+      const int p = producer[c];
+      if (p >= 0 && p != i &&
+          std::find(deps[i].begin(), deps[i].end(), p) == deps[i].end()) {
+        deps[i].push_back(p);
+      }
+    }
+  }
+
+  const std::vector<int> order =
+      OrderOps(factors, weights, deps, num_probes, options_);
+  decision->op_order = order;
+  bool is_identity = true;
+  for (int i = 0; i < n; ++i) is_identity &= order[i] == i;
+  if (is_identity) return Status::OK();
+  decision->reordered = true;
+  ApplyOrder(plan, node_idx, order);
+  return Status::OK();
+}
+
+void Optimizer::ApplyOrder(QueryPlan* plan, int node_idx,
+                           const std::vector<int>& order) {
+  PlanNode& node = plan->mutable_node(node_idx);
+  const int n = static_cast<int>(node.ops.size());
+  const int base = BaseColumns(node);
+
+  // Column remapping: probe payloads move to their position in the new
+  // probe order; base columns stay put.
+  int total = base;
+  std::vector<int> old_start(n, 0);
+  for (int i = 0; i < n; ++i) {
+    old_start[i] = total;
+    total += node.ops[i].appended_cols;
+  }
+  std::vector<int> old_to_new(total);
+  for (int c = 0; c < base; ++c) old_to_new[c] = c;
+  {
+    int off = base;
+    for (int i : order) {
+      for (int k = 0; k < node.ops[i].appended_cols; ++k) {
+        old_to_new[old_start[i] + k] = off + k;
+      }
+      off += node.ops[i].appended_cols;
+    }
+  }
+
+  // Rewrite every expression against the new layout, permute the logical
+  // chain, and regenerate the fused stages from it.
+  for (LogicalOp& op : node.ops) {
+    if (op.expr != nullptr) {
+      op.expr = expr::Expr::RemapColumns(op.expr, old_to_new);
+    }
+    for (expr::ExprPtr& e : op.exprs) {
+      e = expr::Expr::RemapColumns(e, old_to_new);
+    }
+  }
+  std::vector<LogicalOp> reordered;
+  reordered.reserve(n);
+  for (int i : order) reordered.push_back(std::move(node.ops[i]));
+  node.ops = std::move(reordered);
+
+  node.pipeline.sink->RemapColumns(old_to_new);
+  // Keep the build metadata (consumed by the estimator, heavy marking and
+  // Explain) in the new layout too.
+  if (node.build_key != nullptr) {
+    node.build_key = expr::Expr::RemapColumns(node.build_key, old_to_new);
+  }
+  for (int& c : node.build_payload) {
+    HAPE_CHECK(c >= 0 && c < total);
+    c = old_to_new[c];
+  }
+
+  node.probed.clear();
+  node.pipeline.stages.clear();
+  if (node.pipeline.charge_source_read) {
+    node.pipeline.stages.push_back(engine::ScanStage());
+  }
+  for (const LogicalOp& op : node.ops) {
+    switch (op.kind) {
+      case LogicalOp::Kind::kFilter:
+        node.pipeline.stages.push_back(engine::FilterStage(op.expr));
+        break;
+      case LogicalOp::Kind::kProject:
+        node.pipeline.stages.push_back(engine::ProjectStage(op.exprs));
+        break;
+      case LogicalOp::Kind::kProbe:
+        node.pipeline.stages.push_back(
+            engine::ProbeStage(op.probe_state, op.expr));
+        node.probed.push_back(op.probe_state);
+        break;
+    }
+  }
+}
+
+void Optimizer::ChoosePlacement(QueryPlan* plan, int node_idx,
+                                const engine::ExecutionPolicy& policy,
+                                const PlanEstimate& est,
+                                NodeDecision* decision) {
+  const PlanNode& node = plan->node(node_idx);
+  const std::vector<int>& base_set =
+      node.is_build ? policy.build_devices : policy.devices;
+
+  // Nominal input footprint and a coarse per-tuple op count.
+  uint64_t bytes = 0;
+  for (const memory::Batch& b : node.pipeline.inputs) bytes += b.byte_size();
+  bytes = static_cast<uint64_t>(bytes * node.pipeline.scale);
+  double ops = est.nodes[node_idx].source_rows;
+  for (size_t i = 0; i < node.ops.size(); ++i) {
+    const LogicalOp& op = node.ops[i];
+    const uint64_t per_tuple =
+        (op.expr != nullptr ? op.expr->OpCount() : 1) + 2;
+    ops += est.nodes[node_idx].ops[i].in_rows * static_cast<double>(per_tuple);
+  }
+  const uint64_t nominal_ops =
+      static_cast<uint64_t>(ops * node.pipeline.scale);
+
+  decision->est_seconds =
+      CostModel::PipelineSeconds(*topo_, base_set, bytes, nominal_ops);
+  if (options_.placement != PlacementMode::kCostBased ||
+      !node.run_on.empty()) {
+    // kPolicy, or an explicit hand placement: keep, only record the cost.
+    decision->devices = node.run_on;
+    return;
+  }
+
+  std::vector<int> cpus, gpus;
+  for (int d : base_set) {
+    (topo_->device(d).type == sim::DeviceType::kCpu ? cpus : gpus).push_back(d);
+  }
+  const double cpu_s = CostModel::PipelineSeconds(*topo_, cpus, bytes,
+                                                 nominal_ops);
+  const double gpu_s = CostModel::PipelineSeconds(*topo_, gpus, bytes,
+                                                  nominal_ops);
+  // The full policy set wins ties: the router splits work across it.
+  if (cpu_s < decision->est_seconds && cpu_s <= gpu_s) {
+    plan->mutable_node(node_idx).run_on = cpus;
+    decision->devices = cpus;
+    decision->est_seconds = cpu_s;
+  } else if (gpu_s < decision->est_seconds && gpu_s < cpu_s) {
+    plan->mutable_node(node_idx).run_on = gpus;
+    decision->devices = gpus;
+    decision->est_seconds = gpu_s;
+  }
+}
+
+// ---- the pass ---------------------------------------------------------------
+
+Result<OptimizeResult> Optimizer::OptimizePlan(
+    QueryPlan* plan, const engine::ExecutionPolicy& policy) {
+  OptimizeResult result;
+  result.nodes.resize(plan->num_pipelines());
+  if (!options_.enable) return result;
+  if (plan->executed()) {
+    return Status::InvalidArgument("plan '" + plan->name() +
+                                   "' was already executed");
+  }
+  if (Status st = plan->Validate(topo_); !st.ok()) return st;
+  if (Status st = policy.Validate(*topo_); !st.ok()) return st;
+
+  auto pre = estimator_.EstimatePlan(*plan);
+  if (!pre.ok()) return pre.status();
+
+  auto topo_order = plan->TopologicalOrder();
+  HAPE_CHECK(topo_order.ok());
+  for (int idx : topo_order.value()) {
+    NodeDecision& d = result.nodes[idx];
+    d.pipeline = idx;
+    d.name = plan->node(idx).pipeline.name;
+    if (options_.reorder_joins) {
+      if (Status st = ReorderNode(plan, idx, pre.value(), &d); !st.ok()) {
+        return st;
+      }
+      if (d.reordered) ++result.num_reordered_pipelines;
+    }
+  }
+
+  // Estimates over the final op order (per-op input cardinalities shift
+  // when ops move, the end-of-pipeline totals do not).
+  auto post = estimator_.EstimatePlan(*plan);
+  if (!post.ok()) return post.status();
+  const PlanEstimate& est = post.value();
+
+  for (int idx : topo_order.value()) {
+    PlanNode& node = plan->mutable_node(idx);
+    NodeDecision& d = result.nodes[idx];
+    node.est_out_rows = static_cast<uint64_t>(est.nodes[idx].out_rows);
+    node.est_nominal_out_rows = static_cast<uint64_t>(
+        est.nodes[idx].out_rows * node.pipeline.scale);
+    d.est_out_rows = node.est_out_rows;
+    d.est_nominal_out_rows = node.est_nominal_out_rows;
+
+    if (node.is_build) {
+      const bool declared =
+          node.declared_selectivity >= 0 && options_.respect_declared_overrides;
+      if (options_.size_hash_tables && !declared) {
+        // Same sizing rule HashBuild applies to declared selectivities,
+        // fed by the estimate instead (the "one estimate source" the
+        // deprecated field is folded into).
+        node.built_state->ht.Rehash(
+            static_cast<size_t>(est.nodes[idx].out_rows) + 16);
+      }
+      d.ht_buckets = node.built_state->ht.num_buckets();
+      if (options_.auto_heavy_marks) {
+        uint64_t value_bytes = 0;
+        for (int c : node.build_payload) {
+          value_bytes += PayloadValueBytes(node, c);
+        }
+        const uint64_t table_bytes = ops::ChainedHashTable::NominalBytes(
+            node.est_nominal_out_rows, value_bytes);
+        node.heavy_build = table_bytes >= options_.heavy_build_threshold_bytes;
+      }
+      d.heavy = node.heavy_build;
+    }
+
+    ChoosePlacement(plan, idx, policy, est, &d);
+    node.est_cost_seconds = d.est_seconds;
+  }
+  return result;
+}
+
+}  // namespace hape::opt

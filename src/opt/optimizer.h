@@ -1,0 +1,111 @@
+#ifndef HAPE_OPT_OPTIMIZER_H_
+#define HAPE_OPT_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "engine/policy.h"
+#include "opt/cardinality.h"
+#include "opt/options.h"
+#include "opt/stats.h"
+#include "sim/topology.h"
+
+namespace hape::opt {
+
+/// Coarse analytic cost model used for join ordering tie-breaks and device
+/// placement: aggregate streaming bandwidth and per-tuple compute rate of a
+/// device set, with GPU input throttled to the interconnect it sits behind.
+/// Deliberately much simpler than the executor's traffic model — it ranks
+/// alternatives, it does not predict absolute times.
+class CostModel {
+ public:
+  /// Seconds to stream `nominal_bytes` and retire `nominal_ops` simple
+  /// per-tuple operations on `devices` (empty set: +inf).
+  static double PipelineSeconds(const sim::Topology& topo,
+                                const std::vector<int>& devices,
+                                uint64_t nominal_bytes, uint64_t nominal_ops);
+};
+
+/// Decisions the optimizer took for one pipeline.
+struct NodeDecision {
+  int pipeline = -1;
+  std::string name;
+  uint64_t est_out_rows = 0;          // actual scale
+  uint64_t est_nominal_out_rows = 0;  // nominal scale
+  /// Execution order of the pipeline's logical ops, as original op indices
+  /// (identity when nothing was reordered).
+  std::vector<int> op_order;
+  bool reordered = false;
+  bool heavy = false;          // heavy-build mark after optimization
+  uint64_t ht_buckets = 0;     // build hash-table buckets after sizing
+  /// Chosen device set; empty means "the policy's default set".
+  std::vector<int> devices;
+  double est_seconds = 0;      // cost-model estimate on the chosen devices
+};
+
+/// Result of one Engine::Optimize pass.
+struct OptimizeResult {
+  std::vector<NodeDecision> nodes;  // indexed like the plan's pipelines
+  int num_reordered_pipelines = 0;
+};
+
+/// The cost-based plan optimizer: statistics -> cardinality estimates ->
+/// join ordering / build sizing / heavy marks / device placement, applied
+/// in place to a QueryPlan before the Engine runs it. All decisions the
+/// deprecated BuildOptions annotations used to hand-declare are derived
+/// here (the paper's thesis: heterogeneity decisions belong to the engine,
+/// not the plans).
+class Optimizer {
+ public:
+  /// `shared_stats` (optional) is a caller-owned catalog reused across
+  /// plans — tables are immutable, so the Engine caches collection work
+  /// there. Without it the optimizer collects into its own catalog.
+  Optimizer(const sim::Topology* topo, OptimizerOptions options,
+            StatsCatalog* shared_stats = nullptr)
+      : topo_(topo),
+        options_(options),
+        active_stats_(shared_stats != nullptr ? shared_stats : &stats_),
+        estimator_(active_stats_) {}
+
+  /// Optimize `plan` for execution under `policy`. Idempotent; must run
+  /// before the plan executes (build hash tables are re-bucketed).
+  Result<OptimizeResult> OptimizePlan(engine::QueryPlan* plan,
+                                      const engine::ExecutionPolicy& policy);
+
+  /// Dependency-constrained join/filter ordering for one pipeline:
+  /// minimizes the weighted intermediate row flow
+  /// sum_i weights[i] * rows_in(i), given per-op output factors
+  /// (`factors[i]` = out/in of original op `i`, order-invariant) and
+  /// per-tuple processing weights. `deps[i]` lists the ops whose appended
+  /// columns op `i` references. Exact DP up to options.dp_max_joins probes
+  /// (and 16 ops), greedy beyond; cost ties reconstruct the original
+  /// declaration order. Exposed for unit tests.
+  static std::vector<int> OrderOps(const std::vector<double>& factors,
+                                   const std::vector<double>& weights,
+                                   const std::vector<std::vector<int>>& deps,
+                                   int num_probes, const OptimizerOptions& o);
+
+  StatsCatalog& stats() { return *active_stats_; }
+
+ private:
+  Status ReorderNode(engine::QueryPlan* plan, int node_idx,
+                     const PlanEstimate& est, NodeDecision* decision);
+  void ApplyOrder(engine::QueryPlan* plan, int node_idx,
+                  const std::vector<int>& order);
+  void ChoosePlacement(engine::QueryPlan* plan, int node_idx,
+                       const engine::ExecutionPolicy& policy,
+                       const PlanEstimate& est, NodeDecision* decision);
+
+  const sim::Topology* topo_;
+  OptimizerOptions options_;
+  StatsCatalog stats_;  // used only when no shared catalog was given
+  StatsCatalog* active_stats_;
+  CardinalityEstimator estimator_;
+};
+
+}  // namespace hape::opt
+
+#endif  // HAPE_OPT_OPTIMIZER_H_

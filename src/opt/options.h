@@ -1,0 +1,47 @@
+#ifndef HAPE_OPT_OPTIONS_H_
+#define HAPE_OPT_OPTIONS_H_
+
+#include <cstdint>
+
+namespace hape::opt {
+
+/// Where Engine::Optimize may run each pipeline.
+enum class PlacementMode {
+  /// Keep the policy's device sets (the paper's configurations are already
+  /// a placement statement); the optimizer only records its cost estimate.
+  /// This is the compatibility mode: optimized plans cost exactly what the
+  /// hand-declared ones do.
+  kPolicy,
+  /// Pick, per pipeline, the cheapest of {policy devices, its CPU subset,
+  /// its GPU subset} under the optimizer's cost model and pin it via
+  /// PlanNode::run_on.
+  kCostBased,
+};
+
+/// Knobs of the cost-based plan optimizer (Engine::Optimize). The defaults
+/// are the compatibility configuration: decisions derived purely from
+/// statistics that reproduce the hand-declared TPC-H plans' cost sequences.
+struct OptimizerOptions {
+  /// Master switch; false turns Optimize into a no-op (hand-declared mode).
+  bool enable = true;
+  /// Reorder join probes / filters inside probe pipelines (DP over the join
+  /// graph up to `dp_max_joins` probes, greedy beyond).
+  bool reorder_joins = true;
+  /// Re-bucket build hash tables from the cardinality estimate (unless the
+  /// plan declared an explicit expected_selectivity override).
+  bool size_hash_tables = true;
+  /// Derive heavy-build marks from estimated nominal hash-table bytes.
+  bool auto_heavy_marks = true;
+  /// Honor deprecated hand-declared BuildOptions overrides when present.
+  bool respect_declared_overrides = true;
+  PlacementMode placement = PlacementMode::kPolicy;
+  /// A build whose estimated nominal table exceeds this is "heavy": its GPU
+  /// probes run the partitioned/co-partitioned flavors (Fig. 9, §5).
+  uint64_t heavy_build_threshold_bytes = 256ull << 20;
+  /// Exhaustive DP bound; larger join graphs fall back to greedy ordering.
+  int dp_max_joins = 8;
+};
+
+}  // namespace hape::opt
+
+#endif  // HAPE_OPT_OPTIONS_H_

@@ -1,0 +1,91 @@
+#ifndef HAPE_OPT_STATS_H_
+#define HAPE_OPT_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace hape::opt {
+
+/// Per-column statistics collected by one pass over the stored data. The
+/// engine runs on sampled data costed at a nominal scale factor, so every
+/// count carries both views: `*_actual` is what the scan saw, nominal is
+/// actual times the table's scale.
+struct ColumnStats {
+  std::string name;
+  uint64_t row_count = 0;  // actual rows scanned
+  /// Exact distinct-value count over the actual data.
+  uint64_t ndv = 0;
+  double min_value = 0;
+  double max_value = 0;
+  bool has_range = false;  // false for empty columns
+
+  /// Distinct values at nominal scale. Key-like columns (NDV close to the
+  /// row count, e.g. primary keys) grow with the data; low-cardinality
+  /// domains (dates, dictionary codes, nation keys) do not.
+  uint64_t NominalNdv(double scale, uint64_t nominal_rows) const;
+};
+
+/// Statistics of one table (at collection scale) plus its nominal view.
+struct TableStats {
+  std::string table;
+  uint64_t actual_rows = 0;
+  uint64_t nominal_rows = 0;
+  double scale = 1.0;  // nominal/actual ratio used at collection
+  std::unordered_map<std::string, ColumnStats> columns;
+
+  const ColumnStats* Column(const std::string& name) const {
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+/// Catalog of collected table statistics, keyed by table name. Collection
+/// is an exact single scan per column (the benchmark data is sampled, so
+/// exact NDV is affordable); a production engine would plug sketches in
+/// here without changing the consumers.
+class StatsCatalog {
+ public:
+  /// Scan `table` and record stats under its name; `scale` is the
+  /// nominal/actual ratio the plans run the table at. Re-collection
+  /// replaces the previous entry.
+  const TableStats& Collect(const storage::Table& table, double scale);
+
+  const TableStats* Get(const std::string& table) const;
+  bool Contains(const std::string& table) const {
+    return tables_.count(table) > 0;
+  }
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, TableStats> tables_;
+};
+
+/// Column-stats binding of a packet layout: stats (or null) per column
+/// index. Probe stages append build-payload columns, so the binding grows
+/// as the estimator walks a pipeline's logical ops.
+using StatsBinding = std::vector<const ColumnStats*>;
+
+/// Estimated fraction of rows satisfying the boolean expression `pred`
+/// under `binding` (classic System-R rules: 1/NDV equality, range
+/// interpolation over [min,max], independence for AND, inclusion-exclusion
+/// for OR). Unbound columns and unrecognized shapes fall back to
+/// kDefaultSelectivity. Result is clamped to [0, 1].
+double EstimateSelectivity(const expr::Expr& pred, const StatsBinding& binding);
+
+/// Fallback selectivity for predicates the estimator cannot see through.
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+
+/// Estimated distinct values of `key` evaluated over `binding` with
+/// `input_rows` input rows: NDV of the column for plain references, capped
+/// products for composite keys, `input_rows` when nothing is known.
+uint64_t EstimateKeyNdv(const expr::Expr& key, const StatsBinding& binding,
+                        uint64_t input_rows);
+
+}  // namespace hape::opt
+
+#endif  // HAPE_OPT_STATS_H_

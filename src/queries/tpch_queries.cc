@@ -53,13 +53,26 @@ uint64_t HashTableBytes(uint64_t rows) {
 }
 
 /// Execute the finished plan through the Engine facade under the
-/// configuration's policy and package the result.
+/// configuration's policy and package the result. In kOptimized mode the
+/// cost-based optimizer pass decides join order, build sizing, heavy marks
+/// and placement before the plan runs.
 QueryResult RunPlan(TpchContext* ctx, EngineConfig config, QueryPlan plan,
                     const AggHandle& agg) {
   QueryResult r;
   ExecutionPolicy policy = ExecutionPolicy::ForConfig(*ctx->topo, config);
   policy.partitioned_gpu_join = ctx->partitioned_gpu_join;
-  Engine eng(ctx->topo);
+  if (ctx->engine == nullptr || ctx->engine->topology() != ctx->topo) {
+    ctx->engine = std::make_shared<Engine>(ctx->topo);
+  }
+  Engine& eng = *ctx->engine;
+  if (ctx->plan_mode == PlanMode::kOptimized) {
+    auto opt = eng.Optimize(&plan, policy);
+    if (!opt.ok()) {
+      r.status = opt.status();
+      return r;
+    }
+    r.optimize = std::move(opt.value());
+  }
   auto run = eng.Run(&plan, policy);
   if (!run.ok()) {
     r.status = run.status();
@@ -168,6 +181,7 @@ QueryResult RunQ5(TpchContext* ctx, EngineConfig config) {
   }
 
   PlanBuilder b("q5");
+  const bool hand = ctx->plan_mode == PlanMode::kHandDeclared;
 
   // Build side 1: nations of region ASIA (regionkey dictionary-folded).
   auto asia =
@@ -176,24 +190,27 @@ QueryResult RunQ5(TpchContext* ctx, EngineConfig config) {
           .Filter(Expr::Eq(Expr::Col(1),
                            Expr::Int(storage::tpch::kRegionAsia)))
           .HashBuild(Expr::Col(0), {2},
-                     BuildOptions{/*expected_selectivity=*/0.3,
-                                  /*heavy=*/false});
-  // Build side 2: customer (custkey -> nationkey). Heavy: ~15M build tuples
-  // at SF 100.
+                     hand ? BuildOptions{/*expected_selectivity=*/0.3,
+                                         /*heavy=*/false}
+                          : BuildOptions{});
+  // Build side 2: customer (custkey -> nationkey). ~15M build tuples at
+  // SF 100 (hand plans mark it heavy; the optimizer derives that).
   auto cust = TpchScan(&b, *ctx, customer.value(),
                        {"c_custkey", "c_nationkey"})
                   .HashBuild(Expr::Col(0), {1},
-                             BuildOptions{/*expected_selectivity=*/1.0,
-                                          /*heavy=*/true});
-  // Build side 3: orders restricted to 1994 (orderkey -> custkey). Heavy.
+                             hand ? BuildOptions{/*expected_selectivity=*/1.0,
+                                                 /*heavy=*/true}
+                                  : BuildOptions{});
+  // Build side 3: orders restricted to 1994 (orderkey -> custkey).
   auto ords =
       TpchScan(&b, *ctx, orders.value(),
                {"o_orderkey", "o_custkey", "o_orderdate"})
           .Filter(Expr::And(Expr::Ge(Expr::Col(2), Expr::Int(kY1994Lo)),
                             Expr::Lt(Expr::Col(2), Expr::Int(kY1995Lo))))
           .HashBuild(Expr::Col(0), {1},
-                     BuildOptions{/*expected_selectivity=*/0.2,
-                                  /*heavy=*/true});
+                     hand ? BuildOptions{/*expected_selectivity=*/0.2,
+                                         /*heavy=*/true}
+                          : BuildOptions{});
   // Build side 4: supplier (suppkey -> nationkey).
   auto supp = TpchScan(&b, *ctx, supplier.value(),
                        {"s_suppkey", "s_nationkey"})
@@ -204,12 +221,28 @@ QueryResult RunQ5(TpchContext* ctx, EngineConfig config) {
   auto probe = TpchScan(&b, *ctx, lineitem.value(),
                         {"l_orderkey", "l_suppkey", "l_extendedprice",
                          "l_discount"});
-  probe.Named("q5-probe")
-      .Probe(ords, Expr::Col(0))   // +4 o_custkey
-      .Probe(cust, Expr::Col(4))   // +5 c_nationkey
-      .Probe(supp, Expr::Col(1))   // +6 s_nationkey
-      .Filter(Expr::Eq(Expr::Col(5), Expr::Col(6)))
-      .Probe(asia, Expr::Col(6));  // +7 n_name
+  probe.Named("q5-probe");
+  if (hand) {
+    // Hand-tuned probe chain: the selective orders join first, the
+    // nation-equality filter as soon as both sides are bound, the tiny
+    // ASIA semi-join last.
+    probe.Probe(ords, Expr::Col(0))   // +4 o_custkey
+        .Probe(cust, Expr::Col(4))    // +5 c_nationkey
+        .Probe(supp, Expr::Col(1))    // +6 s_nationkey
+        .Filter(Expr::Eq(Expr::Col(5), Expr::Col(6)))
+        .Probe(asia, Expr::Col(6));   // +7 n_name
+  } else {
+    // Unordered declaration: joins in an arbitrary (deliberately poor)
+    // order, the reducing filter last. Engine::Optimize re-derives the
+    // efficient sequence from cardinality estimates.
+    probe.Probe(supp, Expr::Col(1))   // +4 s_nationkey
+        .Probe(ords, Expr::Col(0))    // +5 o_custkey
+        .Probe(cust, Expr::Col(5))    // +6 c_nationkey
+        .Probe(asia, Expr::Col(4))    // +7 n_name
+        .Filter(Expr::Eq(Expr::Col(6), Expr::Col(4)));
+  }
+  // Either chain ends with n_name at column 7 and the lineitem price/
+  // discount columns untouched at 2/3.
   AggHandle agg = probe.Aggregate(
       Expr::Col(7),
       {AggDef{AggOp::kSum,
@@ -239,6 +272,7 @@ QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
   }
 
   PlanBuilder b("q9");
+  const bool hand = ctx->plan_mode == PlanMode::kHandDeclared;
 
   // Build sides: the *unfiltered* orders table is the problem child —
   // ~3.4 GiB of hash table at SF 100 (§6.4: Q9's intermediate results push
@@ -248,8 +282,9 @@ QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
   auto ords = TpchScan(&b, *ctx, orders.value(),
                        {"o_orderkey", "o_orderdate"})
                   .HashBuild(Expr::Col(0), {1},
-                             BuildOptions{/*expected_selectivity=*/1.0,
-                                          /*heavy=*/true});
+                             hand ? BuildOptions{/*expected_selectivity=*/1.0,
+                                                 /*heavy=*/true}
+                                  : BuildOptions{});
   auto supp = TpchScan(&b, *ctx, supplier.value(),
                        {"s_suppkey", "s_nationkey"})
                   .HashBuild(Expr::Col(0), {1});
@@ -259,8 +294,9 @@ QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
                                                Expr::Int(kPsKeyMul)),
                                      Expr::Col(1)),
                            {2},
-                           BuildOptions{/*expected_selectivity=*/1.0,
-                                        /*heavy=*/true});
+                           hand ? BuildOptions{/*expected_selectivity=*/1.0,
+                                               /*heavy=*/true}
+                                : BuildOptions{});
 
   // Probe pipeline over lineitem.
   // Columns: 0 l_orderkey, 1 l_partkey, 2 l_suppkey, 3 l_quantity,
@@ -268,20 +304,39 @@ QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
   auto probe = TpchScan(&b, *ctx, lineitem.value(),
                         {"l_orderkey", "l_partkey", "l_suppkey",
                          "l_quantity", "l_extendedprice", "l_discount"});
-  probe.Named("q9-probe")
-      .Probe(ords, Expr::Col(0))   // +6 o_orderdate
-      .Probe(supp, Expr::Col(2))   // +7 s_nationkey
-      .Probe(ps, Expr::Add(Expr::Mul(Expr::Col(1), Expr::Int(kPsKeyMul)),
-                           Expr::Col(2)));  // +8 ps_supplycost
-  // amount = extprice*(1-discount) - supplycost*quantity
-  auto amount = Expr::Sub(
-      Expr::Mul(Expr::Col(4), Expr::Sub(Expr::Double(1.0), Expr::Col(5))),
-      Expr::Mul(Expr::Col(8), Expr::Col(3)));
-  // group key = nationkey * 10000 + year(o_orderdate)
-  AggHandle agg = probe.Aggregate(
-      Expr::Add(Expr::Mul(Expr::Col(7), Expr::Int(10000)),
-                Expr::Div(Expr::Col(6), Expr::Int(10000))),
-      {AggDef{AggOp::kSum, amount}});
+  probe.Named("q9-probe");
+  AggHandle agg;
+  const auto ps_probe_key = [] {
+    return Expr::Add(Expr::Mul(Expr::Col(1), Expr::Int(kPsKeyMul)),
+                     Expr::Col(2));
+  };
+  if (hand) {
+    probe.Probe(ords, Expr::Col(0))    // +6 o_orderdate
+        .Probe(supp, Expr::Col(2))     // +7 s_nationkey
+        .Probe(ps, ps_probe_key());    // +8 ps_supplycost
+    // amount = extprice*(1-discount) - supplycost*quantity
+    auto amount = Expr::Sub(
+        Expr::Mul(Expr::Col(4), Expr::Sub(Expr::Double(1.0), Expr::Col(5))),
+        Expr::Mul(Expr::Col(8), Expr::Col(3)));
+    // group key = nationkey * 10000 + year(o_orderdate)
+    agg = probe.Aggregate(
+        Expr::Add(Expr::Mul(Expr::Col(7), Expr::Int(10000)),
+                  Expr::Div(Expr::Col(6), Expr::Int(10000))),
+        {AggDef{AggOp::kSum, amount}});
+  } else {
+    // Unordered declaration (all three joins are non-reducing FK lookups;
+    // the optimizer keeps whatever order ties in cost).
+    probe.Probe(ps, ps_probe_key())    // +6 ps_supplycost
+        .Probe(supp, Expr::Col(2))     // +7 s_nationkey
+        .Probe(ords, Expr::Col(0));    // +8 o_orderdate
+    auto amount = Expr::Sub(
+        Expr::Mul(Expr::Col(4), Expr::Sub(Expr::Double(1.0), Expr::Col(5))),
+        Expr::Mul(Expr::Col(6), Expr::Col(3)));
+    agg = probe.Aggregate(
+        Expr::Add(Expr::Mul(Expr::Col(7), Expr::Int(10000)),
+                  Expr::Div(Expr::Col(8), Expr::Int(10000))),
+        {AggDef{AggOp::kSum, amount}});
+  }
   // Build sides (full orders + partsupp) plus materialized join matches.
   b.DeclareMaterializedIntermediate(
       HashTableBytes(NominalRows(*ctx, orders.value())) +

@@ -2,6 +2,7 @@
 #define HAPE_QUERIES_TPCH_QUERIES_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,21 @@ struct QueryResult {
   std::map<int64_t, std::vector<double>> groups;
   /// Per-pipeline execution record reported by the Engine facade.
   engine::RunStats exec;
+  /// Optimizer decisions (kOptimized runs only).
+  opt::OptimizeResult optimize;
   bool DidNotFinish() const { return !status.ok(); }
+};
+
+/// How the queries declare their plans.
+enum class PlanMode {
+  /// Declare unordered, unannotated plans (no BuildOptions, probe chains in
+  /// arbitrary order) and let Engine::Optimize derive join order, build
+  /// sizing, heavy marks, and placement from statistics. The default.
+  kOptimized,
+  /// The legacy hand-declared plans: good probe order and explicit
+  /// BuildOptions annotations, executed without an optimizer pass. Kept as
+  /// the compatibility baseline the optimizer must reproduce.
+  kHandDeclared,
 };
 
 /// Shared context of a TPC-H run: generated tables (actual scale factor
@@ -40,6 +55,11 @@ struct TpchContext {
   /// Fig. 9 switch: use the partitioned (hardware-conscious) GPU join in
   /// the plan's heavy joins instead of the non-partitioned one.
   bool partitioned_gpu_join = true;
+  /// Plan declaration style (see PlanMode).
+  PlanMode plan_mode = PlanMode::kOptimized;
+  /// Engine reused across this context's runs so its table-statistics
+  /// cache actually caches (created lazily by the query runners).
+  std::shared_ptr<engine::Engine> engine;
 
   double scale() const { return sf_nominal / sf_actual; }
 };

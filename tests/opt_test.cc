@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/engine.h"
+#include "opt/cardinality.h"
+#include "opt/optimizer.h"
+#include "opt/stats.h"
+#include "queries/tpch_queries.h"
+#include "storage/tpch.h"
+
+namespace hape::opt {
+namespace {
+
+using expr::Expr;
+
+// ---- statistics layer: golden values on TPC-H (SF 1 nominal) ---------------
+
+/// One generated TPC-H instance: actual SF 0.02 costed as SF 1, shared by
+/// the stats and estimator tests.
+class TpchStats : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new sim::Topology(sim::Topology::PaperServer());
+    ctx_ = new queries::TpchContext();
+    ctx_->topo = topo_;
+    ctx_->sf_actual = 0.02;
+    ctx_->sf_nominal = 1.0;
+    ASSERT_TRUE(queries::PrepareTpch(ctx_).ok());
+    stats_ = new StatsCatalog();
+    for (const char* t : {"lineitem", "orders", "customer", "supplier",
+                          "nation", "partsupp"}) {
+      stats_->Collect(*ctx_->catalog.Get(t).value(), ctx_->scale());
+    }
+  }
+
+  static const ColumnStats& Col(const char* table, const char* column) {
+    const TableStats* ts = stats_->Get(table);
+    EXPECT_NE(ts, nullptr);
+    const ColumnStats* cs = ts->Column(column);
+    EXPECT_NE(cs, nullptr);
+    return *cs;
+  }
+
+  static sim::Topology* topo_;
+  static queries::TpchContext* ctx_;
+  static StatsCatalog* stats_;
+};
+sim::Topology* TpchStats::topo_ = nullptr;
+queries::TpchContext* TpchStats::ctx_ = nullptr;
+StatsCatalog* TpchStats::stats_ = nullptr;
+
+TEST_F(TpchStats, RowCountsScaleToNominal) {
+  EXPECT_EQ(stats_->Get("lineitem")->actual_rows, 120024u);
+  EXPECT_EQ(stats_->Get("lineitem")->nominal_rows, 6001200u);
+  EXPECT_EQ(stats_->Get("orders")->nominal_rows, 1500000u);
+  EXPECT_EQ(stats_->Get("customer")->nominal_rows, 150000u);
+}
+
+TEST_F(TpchStats, KeyNdvsAreExact) {
+  // Primary keys: NDV equals the table's row count.
+  EXPECT_EQ(Col("orders", "o_orderkey").ndv, 30000u);
+  EXPECT_EQ(Col("customer", "c_custkey").ndv, 3000u);
+  EXPECT_EQ(Col("supplier", "s_suppkey").ndv, 200u);
+  EXPECT_EQ(Col("nation", "n_nationkey").ndv, 25u);
+  // Foreign keys: NDV equals the referenced table's cardinality.
+  EXPECT_EQ(Col("lineitem", "l_orderkey").ndv, 30000u);
+  EXPECT_EQ(Col("lineitem", "l_suppkey").ndv, 200u);
+  EXPECT_EQ(Col("lineitem", "l_partkey").ndv, 4000u);
+}
+
+TEST_F(TpchStats, DomainNdvsAreNarrow) {
+  EXPECT_EQ(Col("lineitem", "l_returnflag").ndv, 3u);
+  EXPECT_EQ(Col("lineitem", "l_linestatus").ndv, 2u);
+  EXPECT_EQ(Col("lineitem", "l_quantity").ndv, 50u);
+  EXPECT_EQ(Col("lineitem", "l_discount").ndv, 11u);
+  EXPECT_EQ(Col("nation", "n_regionkey").ndv, 5u);
+  // ~2400 order dates over the 7 generated years.
+  EXPECT_GT(Col("orders", "o_orderdate").ndv, 2000u);
+  EXPECT_LT(Col("orders", "o_orderdate").ndv, 2600u);
+}
+
+TEST_F(TpchStats, NominalNdvScalesKeysNotDomains) {
+  const double scale = ctx_->scale();
+  // o_orderkey is key-like: NDV grows with the data.
+  EXPECT_EQ(Col("orders", "o_orderkey").NominalNdv(scale, 1500000), 1500000u);
+  // o_orderdate is a narrow domain: NDV saturates.
+  EXPECT_EQ(Col("orders", "o_orderdate").NominalNdv(scale, 1500000),
+            Col("orders", "o_orderdate").ndv);
+}
+
+TEST_F(TpchStats, DateRangeSelectivity) {
+  const TableStats* orders = stats_->Get("orders");
+  StatsBinding binding{orders->Column("o_orderkey"),
+                       orders->Column("o_custkey"),
+                       orders->Column("o_orderdate")};
+  auto pred = Expr::And(Expr::Ge(Expr::Col(2), Expr::Int(19940101)),
+                        Expr::Lt(Expr::Col(2), Expr::Int(19950101)));
+  // One of seven generated years; the yyyymmdd interpolation lands close.
+  const double sel = EstimateSelectivity(*pred, binding);
+  EXPECT_NEAR(sel, 1.0 / 7, 0.03);
+  // The naive independence estimate would square the range fraction
+  // (~0.31); the range-conjunction rule must not.
+  EXPECT_LT(sel, 0.2);
+}
+
+TEST_F(TpchStats, Q6PredicateSelectivity) {
+  const TableStats* l = stats_->Get("lineitem");
+  StatsBinding binding{l->Column("l_shipdate"), l->Column("l_discount"),
+                       l->Column("l_quantity")};
+  auto pred = Expr::And(
+      Expr::And(Expr::Ge(Expr::Col(0), Expr::Int(19940101)),
+                Expr::Lt(Expr::Col(0), Expr::Int(19950101))),
+      Expr::And(Expr::Between(Expr::Col(1), Expr::Double(0.0499),
+                              Expr::Double(0.0701)),
+                Expr::Lt(Expr::Col(2), Expr::Double(24.0))));
+  // True selectivity at this sample is ~0.0195.
+  EXPECT_NEAR(EstimateSelectivity(*pred, binding), 0.0195, 0.01);
+}
+
+TEST_F(TpchStats, EqualityAndBooleanRules) {
+  const TableStats* n = stats_->Get("nation");
+  StatsBinding binding{n->Column("n_nationkey"), n->Column("n_regionkey")};
+  // 1/NDV equality.
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(*Expr::Eq(Expr::Col(1), Expr::Int(2)), binding),
+      0.2);
+  // NOT inverts.
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(*Expr::Not(Expr::Eq(Expr::Col(1), Expr::Int(2))),
+                          binding),
+      0.8);
+  // OR uses inclusion-exclusion.
+  auto either = Expr::Or(Expr::Eq(Expr::Col(1), Expr::Int(2)),
+                         Expr::Eq(Expr::Col(1), Expr::Int(3)));
+  EXPECT_NEAR(EstimateSelectivity(*either, binding), 0.2 + 0.2 - 0.04, 1e-12);
+  // Column-column equality: 1/max(ndv).
+  StatsBinding two{n->Column("n_nationkey"), n->Column("n_regionkey")};
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(*Expr::Eq(Expr::Col(0), Expr::Col(1)), two),
+      1.0 / 25);
+  // Unbound columns fall back to the default.
+  StatsBinding unbound{nullptr};
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(*Expr::Eq(Expr::Col(0), Expr::Int(1)), unbound),
+      kDefaultSelectivity);
+}
+
+TEST_F(TpchStats, CompositeKeyNdv) {
+  const TableStats* ps = stats_->Get("partsupp");
+  StatsBinding binding{ps->Column("ps_partkey"), ps->Column("ps_suppkey")};
+  auto key = Expr::Add(Expr::Mul(Expr::Col(0), Expr::Int(100000000)),
+                       Expr::Col(1));
+  // 4000 parts x 200 suppliers, capped by the 16000 rows.
+  EXPECT_EQ(EstimateKeyNdv(*key, binding, 16000), 16000u);
+  EXPECT_EQ(EstimateKeyNdv(*Expr::Col(1), binding, 16000), 200u);
+  EXPECT_EQ(EstimateKeyNdv(*Expr::Int(7), binding, 16000), 1u);
+}
+
+// ---- cardinality propagation ------------------------------------------------
+
+TEST_F(TpchStats, PropagatesThroughFilterAndJoin) {
+  auto orders = ctx_->catalog.Get("orders").value();
+  auto lineitem = ctx_->catalog.Get("lineitem").value();
+
+  engine::PlanBuilder b("card");
+  auto ords =
+      b.Scan(orders, {"o_orderkey", "o_custkey", "o_orderdate"}, 1 << 16)
+          .Scale(ctx_->scale())
+          .Filter(Expr::And(Expr::Ge(Expr::Col(2), Expr::Int(19940101)),
+                            Expr::Lt(Expr::Col(2), Expr::Int(19950101))))
+          .HashBuild(Expr::Col(0), {1});
+  auto probe = b.Scan(lineitem, {"l_orderkey", "l_extendedprice"}, 1 << 16)
+                   .Scale(ctx_->scale());
+  probe.Probe(ords, Expr::Col(0));
+  probe.Aggregate(nullptr, {engine::AggDef{engine::AggOp::kSum,
+                                           Expr::Col(1)}});
+  engine::QueryPlan plan = std::move(b).Build();
+
+  StatsCatalog stats;
+  CardinalityEstimator est(&stats);
+  auto pe = est.EstimatePlan(plan);
+  ASSERT_TRUE(pe.ok()) << pe.status().ToString();
+  const NodeEstimate& build = pe.value().nodes[0];
+  const NodeEstimate& prb = pe.value().nodes[1];
+  // ~16.5% of orders survive the 1994 filter.
+  EXPECT_NEAR(build.out_rows / build.source_rows, 0.1647, 0.005);
+  EXPECT_DOUBLE_EQ(build.key_domain_ndv, 30000.0);
+  // PK-FK probe: the probe stream shrinks by the same fraction.
+  EXPECT_NEAR(prb.out_rows / prb.source_rows, 0.1647, 0.005);
+}
+
+// ---- ordering DP ------------------------------------------------------------
+
+OptimizerOptions DefaultOpts() { return OptimizerOptions{}; }
+
+TEST(OrderOps, HoistsSelectiveFilter) {
+  // op0: probe (factor 1), op1: cheap filter keeping 10%.
+  const std::vector<double> factors{1.0, 0.1};
+  const std::vector<double> weights{16.0, 2.0};
+  const std::vector<std::vector<int>> deps{{}, {}};
+  const auto order = Optimizer::OrderOps(factors, weights, deps, 1,
+                                         DefaultOpts());
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(OrderOps, RespectsDependencies) {
+  // op1 is very selective but references op0's output columns.
+  const std::vector<double> factors{1.0, 0.01};
+  const std::vector<double> weights{16.0, 2.0};
+  const std::vector<std::vector<int>> deps{{}, {0}};
+  const auto order = Optimizer::OrderOps(factors, weights, deps, 1,
+                                         DefaultOpts());
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(OrderOps, TiesKeepDeclarationOrder) {
+  const std::vector<double> factors{1.0, 1.0, 1.0};
+  const std::vector<double> weights{16.0, 16.0, 16.0};
+  const std::vector<std::vector<int>> deps{{}, {}, {}};
+  const auto order = Optimizer::OrderOps(factors, weights, deps, 3,
+                                         DefaultOpts());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(OrderOps, MostReducingJoinFirst) {
+  const std::vector<double> factors{1.0, 0.15, 0.5};
+  const std::vector<double> weights{16.0, 16.0, 16.0};
+  const std::vector<std::vector<int>> deps{{}, {}, {}};
+  const auto order = Optimizer::OrderOps(factors, weights, deps, 3,
+                                         DefaultOpts());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(OrderOps, ExpensiveProbeDoesNotJumpCheapFilter) {
+  // A mildly reducing probe (0.2) vs a later cheap very-selective filter
+  // (0.04) that depends on another probe: with probe >> filter weights the
+  // probe must not be hoisted above the filter position chain.
+  // ops: 0 probe(1.0), 1 probe(0.2), 2 filter(0.04) dep on 0.
+  const std::vector<double> factors{1.0, 0.2, 0.04};
+  const std::vector<double> weights{16.0, 16.0, 2.0};
+  const std::vector<std::vector<int>> deps{{}, {}, {0}};
+  const auto order = Optimizer::OrderOps(factors, weights, deps, 2,
+                                         DefaultOpts());
+  // Filter right after its dependency, before the 0.2 probe.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(OrderOps, GreedyFallbackBeyondDpBound) {
+  OptimizerOptions o;
+  o.dp_max_joins = 1;  // force greedy
+  const std::vector<double> factors{1.0, 0.1, 0.5};
+  const std::vector<double> weights{16.0, 16.0, 16.0};
+  const std::vector<std::vector<int>> deps{{}, {}, {}};
+  const auto order = Optimizer::OrderOps(factors, weights, deps, 3, o);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+// ---- hash-table sizing ------------------------------------------------------
+
+TEST(Rehash, ResizesEmptyTable) {
+  ops::ChainedHashTable ht(1u << 12);
+  EXPECT_EQ(ht.num_buckets(), 1u << 12);
+  ht.Rehash(100);
+  EXPECT_EQ(ht.num_buckets(), 128u);
+  ht.Insert(7, 0);
+  uint64_t matches = 0;
+  ht.ForEachMatch(7, [&](uint32_t) { ++matches; });
+  EXPECT_EQ(matches, 1u);
+}
+
+// ---- cost model & placement -------------------------------------------------
+
+TEST(CostModel, GpuSetupMakesTinyPipelinesCpuBound) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  const std::vector<int> cpus = topo.CpuDeviceIds();
+  const std::vector<int> gpus = topo.GpuDeviceIds();
+  std::vector<int> all = cpus;
+  all.insert(all.end(), gpus.begin(), gpus.end());
+  // Tiny pipeline: the fixed GPU setup dominates.
+  EXPECT_LT(CostModel::PipelineSeconds(topo, cpus, 1 << 20, 1 << 10),
+            CostModel::PipelineSeconds(topo, all, 1 << 20, 1 << 10));
+  // Huge pipeline: aggregate bandwidth wins.
+  EXPECT_GT(CostModel::PipelineSeconds(topo, cpus, 64ull << 30, 1 << 10),
+            CostModel::PipelineSeconds(topo, all, 64ull << 30, 1 << 10));
+  EXPECT_TRUE(std::isinf(CostModel::PipelineSeconds(topo, {}, 1, 1)));
+}
+
+TEST_F(TpchStats, CostBasedPlacementPinsTinyScans) {
+  topo_->Reset();
+  auto nation = ctx_->catalog.Get("nation").value();
+  engine::PlanBuilder b("placement");
+  auto build = b.Scan(nation, {"n_nationkey", "n_name"}, 1 << 10)
+                   .Scale(ctx_->scale())
+                   .HashBuild(Expr::Col(0), {1});
+  auto probe = b.Scan(nation, {"n_nationkey", "n_regionkey"}, 1 << 10)
+                   .Scale(ctx_->scale());
+  probe.Probe(build, Expr::Col(0));
+  probe.Aggregate(nullptr,
+                  {engine::AggDef{engine::AggOp::kCount, nullptr}});
+  engine::QueryPlan plan = std::move(b).Build();
+
+  engine::ExecutionPolicy policy = engine::ExecutionPolicy::ForConfig(
+      *topo_, engine::EngineConfig::kProteusHybrid);
+  OptimizerOptions opts;
+  opts.placement = PlacementMode::kCostBased;
+  engine::Engine eng(topo_);
+  auto result = eng.Optimize(&plan, policy, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The tiny probe pipeline gets pinned to the CPU subset.
+  const auto& probe_node = plan.node(1);
+  ASSERT_FALSE(probe_node.run_on.empty());
+  for (int d : probe_node.run_on) {
+    EXPECT_EQ(topo_->device(d).type, sim::DeviceType::kCpu);
+  }
+  // And the plan still runs correctly there.
+  auto run = eng.Run(&plan, policy);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+}
+
+TEST_F(TpchStats, CollectSinkPipelinesAreNeverReordered) {
+  // CollectSink exposes packets in declaration layout; a probe reorder
+  // would silently permute the observable columns, so the optimizer must
+  // leave such pipelines alone even when reordering would pay.
+  topo_->Reset();
+  auto lineitem = ctx_->catalog.Get("lineitem").value();
+  auto orders = ctx_->catalog.Get("orders").value();
+  auto supplier = ctx_->catalog.Get("supplier").value();
+  engine::PlanBuilder b("collect");
+  auto ords =
+      b.Scan(orders, {"o_orderkey", "o_custkey", "o_orderdate"}, 1 << 14)
+          .Scale(ctx_->scale())
+          .Filter(Expr::And(Expr::Ge(Expr::Col(2), Expr::Int(19940101)),
+                            Expr::Lt(Expr::Col(2), Expr::Int(19950101))))
+          .HashBuild(Expr::Col(0), {1});
+  auto supp = b.Scan(supplier, {"s_suppkey", "s_nationkey"}, 1 << 14)
+                  .Scale(ctx_->scale())
+                  .HashBuild(Expr::Col(0), {1});
+  auto probe = b.Scan(lineitem, {"l_orderkey", "l_suppkey"}, 1 << 14)
+                   .Scale(ctx_->scale());
+  // Declared with the non-reducing supplier probe first: a remappable
+  // sink would get this flipped, Collect must not.
+  probe.Named("collect-probe")
+      .Probe(supp, Expr::Col(1))
+      .Probe(ords, Expr::Col(0));
+  auto collect = probe.Collect();
+  engine::QueryPlan plan = std::move(b).Build();
+
+  engine::Engine eng(topo_);
+  engine::ExecutionPolicy policy = engine::ExecutionPolicy::ForConfig(
+      *topo_, engine::EngineConfig::kProteusCpu);
+  auto result = eng.Optimize(&plan, policy);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& d : result.value().nodes) {
+    EXPECT_FALSE(d.reordered) << d.name;
+  }
+  ASSERT_TRUE(eng.Run(&plan, policy).ok());
+  // Declared layout: s_nationkey at column 2, o_custkey at column 3.
+  ASSERT_FALSE(collect.batches().empty());
+  EXPECT_EQ(collect.batches()[0].num_columns(), 4);
+}
+
+// ---- end-to-end optimizer decisions on Q5 -----------------------------------
+
+class OptimizerQ5 : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new sim::Topology(sim::Topology::PaperServer());
+    ctx_ = new queries::TpchContext();
+    ctx_->topo = topo_;
+    ctx_->sf_actual = 0.01;
+    ctx_->sf_nominal = 100.0;
+    ASSERT_TRUE(queries::PrepareTpch(ctx_).ok());
+  }
+  void SetUp() override {
+    topo_->Reset();
+    ctx_->plan_mode = queries::PlanMode::kOptimized;
+  }
+  static sim::Topology* topo_;
+  static queries::TpchContext* ctx_;
+};
+sim::Topology* OptimizerQ5::topo_ = nullptr;
+queries::TpchContext* OptimizerQ5::ctx_ = nullptr;
+
+TEST_F(OptimizerQ5, ReordersTheScrambledProbeChain) {
+  const auto r = queries::RunQ5(ctx_, queries::EngineConfig::kProteusCpu);
+  ASSERT_FALSE(r.DidNotFinish()) << r.status.ToString();
+  const NodeDecision* probe = nullptr;
+  for (const auto& d : r.optimize.nodes) {
+    if (d.name == "q5-probe") probe = &d;
+  }
+  ASSERT_NE(probe, nullptr);
+  EXPECT_TRUE(probe->reordered);
+  ASSERT_EQ(probe->op_order.size(), 5u);
+  // Declared: supp(0), ords(1), cust(2), asia(3), filter(4). The DP puts
+  // the selective orders join first and the tiny ASIA probe after the
+  // nation-equality filter.
+  EXPECT_EQ(probe->op_order.front(), 1);
+  EXPECT_EQ(probe->op_order[3], 4);
+  EXPECT_EQ(probe->op_order.back(), 3);
+}
+
+TEST_F(OptimizerQ5, DerivesHeavyMarksAndSizing) {
+  const auto r = queries::RunQ5(ctx_, queries::EngineConfig::kProteusHybrid);
+  ASSERT_FALSE(r.DidNotFinish()) << r.status.ToString();
+  std::map<std::string, const NodeDecision*> by_name;
+  for (const auto& d : r.optimize.nodes) by_name[d.name] = &d;
+  // Heavy: customer (~15M rows) and filtered orders (~25M); light:
+  // supplier (1M) and the ASIA nations.
+  EXPECT_TRUE(by_name.at("customer")->heavy);
+  EXPECT_TRUE(by_name.at("orders")->heavy);
+  EXPECT_FALSE(by_name.at("supplier")->heavy);
+  EXPECT_FALSE(by_name.at("nation")->heavy);
+  // Bucket counts reproduce the hand-declared sizing brackets.
+  EXPECT_EQ(by_name.at("nation")->ht_buckets, 32u);
+  EXPECT_EQ(by_name.at("supplier")->ht_buckets, 128u);
+  EXPECT_EQ(by_name.at("customer")->ht_buckets, 2048u);
+  EXPECT_EQ(by_name.at("orders")->ht_buckets, 4096u);
+}
+
+TEST_F(OptimizerQ5, ExplainReportsDecisions) {
+  auto lineitem = ctx_->catalog.Get("lineitem").value();
+  auto orders = ctx_->catalog.Get("orders").value();
+  engine::PlanBuilder b("explain-me");
+  auto ords = b.Scan(orders, {"o_orderkey", "o_custkey"}, 1 << 14)
+                  .Scale(ctx_->scale())
+                  .HashBuild(Expr::Col(0), {1});
+  auto probe =
+      b.Scan(lineitem, {"l_orderkey", "l_extendedprice"}, 1 << 14)
+          .Scale(ctx_->scale());
+  probe.Named("probe").Probe(ords, Expr::Col(0));
+  probe.Aggregate(nullptr,
+                  {engine::AggDef{engine::AggOp::kSum, Expr::Col(1)}});
+  engine::QueryPlan plan = std::move(b).Build();
+
+  engine::Engine eng(topo_);
+  engine::ExecutionPolicy policy = engine::ExecutionPolicy::ForConfig(
+      *topo_, engine::EngineConfig::kProteusCpu);
+  ASSERT_TRUE(eng.Optimize(&plan, policy).ok());
+  const std::string json = eng.Explain(plan);
+  EXPECT_NE(json.find("\"plan\":\"explain-me\""), std::string::npos);
+  EXPECT_NE(json.find("\"sink\":\"hash_build\""), std::string::npos);
+  EXPECT_NE(json.find("\"sink\":\"hash_agg\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_pipeline\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"estimated\""), std::string::npos);
+  EXPECT_NE(json.find("\"table\":\"orders\""), std::string::npos);
+  // Balanced braces / brackets (the writer CHECKs this, belt and braces).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace hape::opt
