@@ -79,6 +79,12 @@ class JsonWriter {
     Comma();
     out_ += "null";
   }
+  /// Splice an already-serialized JSON value (e.g. a nested document from
+  /// another writer). The caller guarantees it is valid JSON.
+  void Raw(std::string_view json) {
+    Comma();
+    out_ += json;
+  }
 
   /// The finished document; all containers must be closed.
   const std::string& str() const {

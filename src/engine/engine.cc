@@ -106,7 +106,21 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
                                             : policy.shuffle_wire_amplification;
       }
     }
-    *t = executor_.Broadcast(total, from_node, gpu_nodes, *t);
+    if (!policy.async.enabled()) {
+      *t = executor_.Broadcast(total, from_node, gpu_nodes, *t);
+    } else {
+      // Async: each table's chunked broadcast starts when *its* build
+      // finishes (not at the round barrier), double-buffered across the
+      // multicast tree; probe pipelines gate on the tables they probe.
+      for (int b : build_nodes) {
+        const JoinStatePtr& s = plan->node(b).built_state;
+        const sim::SimTime ready = executor_.BroadcastAsync(
+            s->NominalBytes(), s->location_node, gpu_nodes, finished[b],
+            policy.async.broadcast_chunk_bytes);
+        placement->ready[s.get()] = ready;
+        *t = std::max(*t, ready);
+      }
+    }
     out->broadcast_bytes += total;
     for (int b : build_nodes) {
       placement->placed.insert(plan->node(b).built_state.get());
@@ -151,13 +165,34 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
     const sim::CpuSpec server = ops::ServerCpuSpec(
         topo_->device(policy.build_devices.front()).cpu,
         static_cast<int>(policy.build_devices.size()));
-    *t += sim::MemoryModel::CpuTime(server, pass, server.cores);
+    const sim::SimTime pass_seconds =
+        sim::MemoryModel::CpuTime(server, pass, server.cores);
 
     uint64_t rest = 0;
     for (int b : build_nodes) {
       if (b != big) rest += plan->node(b).built_state->NominalBytes();
     }
-    *t = executor_.Broadcast(rest, from_node, gpu_nodes, *t);
+    if (!policy.async.enabled()) {
+      *t += pass_seconds;
+      *t = executor_.Broadcast(rest, from_node, gpu_nodes, *t);
+    } else {
+      // Async: the co-partition pass starts when the oversized build
+      // itself finishes; the small tables broadcast chunked from their
+      // own build finishes, overlapping the pass.
+      const sim::SimTime copart_ready = finished[big] + pass_seconds;
+      placement->ready[big_state.get()] = copart_ready;
+      sim::SimTime round = copart_ready;
+      for (int b : build_nodes) {
+        if (b == big) continue;
+        const JoinStatePtr& s = plan->node(b).built_state;
+        const sim::SimTime ready = executor_.BroadcastAsync(
+            s->NominalBytes(), s->location_node, gpu_nodes, finished[b],
+            policy.async.broadcast_chunk_bytes);
+        placement->ready[s.get()] = ready;
+        round = std::max(round, ready);
+      }
+      *t = std::max(*t, round);
+    }
     // Co-partitioned execution is inherently partitioned: the heavy joins
     // run hardware-conscious on the GPUs.
     for (int b : heavy_nodes) {
@@ -225,6 +260,7 @@ Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
   plan->mark_executed();
 
   RunStats out;
+  out.async = policy.async.enabled();
   const int n = static_cast<int>(plan->num_pipelines());
   std::vector<sim::SimTime> finished(n, 0);
   std::vector<char> ran(n, 0);
@@ -255,8 +291,50 @@ Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
       }
     }
 
-    sim::SimTime start = node.probed.empty() ? 0 : placement_finish;
-    for (int d : node.deps) start = std::max(start, finished[d]);
+    RunOptions run_opts;
+    run_opts.async = policy.async;
+    if (!policy.async.enabled()) {
+      // Synchronous: staging and compute both wait for the full placement
+      // round and every dependency (the legacy barrier).
+      sim::SimTime start = node.probed.empty() ? 0 : placement_finish;
+      for (int d : node.deps) start = std::max(start, finished[d]);
+      run_opts.start = run_opts.compute_ready = run_opts.compute_ready_host =
+          start;
+    } else {
+      // Async: packet staging may begin as soon as the pipeline's *data*
+      // exists — a dependency that only produced a probed hash table
+      // gates compute, not mem-moves. CPU workers probe host-resident
+      // tables and start at the build finishes; GPU workers wait for the
+      // tables they probe to become device-resident (per-table broadcast
+      // or co-partition finish), not for the whole placement round.
+      sim::SimTime transfer_start = 0;
+      sim::SimTime host_gate = 0;
+      for (int d : node.deps) {
+        const PlanNode& dep = plan->node(d);
+        bool builds_probed_state = false;
+        if (dep.is_build) {
+          for (const JoinStatePtr& s : node.probed) {
+            if (s.get() == dep.built_state.get()) builds_probed_state = true;
+          }
+        }
+        if (builds_probed_state) {
+          host_gate = std::max(host_gate, finished[d]);
+        } else {
+          transfer_start = std::max(transfer_start, finished[d]);
+        }
+      }
+      host_gate = std::max(host_gate, transfer_start);
+      sim::SimTime gpu_gate = host_gate;
+      for (const JoinStatePtr& s : node.probed) {
+        auto it = placement.ready.find(s.get());
+        if (it != placement.ready.end()) {
+          gpu_gate = std::max(gpu_gate, it->second);
+        }
+      }
+      run_opts.start = transfer_start;
+      run_opts.compute_ready = gpu_gate;
+      run_opts.compute_ready_host = host_gate;
+    }
 
     const std::vector<int>& devices =
         !node.run_on.empty()
@@ -273,10 +351,14 @@ Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
     node.pipeline.operator_at_a_time =
         policy.model == ExecutionModel::kOperatorAtATime;
 
-    const ExecStats st = executor_.Run(&node.pipeline, devices, start);
+    const ExecStats st = executor_.Run(&node.pipeline, devices, run_opts);
     finished[idx] = st.finish;
     ran[idx] = 1;
     out.finish = std::max(out.finish, st.finish);
+    out.mem_moves += st.mem_moves;
+    out.moved_bytes += st.moved_bytes;
+    out.transfer_busy_s += st.transfer_busy_s;
+    out.transfer_exposed_s += st.transfer_exposed_s;
     out.pipelines.push_back(PipelineRunStats{node.pipeline.name, st});
 
     if (node.is_build) {

@@ -1,6 +1,7 @@
 #ifndef HAPE_ENGINE_ENGINE_H_
 #define HAPE_ENGINE_ENGINE_H_
 
+#include <map>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -31,6 +32,16 @@ struct RunStats {
   /// True when an oversized heavy build was co-partitioned on the CPU
   /// instead of broadcast (§5 operator-level co-processing).
   bool co_processed = false;
+  /// True when the run used the event-driven async executor (depth >= 1).
+  bool async = false;
+  // ---- mem-move overlap accounting, aggregated over all pipelines ----
+  uint64_t mem_moves = 0;
+  uint64_t moved_bytes = 0;
+  sim::SimTime transfer_busy_s = 0;
+  sim::SimTime transfer_exposed_s = 0;
+  sim::SimTime transfer_hidden_s() const {
+    return transfer_busy_s - transfer_exposed_s;
+  }
   std::vector<PipelineRunStats> pipelines;
 };
 
@@ -66,6 +77,12 @@ class Engine {
   /// serialization.
   std::string Explain(const QueryPlan& plan) const;
 
+  /// Explain plus the execution record of a finished run: per-pipeline
+  /// start/finish and the mem-move overlap accounting (transfer time
+  /// hidden behind compute vs exposed on the critical path) the async
+  /// executor reports.
+  std::string Explain(const QueryPlan& plan, const RunStats& run) const;
+
   Executor& executor() { return executor_; }
   sim::Topology* topology() { return topo_; }
 
@@ -81,6 +98,10 @@ class Engine {
   struct PlacementState {
     std::unordered_set<const JoinState*> placed;
     uint64_t resident_bytes = 0;
+    /// Async mode: per-table device-residency time (broadcast finish, or
+    /// co-partition finish). Probe pipelines gate GPU compute on the
+    /// tables they actually probe instead of the whole placement round.
+    std::map<const JoinState*, sim::SimTime> ready;
   };
   Status PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
                          const std::vector<char>& ran,

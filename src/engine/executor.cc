@@ -1,6 +1,8 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <map>
+#include <queue>
 #include <set>
 
 #include "common/logging.h"
@@ -18,6 +20,56 @@ const char* RoutingPolicyName(RoutingPolicy p) {
   }
   return "?";
 }
+
+namespace {
+
+/// The shared data path of both timing models: run the fused stage chain
+/// over the packet, feed the sink, and return the packet's processing cost
+/// on `worker`'s backend. Byte-for-byte the historical synchronous order
+/// of operations, so both models produce identical results and traffic.
+sim::SimTime ProcessPacket(Pipeline* p, memory::Batch* b, int worker_index,
+                           const Worker& worker, ExecStats* stats) {
+  sim::TrafficStats t;
+  if (p->charge_source_read) {
+    // ScanStage charges this; nothing extra here. (Kept explicit so
+    // pipelines over intermediates can skip it.)
+  }
+  for (auto& stage : p->stages) {
+    stage(b, &t, *worker.backend);
+    if (p->vector_at_a_time) {
+      // Materialize one vector per live column per stage: a load+store
+      // through the cache hierarchy plus interpretation dispatch — the
+      // "multiple in-L1 passes" §6.4 credits for DBMS C's Q1 overhead.
+      t.tuple_ops += b->rows * 4 * b->num_columns();
+    }
+    if (p->operator_at_a_time) {
+      t.dram_seq_write_bytes += b->byte_size();
+      t.dram_seq_read_bytes += b->byte_size();
+    }
+    if (b->rows == 0) break;
+  }
+  stats->rows_out += b->rows;
+  if (p->sink != nullptr) {
+    p->sink->Consume(worker_index, std::move(*b), &t, *worker.backend);
+  }
+  const sim::TrafficStats scaled = codegen::Scaled(t, p->scale);
+  stats->traffic += scaled;
+  return worker.backend->PacketTime(scaled);
+}
+
+/// Charge the sink's single-worker merge after every packet finished.
+void FinishSink(Pipeline* p, const std::vector<Worker>& workers,
+                ExecStats* stats) {
+  if (p->sink == nullptr) return;
+  sim::TrafficStats t;
+  p->sink->Finish(&t);
+  const sim::TrafficStats scaled = codegen::Scaled(t, p->scale);
+  stats->traffic += scaled;
+  // The merge runs on one worker of the first device after all finish.
+  stats->finish += workers[0].backend->PacketTime(scaled);
+}
+
+}  // namespace
 
 Executor::Executor(sim::Topology* topo) : topo_(topo) {
   for (const auto& d : topo->devices()) {
@@ -44,9 +96,18 @@ std::vector<Worker> Executor::MakeWorkers(const std::vector<int>& devices,
   return workers;
 }
 
+sim::SimTime Executor::RouteDuration(int from_node, int to_node,
+                                     uint64_t bytes) const {
+  sim::SimTime d = 0;
+  for (int l : topo_->Route(from_node, to_node)) {
+    d += topo_->link(l).Duration(bytes);
+  }
+  return d;
+}
+
 int Executor::Route(const Pipeline& p, const memory::Batch& b,
-                    const std::vector<Worker>& workers,
-                    size_t packet_index) const {
+                    const std::vector<Worker>& workers, size_t packet_index,
+                    const LinkAvailFn& link_avail) const {
   switch (p.policy) {
     case RoutingPolicy::kHashBased: {
       // Route on the packet's partition id without touching its contents
@@ -57,9 +118,12 @@ int Executor::Route(const Pipeline& p, const memory::Batch& b,
       return static_cast<int>(h % workers.size());
     }
     case RoutingPolicy::kLocalityAware: {
-      // Prefer the least-loaded worker co-located with the packet; fall
-      // back to the globally least-loaded one if all local workers are
-      // far busier (2x) than the best remote worker.
+      // Prefer the least-loaded worker co-located with the packet; ship to
+      // the globally least-loaded worker only when it finishes earlier
+      // even after paying the packet's transfer to its node. (The old
+      // rule compared absolute free_at timestamps against a 2x threshold,
+      // which degenerates at sim-time 0 — everything looks "local
+      // enough" — and at late start times never leaves the local node.)
       int best_local = -1, best_any = 0;
       for (int w = 0; w < static_cast<int>(workers.size()); ++w) {
         if (workers[w].free_at < workers[best_any].free_at) best_any = w;
@@ -69,12 +133,15 @@ int Executor::Route(const Pipeline& p, const memory::Batch& b,
           best_local = w;
         }
       }
-      if (best_local >= 0 &&
-          workers[best_local].free_at <=
-              2 * std::max(workers[best_any].free_at, 1e-9)) {
-        return best_local;
-      }
-      return best_any;
+      if (best_local < 0) return best_any;
+      if (workers[best_any].mem_node == b.mem_node) return best_local;
+      const uint64_t wire_bytes = static_cast<uint64_t>(
+          b.byte_size() * p.scale * p.wire_amplification);
+      const sim::SimTime ship =
+          RouteDuration(b.mem_node, workers[best_any].mem_node, wire_bytes);
+      return workers[best_local].free_at <= workers[best_any].free_at + ship
+                 ? best_local
+                 : best_any;
     }
     case RoutingPolicy::kLoadAware:
     default: {
@@ -88,7 +155,7 @@ int Executor::Route(const Pipeline& p, const memory::Batch& b,
         if (workers[w].mem_node != b.mem_node) {
           sim::SimTime link_free = 0;
           for (int l : topo_->Route(b.mem_node, workers[w].mem_node)) {
-            link_free = std::max(link_free, topo_->link(l).available_at());
+            link_free = std::max(link_free, link_avail(l));
           }
           est = std::max(est, link_free);
         }
@@ -103,73 +170,198 @@ int Executor::Route(const Pipeline& p, const memory::Batch& b,
 }
 
 ExecStats Executor::Run(Pipeline* p, const std::vector<int>& devices,
-                        sim::SimTime start) {
-  std::vector<Worker> workers = MakeWorkers(devices, start);
+                        const RunOptions& opts) {
+  if (opts.async.enabled()) {
+    // Admission routing runs on a relative timeline (workers at 0), so
+    // packet->worker assignment is independent of absolute start times
+    // and of the prefetch depth — results stay byte-identical across
+    // depths.
+    std::vector<Worker> workers = MakeWorkers(devices, 0);
+    return RunAsync(p, &workers, opts);
+  }
+  std::vector<Worker> workers = MakeWorkers(devices, opts.start);
+  return RunSync(p, &workers, opts);
+}
+
+ExecStats Executor::RunSync(Pipeline* p, std::vector<Worker>* workers_ptr,
+                            const RunOptions& opts) {
+  std::vector<Worker>& workers = *workers_ptr;
+  const sim::SimTime start = opts.start;
   ExecStats stats;
   stats.start = start;
   stats.finish = start;
+  const LinkAvailFn live_links = [this](int l) {
+    return topo_->link(l).available_at();
+  };
 
   for (size_t i = 0; i < p->inputs.size(); ++i) {
     memory::Batch b = std::move(p->inputs[i]);
     stats.rows_in += b.rows;
     ++stats.packets;
 
-    const int w = Route(*p, b, workers, i);
+    const int w = Route(*p, b, workers, i, live_links);
     Worker& worker = workers[w];
 
     // mem-move: ship the packet to the consumer's memory node, reserving
-    // every link on the route (device crossing for CPU->GPU hops).
+    // every link on the route (device crossing for CPU->GPU hops). The
+    // synchronous model serializes this with the worker below.
     sim::SimTime ready = start;
+    uint64_t wire_bytes = 0;
     if (b.mem_node != worker.mem_node) {
-      const uint64_t wire_bytes = static_cast<uint64_t>(
+      wire_bytes = static_cast<uint64_t>(
           b.byte_size() * p->scale * p->wire_amplification);
       ready = topo_->TransferFinish(b.mem_node, worker.mem_node, start,
                                     wire_bytes);
       b.mem_node = worker.mem_node;
     }
 
-    // Fused pipeline execution on the worker.
-    sim::TrafficStats t;
-    if (p->charge_source_read) {
-      // ScanStage charges this; nothing extra here. (Kept explicit so
-      // pipelines over intermediates can skip it.)
+    const sim::SimTime cost = ProcessPacket(p, &b, w, worker, &stats);
+    if (wire_bytes > 0) {
+      ++stats.mem_moves;
+      stats.moved_bytes += wire_bytes;
+      stats.transfer_busy_s += ready - start;
+      stats.transfer_exposed_s += std::max(0.0, ready - worker.free_at);
     }
-    for (auto& stage : p->stages) {
-      stage(&b, &t, *worker.backend);
-      if (p->vector_at_a_time) {
-        // Materialize one vector per live column per stage: a load+store
-        // through the cache hierarchy plus interpretation dispatch — the
-        // "multiple in-L1 passes" §6.4 credits for DBMS C's Q1 overhead.
-        t.tuple_ops += b.rows * 4 * b.num_columns();
-      }
-      if (p->operator_at_a_time) {
-        t.dram_seq_write_bytes += b.byte_size();
-        t.dram_seq_read_bytes += b.byte_size();
-      }
-      if (b.rows == 0) break;
-    }
-    stats.rows_out += b.rows;
-    if (p->sink != nullptr) {
-      p->sink->Consume(w, std::move(b), &t, *worker.backend);
-    }
-
-    const sim::TrafficStats scaled = codegen::Scaled(t, p->scale);
-    stats.traffic += scaled;
-    const sim::SimTime cost = worker.backend->PacketTime(scaled);
     worker.free_at = std::max(worker.free_at, ready) + cost;
     worker.busy += cost;
     ++worker.packets;
     stats.finish = std::max(stats.finish, worker.free_at);
   }
 
-  if (p->sink != nullptr) {
-    sim::TrafficStats t;
-    p->sink->Finish(&t);
-    const sim::TrafficStats scaled = codegen::Scaled(t, p->scale);
-    stats.traffic += scaled;
-    // The merge runs on one worker of the first device after all finish.
-    stats.finish += workers[0].backend->PacketTime(scaled);
+  FinishSink(p, workers, &stats);
+  return stats;
+}
+
+ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
+                             const RunOptions& opts) {
+  std::vector<Worker>& workers = *workers_ptr;
+  ExecStats stats;
+  stats.start = opts.start;
+  stats.finish = opts.start;
+
+  // ---- pass 1: admission. Route packets (relative shadow timeline) and
+  // run the data path, recording each packet's cost and transfer need.
+  struct Rec {
+    int worker;
+    sim::SimTime cost;
+    uint64_t wire_bytes;
+    int from_node;
+  };
+  std::vector<Rec> recs;
+  recs.reserve(p->inputs.size());
+  std::vector<sim::SimTime> shadow_link(topo_->num_links(), 0.0);
+  const LinkAvailFn shadow_links = [&shadow_link](int l) {
+    return shadow_link[l];
+  };
+  for (size_t i = 0; i < p->inputs.size(); ++i) {
+    memory::Batch b = std::move(p->inputs[i]);
+    stats.rows_in += b.rows;
+    ++stats.packets;
+    const int w = Route(*p, b, workers, i, shadow_links);
+    Worker& worker = workers[w];
+    uint64_t wire_bytes = 0;
+    const int from_node = b.mem_node;
+    sim::SimTime est_ready = 0;
+    if (b.mem_node != worker.mem_node) {
+      wire_bytes = static_cast<uint64_t>(
+          b.byte_size() * p->scale * p->wire_amplification);
+      // Shadow reservation mirroring TransferFinish, so the router sees
+      // the same projected contention the synchronous model would.
+      sim::SimTime t = 0;
+      for (int l : topo_->Route(from_node, worker.mem_node)) {
+        t = std::max(t, shadow_link[l]);
+        t += topo_->link(l).Duration(wire_bytes);
+        shadow_link[l] = t;
+      }
+      est_ready = t;
+      b.mem_node = worker.mem_node;
+    }
+    const sim::SimTime cost = ProcessPacket(p, &b, w, worker, &stats);
+    worker.free_at = std::max(worker.free_at, est_ready) + cost;
+    recs.push_back(Rec{w, cost, wire_bytes, from_node});
   }
+
+  // ---- pass 2: event-driven timing against the real topology. Each
+  // worker consumes its packets in admission order; up to `depth`
+  // transfers are staged ahead of the packet being computed (the staging
+  // buffers), issued through the copy engines, never the workers.
+  const int depth = opts.async.prefetch_depth;
+  const size_t n_workers = workers.size();
+  std::vector<std::vector<int>> queue(n_workers);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    queue[recs[i].worker].push_back(static_cast<int>(i));
+  }
+  std::vector<sim::SimTime> gate(n_workers);
+  std::vector<std::vector<sim::SimTime>> fin(n_workers);
+  for (size_t w = 0; w < n_workers; ++w) {
+    const bool gpu =
+        topo_->device(workers[w].device_id).type == sim::DeviceType::kGpu;
+    gate[w] = gpu ? opts.compute_ready : opts.compute_ready_host;
+    workers[w].free_at = gate[w];
+    workers[w].busy = 0;
+    workers[w].packets = 0;
+    fin[w].assign(queue[w].size(), 0);
+  }
+
+  struct Event {
+    sim::SimTime t;
+    uint64_t seq;  // FIFO tie-break: deterministic schedule
+    int worker;
+    int slot;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+  uint64_t seq = 0;
+  // Prefill slot-major (slot 0 of every worker, then slot 1, ...): the
+  // initial staging issues in packet order across workers, so no worker's
+  // whole prefetch window reserves the links ahead of the others' first
+  // packets.
+  for (int k = 0; k < depth; ++k) {
+    for (size_t w = 0; w < n_workers; ++w) {
+      if (k < static_cast<int>(queue[w].size())) {
+        events.push(Event{opts.start, seq++, static_cast<int>(w), k});
+      }
+    }
+  }
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const int w = ev.worker;
+    const int k = ev.slot;
+    const Rec& r = recs[queue[w][k]];
+    // Issue the staged mem-move now (a buffer just became available).
+    sim::SimTime ready = ev.t;
+    if (r.wire_bytes > 0) {
+      ready = topo_->DmaTransferFinish(r.from_node, workers[w].mem_node,
+                                       ev.t, r.wire_bytes);
+    }
+    const sim::SimTime prev = k == 0 ? gate[w] : fin[w][k - 1];
+    const sim::SimTime begin = std::max(std::max(gate[w], prev), ready);
+    fin[w][k] = begin + r.cost;
+    workers[w].free_at = fin[w][k];
+    workers[w].busy += r.cost;
+    ++workers[w].packets;
+    stats.finish = std::max(stats.finish, fin[w][k]);
+    if (r.wire_bytes > 0) {
+      ++stats.mem_moves;
+      stats.moved_bytes += r.wire_bytes;
+      stats.transfer_busy_s += ready - ev.t;
+      stats.transfer_exposed_s +=
+          std::max(0.0, ready - std::max(prev, gate[w]));
+    }
+    // Computing slot k frees a staging buffer: issue slot k + depth.
+    const int next = k + depth;
+    if (next < static_cast<int>(queue[w].size())) {
+      events.push(Event{begin, seq++, w, next});
+    }
+  }
+
+  FinishSink(p, workers, &stats);
   return stats;
 }
 
@@ -187,6 +379,51 @@ sim::SimTime Executor::Broadcast(uint64_t bytes, int from_node,
   sim::SimTime finish = start;
   for (int l : links) {
     finish = std::max(finish, topo_->link(l).Transfer(start, bytes).finish);
+  }
+  return finish;
+}
+
+sim::SimTime Executor::BroadcastAsync(uint64_t bytes, int from_node,
+                                      const std::vector<int>& to_nodes,
+                                      sim::SimTime start,
+                                      uint64_t chunk_bytes) {
+  std::vector<int> dsts;
+  for (int d : to_nodes) {
+    if (d != from_node) dsts.push_back(d);
+  }
+  if (dsts.empty() || bytes == 0) return start;
+  const uint64_t chunk = std::max<uint64_t>(1, std::min(chunk_bytes, bytes));
+
+  sim::SimTime finish = start;
+  uint64_t off = 0;
+  while (off < bytes) {
+    const uint64_t csize = std::min(chunk, bytes - off);
+    off += csize;
+    // The broadcast drains straight out of the source memory at link
+    // speed; unlike packet staging it does not occupy copy-engine lanes
+    // (the first-hop link fully serializes its chunks already, and lane
+    // reservations would starve concurrent packet staging at small
+    // prefetch depths).
+    const sim::SimTime issued = start;
+    // Store-and-forward pipeline over the multicast tree: each link
+    // carries the chunk once; a downstream hop starts when its upstream
+    // hop finishes, so chunk c+1 occupies the first hop while chunk c
+    // rides the second — the double-buffering that lets probing-side
+    // staging begin before the last chunk lands.
+    std::map<int, sim::SimTime> done;  // link -> this chunk's finish there
+    for (int dst : dsts) {
+      sim::SimTime t = issued;
+      for (int l : topo_->Route(from_node, dst)) {
+        auto it = done.find(l);
+        if (it != done.end()) {
+          t = std::max(t, it->second);
+          continue;
+        }
+        t = topo_->link(l).TransferInGap(t, csize).finish;
+        done[l] = t;
+      }
+      finish = std::max(finish, t);
+    }
   }
   return finish;
 }

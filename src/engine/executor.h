@@ -1,11 +1,13 @@
 #ifndef HAPE_ENGINE_EXECUTOR_H_
 #define HAPE_ENGINE_EXECUTOR_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "engine/pipeline.h"
+#include "engine/policy.h"
 #include "sim/topology.h"
 
 namespace hape::engine {
@@ -22,21 +24,58 @@ struct Worker {
   sim::SimTime busy = 0;
 };
 
+/// Per-run knobs of Executor::Run. The synchronous legacy call sites use
+/// the (pipeline, devices, start) overload, which sets every gate to
+/// `start` and leaves async off — bit-identical to the historical model.
+struct RunOptions {
+  /// Earliest time packet mem-moves may be issued (staging start).
+  sim::SimTime start = 0;
+  /// Earliest time a GPU worker may start computing (e.g. its probed hash
+  /// tables became device-resident). >= start.
+  sim::SimTime compute_ready = 0;
+  /// Earliest time a CPU worker may start computing (host-resident build
+  /// sides are ready when their build pipelines finish — before any
+  /// broadcast lands). >= start.
+  sim::SimTime compute_ready_host = 0;
+  /// Async executor knob; depth 0 reproduces the synchronous timing.
+  AsyncOptions async;
+};
+
 /// Deterministic discrete-event pipeline executor. Packets are routed to
 /// workers by the router policy; device crossings reserve interconnect
 /// links (mem-move); each packet's processing cost comes from the worker's
 /// backend and the traffic the fused stages record. Host execution is
 /// sequential and deterministic, simulated time is parallel.
+///
+/// Two timing models share the data path:
+///   - synchronous (async depth 0): every packet's transfer serializes
+///     with the consuming worker (`free_at = max(free_at, ready) + cost`),
+///     the legacy Fig. 8/9 model, kept bit-exact;
+///   - event-driven async (depth N >= 1): transfers run on the device copy
+///     engines, decoupled from compute. Up to N packet transfers per
+///     worker are staged ahead of the one being computed, so mem-moves
+///     hide behind compute, and staging may begin before the worker is
+///     allowed to compute (RunOptions::start < compute_ready) — probe-side
+///     staging overlaps build pipelines and hash-table broadcasts.
 class Executor {
  public:
   explicit Executor(sim::Topology* topo);
 
-  /// Execute `p` on all workers of `devices`, starting no earlier than
-  /// `start`. Hybrid runs pass both CPU and GPU device ids — the router does
-  /// not differentiate; device-crossings (transfers + backend switches) are
-  /// handled per packet.
+  /// Execute `p` on all workers of `devices` under `opts`. Hybrid runs
+  /// pass both CPU and GPU device ids — the router does not differentiate;
+  /// device-crossings (transfers + backend switches) are handled per
+  /// packet.
   ExecStats Run(Pipeline* p, const std::vector<int>& devices,
-                sim::SimTime start = 0);
+                const RunOptions& opts);
+
+  /// Legacy synchronous entry point: staging and compute both gated at
+  /// `start`, async off.
+  ExecStats Run(Pipeline* p, const std::vector<int>& devices,
+                sim::SimTime start = 0) {
+    RunOptions opts;
+    opts.start = opts.compute_ready = opts.compute_ready_host = start;
+    return Run(p, devices, opts);
+  }
 
   /// Topology-aware broadcast (§4.2 mem-move): replicate `bytes` from
   /// `from_node` to each node in `to_nodes`, sharing the payload across
@@ -45,17 +84,44 @@ class Executor {
                          const std::vector<int>& to_nodes,
                          sim::SimTime start = 0);
 
+  /// Chunked, double-buffered broadcast used by the async engine: the
+  /// payload is split into `chunk_bytes` chunks that pipeline
+  /// store-and-forward across the multicast tree (chunk c+1 occupies the
+  /// first hop while chunk c rides the second), issued through the source
+  /// node's copy engine with gap-filling link reservations. Returns the
+  /// time the last chunk reaches the last destination.
+  sim::SimTime BroadcastAsync(uint64_t bytes, int from_node,
+                              const std::vector<int>& to_nodes,
+                              sim::SimTime start, uint64_t chunk_bytes);
+
   sim::Topology* topology() { return topo_; }
   const codegen::Backend& backend_for(int device_id) const {
     return *backends_.at(device_id);
   }
 
  private:
+  /// Callback yielding a link's next-available time; lets the router run
+  /// against the live topology (sync) or a relative shadow timeline
+  /// (async admission).
+  using LinkAvailFn = std::function<sim::SimTime(int)>;
+
   std::vector<Worker> MakeWorkers(const std::vector<int>& devices,
                                   sim::SimTime start) const;
   /// Router: choose the worker for `b` under `policy`; returns worker index.
   int Route(const Pipeline& p, const memory::Batch& b,
-            const std::vector<Worker>& workers, size_t packet_index) const;
+            const std::vector<Worker>& workers, size_t packet_index,
+            const LinkAvailFn& link_avail) const;
+
+  ExecStats RunSync(Pipeline* p, std::vector<Worker>* workers,
+                    const RunOptions& opts);
+  ExecStats RunAsync(Pipeline* p, std::vector<Worker>* workers,
+                     const RunOptions& opts);
+
+  /// Pure transfer duration of `bytes` along the route between two nodes
+  /// (no contention) — the router's estimate of what shipping a packet
+  /// remotely costs.
+  sim::SimTime RouteDuration(int from_node, int to_node,
+                             uint64_t bytes) const;
 
   sim::Topology* topo_;
   std::map<int, std::unique_ptr<codegen::Backend>> backends_;

@@ -34,6 +34,70 @@ void IntArray(JsonWriter* w, const std::vector<int>& v) {
 
 }  // namespace
 
+std::string Engine::Explain(const QueryPlan& plan,
+                            const RunStats& run) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("plan");
+  w.String(plan.name());
+  w.Key("run");
+  w.BeginObject();
+  w.Key("async");
+  w.Bool(run.async);
+  w.Key("finish_s");
+  w.Double(run.finish);
+  w.Key("placement_finish_s");
+  w.Double(run.placement_finish);
+  w.Key("broadcast_bytes");
+  w.Uint(run.broadcast_bytes);
+  w.Key("co_processed");
+  w.Bool(run.co_processed);
+  // Overlap accounting: how much mem-move time the executor hid behind
+  // compute vs exposed on the workers' critical paths.
+  w.Key("mem_moves");
+  w.Uint(run.mem_moves);
+  w.Key("moved_bytes");
+  w.Uint(run.moved_bytes);
+  w.Key("transfer_busy_s");
+  w.Double(run.transfer_busy_s);
+  w.Key("transfer_exposed_s");
+  w.Double(run.transfer_exposed_s);
+  w.Key("transfer_hidden_s");
+  w.Double(run.transfer_hidden_s());
+  w.Key("pipelines");
+  w.BeginArray();
+  for (const PipelineRunStats& p : run.pipelines) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(p.name);
+    w.Key("start_s");
+    w.Double(p.stats.start);
+    w.Key("finish_s");
+    w.Double(p.stats.finish);
+    w.Key("packets");
+    w.Uint(p.stats.packets);
+    w.Key("rows_out");
+    w.Uint(p.stats.rows_out);
+    w.Key("mem_moves");
+    w.Uint(p.stats.mem_moves);
+    w.Key("moved_bytes");
+    w.Uint(p.stats.moved_bytes);
+    w.Key("transfer_busy_s");
+    w.Double(p.stats.transfer_busy_s);
+    w.Key("transfer_exposed_s");
+    w.Double(p.stats.transfer_exposed_s);
+    w.Key("transfer_hidden_s");
+    w.Double(p.stats.transfer_hidden_s());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("explain");
+  w.Raw(Explain(plan));
+  w.EndObject();
+  return w.str();
+}
+
 std::string Engine::Explain(const QueryPlan& plan) const {
   JsonWriter w;
   w.BeginObject();

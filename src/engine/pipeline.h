@@ -92,6 +92,24 @@ struct ExecStats {
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   sim::TrafficStats traffic;  // nominal-scale aggregate
+
+  // ---- mem-move overlap accounting (both execution modes fill these) ----
+  /// Packets that crossed memory nodes to reach their worker.
+  uint64_t mem_moves = 0;
+  /// Wire bytes those crossings moved (nominal scale, amplification
+  /// included).
+  uint64_t moved_bytes = 0;
+  /// Total per-packet transfer wall time (issue to arrival, queueing
+  /// included).
+  sim::SimTime transfer_busy_s = 0;
+  /// Portion of transfer_busy_s the consuming worker actually waited on
+  /// (the packet arrived after the worker went idle). The rest was hidden
+  /// behind compute or other transfers.
+  sim::SimTime transfer_exposed_s = 0;
+
+  sim::SimTime transfer_hidden_s() const {
+    return transfer_busy_s - transfer_exposed_s;
+  }
   sim::SimTime seconds() const { return finish - start; }
 };
 

@@ -35,6 +35,29 @@ enum class ExecutionModel {
 
 const char* ExecutionModelName(ExecutionModel m);
 
+/// Asynchronous-execution knob of the event-driven executor. Depth 0 is
+/// the synchronous legacy model and reproduces its cost sequences exactly
+/// (every packet's mem-move serializes with the consuming worker); depth
+/// N >= 1 stages up to N packet transfers per worker ahead of compute on
+/// the device copy engines, chunks hash-table broadcasts double-buffered,
+/// and lets probe-side staging overlap build pipelines and broadcasts.
+struct AsyncOptions {
+  /// Per-worker mem-move prefetch depth (in-flight staged packets ahead of
+  /// the one being computed). 0 = synchronous.
+  int prefetch_depth = 0;
+  /// Chunk size of double-buffered hash-table broadcasts (depth >= 1).
+  uint64_t broadcast_chunk_bytes = 64 * sim::kMiB;
+
+  bool enabled() const { return prefetch_depth > 0; }
+
+  static AsyncOptions Off() { return AsyncOptions{}; }
+  static AsyncOptions Depth(int n) {
+    AsyncOptions a;
+    a.prefetch_depth = n;
+    return a;
+  }
+};
+
 /// Declarative description of *where and how* a QueryPlan executes. Derived
 /// once (usually via ForConfig) and passed to Engine::Run; queries never
 /// switch on the configuration themselves.
@@ -61,6 +84,10 @@ struct ExecutionPolicy {
   /// sides that were hash-partitioned across GPUs instead of co-partitioned
   /// (§6.4: every probe packet shuffles between devices at each such join).
   double shuffle_wire_amplification = 2.0;
+  /// Event-driven async execution (overlap of mem-moves with compute,
+  /// double-buffered broadcasts, inter-pipeline overlap). Off by default:
+  /// depth 0 reproduces the synchronous cost sequences exactly.
+  AsyncOptions async;
   /// Knobs of the cost-based plan optimizer used when Engine::Optimize is
   /// called without explicit options. Defaults are the compatibility
   /// configuration (decisions reproduce well-annotated hand plans).

@@ -37,6 +37,10 @@ void BuildSink::Consume(int worker, memory::Batch&& batch,
                         sim::TrafficStats* traffic,
                         const codegen::Backend& backend) {
   (void)worker;
+  // An emptied packet may have left its stage chain before later stages
+  // appended the columns the key/payload reference — and contributes no
+  // tuples or traffic anyway.
+  if (batch.rows == 0) return;
   if (!payload_initialized_) {
     for (int c : payload_cols_) {
       state_->payload.columns.push_back(

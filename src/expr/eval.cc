@@ -59,6 +59,11 @@ double Eval::ScalarDouble(const Expr& e, const memory::Batch& b, size_t i) {
 }
 
 std::vector<double> Eval::Doubles(const Expr& e, const memory::Batch& b) {
+  // An emptied packet may have broken out of its stage chain before later
+  // stages appended their columns; a referenced column then does not exist
+  // yet, so never touch the layout when there are no rows (generated
+  // kernels simply don't run for empty packets).
+  if (b.rows == 0) return {};
   std::vector<double> out(b.rows);
   // Vectorize the common leaf cases; recurse via scalar otherwise. The
   // recursion cost is host-side only — simulated cost comes from OpCount().
@@ -90,6 +95,7 @@ std::vector<double> Eval::Doubles(const Expr& e, const memory::Batch& b) {
 }
 
 std::vector<int64_t> Eval::Ints(const Expr& e, const memory::Batch& b) {
+  if (b.rows == 0) return {};  // see Doubles: the column may not exist yet
   if (e.kind() == ExprKind::kColRef) {
     const auto& col = *b.columns[e.col_index()];
     std::vector<int64_t> out(b.rows);

@@ -27,6 +27,16 @@ class CostModel {
   static double PipelineSeconds(const sim::Topology& topo,
                                 const std::vector<int>& devices,
                                 uint64_t nominal_bytes, uint64_t nominal_ops);
+
+  /// Overlap-aware variant: under the async executor (depth >= 1),
+  /// prefetched staging hides the interconnect round-trip that the
+  /// synchronous model charges as fixed GPU setup, so offloading small
+  /// pipelines breaks even earlier. With async off this is exactly
+  /// PipelineSeconds.
+  static double PipelineSeconds(const sim::Topology& topo,
+                                const std::vector<int>& devices,
+                                uint64_t nominal_bytes, uint64_t nominal_ops,
+                                const engine::AsyncOptions& async);
 };
 
 /// Decisions the optimizer took for one pipeline.

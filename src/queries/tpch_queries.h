@@ -57,6 +57,9 @@ struct TpchContext {
   bool partitioned_gpu_join = true;
   /// Plan declaration style (see PlanMode).
   PlanMode plan_mode = PlanMode::kOptimized;
+  /// Event-driven async execution knob forwarded onto every run's policy
+  /// (depth 0 = the synchronous legacy timing).
+  engine::AsyncOptions async;
   /// Engine reused across this context's runs so its table-statistics
   /// cache actually caches (created lazily by the query runners).
   std::shared_ptr<engine::Engine> engine;
@@ -67,11 +70,13 @@ struct TpchContext {
 /// Populate `ctx.catalog` with generated TPC-H tables at `sf_actual`.
 Status PrepareTpch(TpchContext* ctx, uint64_t seed = 42);
 
-/// Run TPC-H Q1 / Q5 / Q6 / Q9* under `config` (Q9* = the paper's variant:
-/// no LIKE predicate and no join to the filtered part table). Each query
-/// declares a QueryPlan with PlanBuilder and executes it through the Engine
-/// facade under the configuration's ExecutionPolicy.
+/// Run TPC-H Q1 / Q3 / Q5 / Q6 / Q9* under `config` (Q9* = the paper's
+/// variant: no LIKE predicate and no join to the filtered part table; Q3
+/// groups by l_orderkey, which determines the orderdate/shippriority group
+/// columns). Each query declares a QueryPlan with PlanBuilder and executes
+/// it through the Engine facade under the configuration's ExecutionPolicy.
 QueryResult RunQ1(TpchContext* ctx, EngineConfig config);
+QueryResult RunQ3(TpchContext* ctx, EngineConfig config);
 QueryResult RunQ5(TpchContext* ctx, EngineConfig config);
 QueryResult RunQ6(TpchContext* ctx, EngineConfig config);
 QueryResult RunQ9(TpchContext* ctx, EngineConfig config);
@@ -81,6 +86,7 @@ using QueryFn = QueryResult (*)(TpchContext*, EngineConfig);
 /// Trusted scalar reference implementations (no engine machinery) used by
 /// the test suite to validate every configuration's result.
 QueryResult RefQ1(const TpchContext& ctx);
+QueryResult RefQ3(const TpchContext& ctx);
 QueryResult RefQ5(const TpchContext& ctx);
 QueryResult RefQ6(const TpchContext& ctx);
 QueryResult RefQ9(const TpchContext& ctx);

@@ -1,0 +1,91 @@
+#include "sim/copy_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hape::sim {
+
+Timeline::Window Timeline::ReserveTail(SimTime earliest, SimTime dur) {
+  const SimTime start = std::max(earliest, tail_);
+  Window w{start, start + dur};
+  Insert(w);
+  return w;
+}
+
+SimTime Timeline::ProbeStart(SimTime earliest, SimTime dur) const {
+  SimTime candidate = earliest;
+  for (const Window& w : busy_) {
+    if (candidate + dur <= w.start) return candidate;
+    candidate = std::max(candidate, w.finish);
+  }
+  return candidate;
+}
+
+Timeline::Window Timeline::Reserve(SimTime earliest, SimTime dur) {
+  const SimTime start = ProbeStart(earliest, dur);
+  Window w{start, start + dur};
+  Insert(w);
+  return w;
+}
+
+void Timeline::Insert(const Window& w) {
+  busy_time_ += w.finish - w.start;
+  tail_ = std::max(tail_, w.finish);
+  auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), w,
+      [](const Window& a, const Window& b) { return a.start < b.start; });
+  it = busy_.insert(it, w);
+  // Coalesce with touching neighbours to keep the list compact.
+  if (it != busy_.begin()) {
+    auto prev = it - 1;
+    if (prev->finish >= it->start) {
+      prev->finish = std::max(prev->finish, it->finish);
+      it = busy_.erase(it) - 1;
+    }
+  }
+  if (it + 1 != busy_.end() && it->finish >= (it + 1)->start) {
+    it->finish = std::max(it->finish, (it + 1)->finish);
+    busy_.erase(it + 1);
+  }
+}
+
+void Timeline::Reset() {
+  busy_.clear();
+  tail_ = 0;
+  busy_time_ = 0;
+}
+
+SimTime CopyEngine::Issue(SimTime earliest, SimTime dur, uint64_t bytes) {
+  HAPE_CHECK(channels_ > 0);
+  if (lanes_.empty()) lanes_.resize(channels_);
+  // The channel that can issue earliest wins; lowest index breaks ties so
+  // the schedule is deterministic.
+  int best = 0;
+  SimTime best_start = lanes_[0].ProbeStart(earliest, dur);
+  for (int c = 1; c < channels_; ++c) {
+    const SimTime s = lanes_[c].ProbeStart(earliest, dur);
+    if (s < best_start) {
+      best_start = s;
+      best = c;
+    }
+  }
+  lanes_[best].Reserve(earliest, dur);
+  total_bytes_ += bytes;
+  ++copies_;
+  return best_start;
+}
+
+SimTime CopyEngine::busy_time() const {
+  SimTime t = 0;
+  for (const Timeline& l : lanes_) t += l.busy_time();
+  return t;
+}
+
+void CopyEngine::Reset() {
+  for (Timeline& l : lanes_) l.Reset();
+  total_bytes_ = 0;
+  copies_ = 0;
+}
+
+}  // namespace hape::sim

@@ -1,0 +1,89 @@
+#ifndef HAPE_SIM_COPY_ENGINE_H_
+#define HAPE_SIM_COPY_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/spec.h"
+
+namespace hape::sim {
+
+/// A busy-interval timeline: disjoint, sorted reservations over simulated
+/// time. Two reservation flavors:
+///   - ReserveTail: legacy busy-until semantics (start no earlier than the
+///     last reservation's finish) — the exact arithmetic the synchronous
+///     executor has always used, kept bit-identical.
+///   - Reserve: gap-filling — claim the earliest idle window of the
+///     requested duration, falling back to the tail. The async executor
+///     uses this so DMA traffic can use link idle time that host-order
+///     tail reservations would strand (e.g. PCIe sitting idle during a
+///     build phase while the broadcast is only issued afterwards).
+class Timeline {
+ public:
+  struct Window {
+    SimTime start = 0;
+    SimTime finish = 0;
+  };
+
+  /// Tail reservation: start = max(earliest, tail()). Never fills gaps.
+  Window ReserveTail(SimTime earliest, SimTime dur);
+
+  /// Gap-filling reservation: the earliest window of length `dur` starting
+  /// no earlier than `earliest` that does not overlap any existing
+  /// reservation (existing reservations are never moved).
+  Window Reserve(SimTime earliest, SimTime dur);
+
+  /// Start of the earliest such window, without reserving it.
+  SimTime ProbeStart(SimTime earliest, SimTime dur) const;
+
+  /// Time after which the timeline is entirely free (busy-until).
+  SimTime tail() const { return tail_; }
+  SimTime busy_time() const { return busy_time_; }
+
+  void Reset();
+
+ private:
+  void Insert(const Window& w);
+
+  /// Disjoint, sorted by start. Touching windows coalesce on insert, so
+  /// back-to-back traffic (the synchronous executor's common case) keeps
+  /// a single window per busy period: the list tracks the link's idle
+  /// structure, not its transfer count.
+  std::vector<Window> busy_;
+  SimTime tail_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+/// The modeled DMA engine of one memory node: the queue that carries out
+/// asynchronous mem-moves *originating* at that node, decoupled from the
+/// node's compute devices. A transfer occupies one of `channels` engine
+/// channels for its first-hop duration (the transaction that drains the
+/// source memory); with more in-flight copies than channels, issues
+/// serialize — the "DMA queue" backpressure a real copy engine imposes.
+/// Synchronous execution never touches copy engines (exact-compat).
+class CopyEngine {
+ public:
+  explicit CopyEngine(int channels = 4) : channels_(channels) {}
+
+  /// Earliest time a copy of first-hop duration `dur` may issue at or
+  /// after `earliest`, and reserve the chosen channel for it.
+  SimTime Issue(SimTime earliest, SimTime dur, uint64_t bytes);
+
+  int channels() const { return channels_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  SimTime busy_time() const;
+  uint64_t copies() const { return copies_; }
+
+  void Reset();
+
+ private:
+  int channels_;
+  std::vector<Timeline> lanes_;  // grown lazily up to channels_
+  uint64_t total_bytes_ = 0;
+  uint64_t copies_ = 0;
+};
+
+}  // namespace hape::sim
+
+#endif  // HAPE_SIM_COPY_ENGINE_H_

@@ -1,16 +1,15 @@
 #include "sim/interconnect.h"
 
-#include <algorithm>
-
 namespace hape::sim {
 
 Link::Window Link::Transfer(SimTime earliest, uint64_t bytes) {
-  const SimTime start = std::max(earliest, busy_until_);
-  const SimTime dur = Duration(bytes);
-  busy_until_ = start + dur;
   total_bytes_ += bytes;
-  busy_time_ += dur;
-  return Window{start, busy_until_};
+  return timeline_.ReserveTail(earliest, Duration(bytes));
+}
+
+Link::Window Link::TransferInGap(SimTime earliest, uint64_t bytes) {
+  total_bytes_ += bytes;
+  return timeline_.Reserve(earliest, Duration(bytes));
 }
 
 }  // namespace hape::sim

@@ -3,29 +3,36 @@
 
 #include <cstdint>
 
+#include "sim/copy_engine.h"
 #include "sim/spec.h"
 
 namespace hape::sim {
 
-/// One simulated interconnect link (PCIe or inter-socket QPI). Links have
-/// busy-until contention semantics: a transfer occupies the link exclusively
-/// for bytes/bandwidth seconds starting at max(earliest, link free time).
-/// The discrete-event executor is single-threaded, so no locking is needed.
+/// One simulated interconnect link (PCIe or inter-socket QPI). Links keep a
+/// busy-interval timeline. The synchronous executor reserves tail-only
+/// (busy-until contention semantics, unchanged arithmetic); the async
+/// executor's DMA traffic may additionally fill idle gaps between existing
+/// reservations (TransferInGap) — a copy engine interleaving transfers into
+/// otherwise idle link time. The discrete-event executor is
+/// single-threaded, so no locking is needed.
 class Link {
  public:
   explicit Link(LinkSpec spec) : spec_(spec) {}
 
-  struct Window {
-    SimTime start;
-    SimTime finish;
-  };
+  using Window = Timeline::Window;
 
   /// Reserve the link for a transfer of `bytes` that may begin no earlier
-  /// than `earliest`. Advances the link's busy-until time.
+  /// than `earliest`. Tail semantics: advances the link's busy-until time.
   Window Transfer(SimTime earliest, uint64_t bytes);
 
-  /// Time at which the link next becomes free.
-  SimTime available_at() const { return busy_until_; }
+  /// Gap-filling reservation used by async mem-moves: claim the earliest
+  /// idle window long enough for `bytes`, never displacing existing
+  /// reservations (and never beating `earliest`).
+  Window TransferInGap(SimTime earliest, uint64_t bytes);
+
+  /// Time at which the link's tail next becomes free (busy-until; idle
+  /// gaps before it may still exist).
+  SimTime available_at() const { return timeline_.tail(); }
 
   /// Pure cost of moving `bytes` over an idle link of this spec.
   SimTime Duration(uint64_t bytes) const {
@@ -34,19 +41,17 @@ class Link {
 
   const LinkSpec& spec() const { return spec_; }
   uint64_t total_bytes() const { return total_bytes_; }
-  SimTime busy_time() const { return busy_time_; }
+  SimTime busy_time() const { return timeline_.busy_time(); }
 
   void Reset() {
-    busy_until_ = 0;
+    timeline_.Reset();
     total_bytes_ = 0;
-    busy_time_ = 0;
   }
 
  private:
   LinkSpec spec_;
-  SimTime busy_until_ = 0;
+  Timeline timeline_;
   uint64_t total_bytes_ = 0;  // lifetime bytes moved (for reports)
-  SimTime busy_time_ = 0;     // lifetime occupancy (for utilization reports)
 };
 
 }  // namespace hape::sim

@@ -27,6 +27,7 @@ int Topology::AddMemNode(std::string name, uint64_t capacity) {
   const int id = static_cast<int>(mem_nodes_.size());
   mem_nodes_.push_back(std::make_unique<MemNode>(id, std::move(name),
                                                  capacity));
+  copy_engines_.push_back(std::make_unique<CopyEngine>());
   return id;
 }
 
@@ -133,9 +134,25 @@ SimTime Topology::TransferFinish(int from_node, int to_node, SimTime earliest,
   return t;
 }
 
+SimTime Topology::DmaTransferFinish(int from_node, int to_node,
+                                    SimTime earliest, uint64_t bytes) {
+  if (from_node == to_node) return earliest;
+  const std::vector<int>& route = Route(from_node, to_node);
+  HAPE_CHECK(!route.empty()) << "no route between memory nodes";
+  // The copy engine serializes the issue against the node's other
+  // in-flight copies for the first hop's duration (draining the source).
+  const SimTime first_dur = links_[route.front()]->Duration(bytes);
+  SimTime t = copy_engines_[from_node]->Issue(earliest, first_dur, bytes);
+  for (int l : route) {
+    t = links_[l]->TransferInGap(t, bytes).finish;
+  }
+  return t;
+}
+
 void Topology::Reset() {
   for (auto& l : links_) l->Reset();
   for (auto& m : mem_nodes_) m->ResetUsage();
+  for (auto& c : copy_engines_) c->Reset();
 }
 
 }  // namespace hape::sim

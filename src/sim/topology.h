@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sim/copy_engine.h"
 #include "sim/interconnect.h"
 #include "sim/spec.h"
 
@@ -74,6 +75,9 @@ class Topology {
   int num_mem_nodes() const { return static_cast<int>(mem_nodes_.size()); }
   Link& link(int id) { return *links_[id]; }
   int num_links() const { return static_cast<int>(links_.size()); }
+  /// The DMA engine carrying out async mem-moves that originate at
+  /// `mem_node` (one per memory node; see CopyEngine).
+  CopyEngine& copy_engine(int mem_node) { return *copy_engines_[mem_node]; }
 
   std::vector<int> CpuDeviceIds() const;
   std::vector<int> GpuDeviceIds() const;
@@ -88,6 +92,17 @@ class Topology {
   SimTime TransferFinish(int from_node, int to_node, SimTime earliest,
                          uint64_t bytes);
 
+  /// Asynchronous DMA mem-move: issues on the source node's copy engine
+  /// (serializing against its other in-flight copies), then reserves every
+  /// link on the route with gap-filling semantics — the transfer may use
+  /// link idle time before the tail, so it never delays reservations that
+  /// already exist. Hops pipeline store-and-forward (hop i+1 starts when
+  /// hop i finishes). Returns the finish time. Compute workers are not
+  /// involved: this is the decoupled transfer timeline of the async
+  /// executor. Synchronous execution never calls this.
+  SimTime DmaTransferFinish(int from_node, int to_node, SimTime earliest,
+                            uint64_t bytes);
+
   /// Reset all link reservations and memory usage statistics.
   void Reset();
 
@@ -99,6 +114,7 @@ class Topology {
   std::vector<Device> devices_;
   std::vector<std::unique_ptr<MemNode>> mem_nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<CopyEngine>> copy_engines_;  // per mem node
   // routes_[from][to] = link ids.
   std::vector<std::vector<std::vector<int>>> routes_;
   // adjacency: (node_a, node_b) per link id.

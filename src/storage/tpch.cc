@@ -134,17 +134,24 @@ TablePtr TpchGenerator::Supplier() {
 TablePtr TpchGenerator::Customer() {
   const uint64_t n = NumCustomer();
   std::vector<int64_t> key(n), nationkey(n);
+  std::vector<int32_t> mktsegment(n);
   Rng rng(seed_ ^ 0xc1ULL);
+  // Separate stream for the segment so existing columns stay bit-stable.
+  Rng seg_rng(seed_ ^ 0xc2ULL);
   for (uint64_t i = 0; i < n; ++i) {
     key[i] = static_cast<int64_t>(i) + 1;
     nationkey[i] = static_cast<int64_t>(rng.Below(kNumNations));
+    mktsegment[i] = static_cast<int32_t>(seg_rng.Below(kNumSegments));
   }
   auto schema = std::make_shared<Schema>(std::vector<Field>{
-      {"c_custkey", DataType::kInt64}, {"c_nationkey", DataType::kInt64}});
+      {"c_custkey", DataType::kInt64},
+      {"c_nationkey", DataType::kInt64},
+      {"c_mktsegment", DataType::kInt32}});
   return std::make_shared<Table>(
       "customer", schema,
       std::vector<ColumnPtr>{std::make_shared<Column>(std::move(key)),
-                             std::make_shared<Column>(std::move(nationkey))},
+                             std::make_shared<Column>(std::move(nationkey)),
+                             std::make_shared<Column>(std::move(mktsegment))},
       home_node_);
 }
 

@@ -22,6 +22,11 @@ constexpr int32_t kRegionAsia = 2;
 constexpr int32_t kFlagA = 0, kFlagN = 1, kFlagR = 2;
 constexpr int32_t kStatusF = 0, kStatusO = 1;
 
+/// Dictionary codes for c_mktsegment (5 segments, uniform). Q3 filters on
+/// 'BUILDING'.
+constexpr int kNumSegments = 5;
+constexpr int32_t kSegBuilding = 0;
+
 /// Encode a date as int32 yyyymmdd (numeric order == date order).
 constexpr int32_t Date(int y, int m, int d) { return y * 10000 + m * 100 + d; }
 

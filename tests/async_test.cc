@@ -1,0 +1,297 @@
+// Event-driven async executor: overlap invariants, exact sync-mode compat,
+// and determinism. The acceptance contract of the async engine:
+//   - depth 0 reproduces the synchronous cost sequences bit-exactly;
+//   - on transfer-bound hybrid topologies, depth >= 1 strictly lowers the
+//     finish time of the broadcast-heavy joins (Q5/Q9) by overlapping
+//     mem-moves, chunked broadcasts and probe-side staging with compute;
+//   - results are byte-identical across depths and repeated runs, and
+//     ExecStats are deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "engine/engine.h"
+#include "queries/tpch_queries.h"
+#include "sim/copy_engine.h"
+#include "storage/tpch.h"
+
+namespace hape::queries {
+namespace {
+
+class AsyncExec : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new sim::Topology(sim::Topology::PaperServer());
+    ctx_ = new TpchContext();
+    ctx_->topo = topo_;
+    ctx_->sf_actual = 0.01;
+    ctx_->sf_nominal = 100.0;
+    ASSERT_TRUE(PrepareTpch(ctx_).ok());
+  }
+  void SetUp() override {
+    topo_->Reset();
+    ctx_->partitioned_gpu_join = true;
+    ctx_->plan_mode = PlanMode::kOptimized;
+    ctx_->async = engine::AsyncOptions::Off();
+  }
+
+  QueryResult RunAtDepth(QueryFn fn, EngineConfig config, int depth) {
+    topo_->Reset();
+    ctx_->async = engine::AsyncOptions::Depth(depth);
+    return fn(ctx_, config);
+  }
+
+  /// Byte-identical aggregate results (no tolerance: determinism, not
+  /// accuracy, is under test).
+  static void ExpectBitIdenticalGroups(const QueryResult& a,
+                                       const QueryResult& b,
+                                       const char* label) {
+    ASSERT_EQ(a.groups.size(), b.groups.size()) << label;
+    auto ita = a.groups.begin();
+    auto itb = b.groups.begin();
+    for (; ita != a.groups.end(); ++ita, ++itb) {
+      ASSERT_EQ(ita->first, itb->first) << label;
+      ASSERT_EQ(ita->second.size(), itb->second.size()) << label;
+      EXPECT_EQ(0, std::memcmp(ita->second.data(), itb->second.data(),
+                               ita->second.size() * sizeof(double)))
+          << label << " group " << ita->first;
+    }
+  }
+
+  static sim::Topology* topo_;
+  static TpchContext* ctx_;
+};
+sim::Topology* AsyncExec::topo_ = nullptr;
+TpchContext* AsyncExec::ctx_ = nullptr;
+
+// ---- sim-layer primitives ---------------------------------------------------
+
+TEST(Timeline, TailReservationMatchesBusyUntilSemantics) {
+  sim::Timeline t;
+  auto w1 = t.ReserveTail(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(w1.start, 0.0);
+  EXPECT_DOUBLE_EQ(w1.finish, 2.0);
+  auto w2 = t.ReserveTail(1.0, 3.0);  // starts at the tail, not at 1.0
+  EXPECT_DOUBLE_EQ(w2.start, 2.0);
+  EXPECT_DOUBLE_EQ(w2.finish, 5.0);
+  EXPECT_DOUBLE_EQ(t.tail(), 5.0);
+}
+
+TEST(Timeline, GapReservationFillsIdleWindows) {
+  sim::Timeline t;
+  t.ReserveTail(0.0, 1.0);   // [0, 1)
+  t.ReserveTail(4.0, 1.0);   // [4, 5)
+  auto gap = t.Reserve(0.0, 2.0);  // fits in [1, 4)
+  EXPECT_DOUBLE_EQ(gap.start, 1.0);
+  EXPECT_DOUBLE_EQ(gap.finish, 3.0);
+  // Tail is unchanged by a gap fill...
+  EXPECT_DOUBLE_EQ(t.tail(), 5.0);
+  // ...and a reservation that fits no gap lands at the tail.
+  auto tail = t.Reserve(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(tail.start, 5.0);
+}
+
+TEST(Timeline, GapReservationRespectsEarliest) {
+  sim::Timeline t;
+  t.ReserveTail(2.0, 1.0);  // [2, 3)
+  auto w = t.Reserve(1.5, 0.25);
+  EXPECT_DOUBLE_EQ(w.start, 1.5);  // the pre-window gap is usable
+  auto w2 = t.Reserve(2.5, 0.5);
+  EXPECT_DOUBLE_EQ(w2.start, 3.0);  // may not start inside a reservation
+}
+
+TEST(CopyEngine, ChannelsSerializeExcessCopies) {
+  sim::CopyEngine eng(2);
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 100), 0.0);  // channel 0
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 100), 0.0);  // channel 1
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 100), 1.0);  // queued behind one
+  EXPECT_EQ(eng.copies(), 3u);
+  EXPECT_EQ(eng.total_bytes(), 300u);
+  eng.Reset();
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 1), 0.0);
+}
+
+TEST(DmaTransfer, UsesLinkIdleTimeBeforeTailReservations) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  // A tail reservation far in the future (a broadcast issued later in host
+  // order)...
+  const int pcie0 = topo.Route(0, 2).front();
+  topo.link(pcie0).Transfer(1.0, 64 * sim::kMiB);
+  // ...must not delay an async DMA that fits entirely before it.
+  const sim::SimTime done =
+      topo.DmaTransferFinish(0, 2, 0.0, 1 * sim::kMiB);
+  EXPECT_LT(done, 1.0);
+  // The synchronous path would queue at the tail instead.
+  const sim::SimTime sync_done =
+      topo.TransferFinish(0, 2, 0.0, 1 * sim::kMiB);
+  EXPECT_GT(sync_done, 1.0);
+}
+
+// ---- depth 0 == the synchronous legacy model, bit-exactly -------------------
+
+TEST_F(AsyncExec, DepthZeroReproducesSyncCostsExactly) {
+  for (auto config : {EngineConfig::kProteusCpu, EngineConfig::kProteusHybrid,
+                      EngineConfig::kProteusGpu}) {
+    for (QueryFn q : {RunQ1, RunQ3, RunQ5, RunQ6}) {
+      topo_->Reset();
+      ctx_->async = engine::AsyncOptions::Off();
+      const QueryResult plain = q(ctx_, config);
+      const QueryResult depth0 = RunAtDepth(q, config, 0);
+      ASSERT_EQ(plain.DidNotFinish(), depth0.DidNotFinish());
+      if (plain.DidNotFinish()) continue;
+      EXPECT_DOUBLE_EQ(plain.seconds, depth0.seconds) << ConfigName(config);
+      ASSERT_EQ(plain.exec.pipelines.size(), depth0.exec.pipelines.size());
+      for (size_t i = 0; i < plain.exec.pipelines.size(); ++i) {
+        EXPECT_DOUBLE_EQ(plain.exec.pipelines[i].stats.finish,
+                         depth0.exec.pipelines[i].stats.finish)
+            << ConfigName(config) << " " << plain.exec.pipelines[i].name;
+      }
+      ExpectBitIdenticalGroups(plain, depth0, ConfigName(config));
+    }
+  }
+}
+
+// Depth-0 and the plain policy share a code path, so the test above alone
+// could not catch a regression in the shared Timeline/Link arithmetic.
+// Pin the absolute synchronous costs to the pre-refactor values (paper
+// server, SF 0.01 actual / SF 100 nominal, seed 42): any drift here is a
+// real change to the legacy cost sequences. Re-baseline only with an
+// intentional cost-model change.
+TEST_F(AsyncExec, SyncCostGoldens) {
+  struct Golden {
+    const char* name;
+    QueryFn run;
+    double hybrid_seconds;
+  } goldens[] = {
+      {"q1", RunQ1, 0.30009299038461529},
+      {"q5", RunQ5, 0.73712464320000004},
+      {"q6", RunQ6, 0.18915416559829051},
+      {"q9", RunQ9, 1.774723967980854},
+  };
+  for (const auto& g : goldens) {
+    const QueryResult r = RunAtDepth(g.run, EngineConfig::kProteusHybrid, 0);
+    ASSERT_FALSE(r.DidNotFinish()) << g.name;
+    EXPECT_NEAR(r.seconds, g.hybrid_seconds, 1e-12 * g.hybrid_seconds)
+        << g.name;
+  }
+}
+
+// ---- the acceptance invariant: async strictly beats sync on hybrid ----------
+
+TEST_F(AsyncExec, AsyncStrictlyFasterOnTransferBoundHybridQ5Q9) {
+  struct Case {
+    const char* name;
+    QueryFn run;
+  } cases[] = {{"q5", RunQ5}, {"q9", RunQ9}};
+  for (const auto& c : cases) {
+    const QueryResult sync = RunAtDepth(c.run, EngineConfig::kProteusHybrid, 0);
+    ASSERT_FALSE(sync.DidNotFinish()) << c.name;
+    for (int depth : {1, 2, 4}) {
+      const QueryResult async =
+          RunAtDepth(c.run, EngineConfig::kProteusHybrid, depth);
+      ASSERT_FALSE(async.DidNotFinish()) << c.name << " depth " << depth;
+      EXPECT_LT(async.seconds, sync.seconds)
+          << c.name << " depth " << depth
+          << ": async must strictly beat the synchronous barrier model";
+      // Same placement decisions: async changes *when*, never *what*.
+      EXPECT_EQ(async.exec.broadcast_bytes, sync.exec.broadcast_bytes);
+      EXPECT_EQ(async.exec.co_processed, sync.exec.co_processed);
+      ExpectBitIdenticalGroups(sync, async, c.name);
+    }
+  }
+}
+
+TEST_F(AsyncExec, OverlapAccountingShowsHiddenTransfers) {
+  const QueryResult sync = RunAtDepth(RunQ5, EngineConfig::kProteusHybrid, 0);
+  const QueryResult async = RunAtDepth(RunQ5, EngineConfig::kProteusHybrid, 2);
+  ASSERT_FALSE(sync.DidNotFinish());
+  ASSERT_FALSE(async.DidNotFinish());
+  EXPECT_TRUE(async.exec.async);
+  EXPECT_FALSE(sync.exec.async);
+  // Both modes move the same packets...
+  EXPECT_EQ(async.exec.mem_moves, sync.exec.mem_moves);
+  EXPECT_EQ(async.exec.moved_bytes, sync.exec.moved_bytes);
+  // ...but the async executor exposes strictly less transfer time on the
+  // workers' critical paths.
+  EXPECT_GT(sync.exec.transfer_busy_s, 0.0);
+  EXPECT_LT(async.exec.transfer_exposed_s, sync.exec.transfer_exposed_s);
+  EXPECT_GE(async.exec.transfer_hidden_s(), 0.0);
+  EXPECT_GE(async.exec.transfer_exposed_s, 0.0);
+}
+
+TEST_F(AsyncExec, ExplainSurfacesOverlapAccounting) {
+  topo_->Reset();
+  ctx_->async = engine::AsyncOptions::Depth(2);
+  // Drive Engine::Explain(plan, run) through a hand-held run of Q5's
+  // machinery: reuse the query runner's engine and re-run the query so the
+  // context's engine instance matches the stats.
+  const QueryResult r = RunQ5(ctx_, EngineConfig::kProteusHybrid);
+  ASSERT_FALSE(r.DidNotFinish());
+  ASSERT_NE(ctx_->engine, nullptr);
+  // A plan object is consumed by Run; Explain only needs *a* plan plus the
+  // RunStats, so serialize against a freshly declared (unexecuted) shape.
+  engine::PlanBuilder b("probe-shape");
+  auto t = ctx_->catalog.Get("lineitem").value();
+  auto agg = b.Scan(t, {"l_orderkey"}, 1 << 14)
+                 .Aggregate(nullptr, {engine::AggDef{engine::AggOp::kCount,
+                                                     nullptr}});
+  (void)agg;
+  engine::QueryPlan plan = std::move(b).Build();
+  const std::string json = ctx_->engine->Explain(plan, r.exec);
+  EXPECT_NE(json.find("\"transfer_hidden_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"transfer_exposed_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"async\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"pipelines\""), std::string::npos);
+}
+
+// ---- determinism: byte-identical results, deterministic stats ---------------
+
+TEST_F(AsyncExec, RepeatedRunsAreByteIdenticalAtEveryDepth) {
+  for (int depth : {0, 1, 2, 4}) {
+    std::vector<QueryResult> runs;
+    for (int rep = 0; rep < 3; ++rep) {
+      runs.push_back(RunAtDepth(RunQ5, EngineConfig::kProteusHybrid, depth));
+      ASSERT_FALSE(runs.back().DidNotFinish()) << "depth " << depth;
+    }
+    for (int rep = 1; rep < 3; ++rep) {
+      ExpectBitIdenticalGroups(runs[0], runs[rep], "repeat");
+      // Deterministic ExecStats: identical finish times, packet counts and
+      // overlap accounting on every pipeline.
+      EXPECT_DOUBLE_EQ(runs[0].seconds, runs[rep].seconds)
+          << "depth " << depth;
+      ASSERT_EQ(runs[0].exec.pipelines.size(), runs[rep].exec.pipelines.size());
+      for (size_t i = 0; i < runs[0].exec.pipelines.size(); ++i) {
+        const engine::ExecStats& a = runs[0].exec.pipelines[i].stats;
+        const engine::ExecStats& b = runs[rep].exec.pipelines[i].stats;
+        EXPECT_DOUBLE_EQ(a.start, b.start);
+        EXPECT_DOUBLE_EQ(a.finish, b.finish);
+        EXPECT_EQ(a.packets, b.packets);
+        EXPECT_EQ(a.mem_moves, b.mem_moves);
+        EXPECT_EQ(a.moved_bytes, b.moved_bytes);
+        EXPECT_DOUBLE_EQ(a.transfer_busy_s, b.transfer_busy_s);
+        EXPECT_DOUBLE_EQ(a.transfer_exposed_s, b.transfer_exposed_s);
+      }
+    }
+  }
+}
+
+TEST_F(AsyncExec, ResultsAreByteIdenticalAcrossDepths) {
+  // The admission pass routes on a relative timeline, so packet->worker
+  // assignment — and with it every floating-point merge order — is
+  // independent of the prefetch depth.
+  for (QueryFn q : {RunQ3, RunQ5, RunQ9}) {
+    const QueryResult base = RunAtDepth(q, EngineConfig::kProteusHybrid, 1);
+    ASSERT_FALSE(base.DidNotFinish());
+    for (int depth : {2, 4, 8}) {
+      const QueryResult other =
+          RunAtDepth(q, EngineConfig::kProteusHybrid, depth);
+      ASSERT_FALSE(other.DidNotFinish());
+      ExpectBitIdenticalGroups(base, other, "depth-invariance");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hape::queries

@@ -346,6 +346,51 @@ TEST_F(ExecutorTest, OperatorAtATimeCostsDeviceMemoryTraffic) {
             ex_.Run(&mat, topo_.GpuDeviceIds()).seconds());
 }
 
+// ---- locality router: epsilon-free rule -------------------------------------
+
+/// Compute-heavy packets homed on node 0 (socket0's DRAM).
+Pipeline MakeComputeHeavyPipeline(int packets) {
+  auto heavy = Expr::Col(0);
+  for (int i = 0; i < 32; ++i) heavy = Expr::Add(heavy, Expr::Col(0));
+  Pipeline p;
+  p.policy = RoutingPolicy::kLocalityAware;
+  for (int i = 0; i < packets; ++i) {
+    p.inputs.push_back(MakeBatch(std::vector<int64_t>(1000, 1),
+                                 std::vector<double>(1000, 1)));
+  }
+  p.scale = 1000;
+  p.stages.push_back(ProjectStage({heavy}));
+  return p;
+}
+
+TEST_F(ExecutorTest, LocalityRoutingOffloadsWhenRemoteWinsDespiteTransfer) {
+  // 48 compute-heavy packets on socket0: keeping them all local doubles
+  // the serial depth, so a locality router that weighs the QPI shipping
+  // cost against the load difference must use socket1 too. (The old rule
+  // compared absolute free_at timestamps against a 2x threshold: at a late
+  // pipeline start every worker looked "local enough" forever.)
+  Pipeline both = MakeComputeHeavyPipeline(48);
+  Pipeline local_only = MakeComputeHeavyPipeline(48);
+  const sim::SimTime start = 10.0;
+  auto st_both = ex_.Run(&both, topo_.CpuDeviceIds(), start);
+  topo_.Reset();
+  auto st_local = ex_.Run(&local_only, {0}, start);
+  EXPECT_LT(st_both.seconds(), st_local.seconds());
+}
+
+TEST_F(ExecutorTest, LocalityRoutingIsTimeTranslationInvariant) {
+  // Routing decisions must depend on load differences and shipping costs,
+  // never on absolute sim time: a run starting at t=25 costs exactly what
+  // the same run starting at t=0 costs.
+  Pipeline at_zero = MakeComputeHeavyPipeline(30);
+  auto st0 = ex_.Run(&at_zero, topo_.CpuDeviceIds(), 0.0);
+  topo_.Reset();
+  Pipeline late = MakeComputeHeavyPipeline(30);
+  auto st1 = ex_.Run(&late, topo_.CpuDeviceIds(), 25.0);
+  // Identical decisions; only (t + x) - t floating-point rounding differs.
+  EXPECT_NEAR(st0.seconds(), st1.seconds(), 1e-9);
+}
+
 TEST(RoutingPolicy, Names) {
   EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kLoadAware), "load-aware");
   EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kLocalityAware),

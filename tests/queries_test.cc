@@ -81,6 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllQueriesAllConfigs, QueryCorrectness,
     ::testing::Combine(
         ::testing::Values(QueryCase{"q1", RunQ1, RefQ1},
+                          QueryCase{"q3", RunQ3, RefQ3},
                           QueryCase{"q5", RunQ5, RefQ5},
                           QueryCase{"q6", RunQ6, RefQ6},
                           QueryCase{"q9", RunQ9, RefQ9}),
