@@ -1,14 +1,18 @@
 #ifndef HAPE_COMMON_JSON_H_
 #define HAPE_COMMON_JSON_H_
 
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace hape {
 
@@ -135,6 +139,249 @@ class JsonWriter {
   std::string out_;
   std::vector<Container> stack_;
   bool fresh_ = true;
+};
+
+/// Parsed JSON value. Objects keep member order; lookups are linear (the
+/// documents round-tripped here — Explain output, bench manifests — are
+/// small). Numbers are held as double, which is exact for every integer
+/// the writers above emit below 2^53.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool bool_value() const {
+    HAPE_CHECK(kind_ == Kind::kBool);
+    return bool_;
+  }
+  double number() const {
+    HAPE_CHECK(kind_ == Kind::kNumber);
+    return num_;
+  }
+  const std::string& str() const {
+    HAPE_CHECK(kind_ == Kind::kString);
+    return str_;
+  }
+  const std::vector<JsonValue>& items() const {
+    HAPE_CHECK(kind_ == Kind::kArray);
+    return items_;
+  }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    HAPE_CHECK(kind_ == Kind::kObject);
+    return members_;
+  }
+
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Minimal recursive-descent JSON parser: the read half of this header,
+/// used by tests to validate Explain documents structurally instead of
+/// with brittle string goldens, and by tools reading the bench manifests.
+/// Accepts exactly the grammar JsonWriter emits (RFC 8259 minus exotic
+/// escapes: \uXXXX only decodes code points below 0x80).
+class JsonParser {
+ public:
+  static Result<JsonValue> Parse(std::string_view text) {
+    JsonParser p(text);
+    JsonValue v;
+    HAPE_RETURN_NOT_OK(p.ParseValue(&v, 0));
+    p.SkipWs();
+    if (p.pos_ != p.text_.size()) {
+      return p.Error("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Error("expected '" + std::string(lit) + "'");
+    }
+    pos_ += lit.size();
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code += h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += h - 'A' + 10;
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          if (code >= 0x80) return Error("non-ASCII \\u escape unsupported");
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 64) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind_ = JsonValue::Kind::kObject;
+      if (Consume('}')) return Status::OK();
+      for (;;) {
+        SkipWs();
+        std::string key;
+        HAPE_RETURN_NOT_OK(ParseString(&key));
+        if (!Consume(':')) return Error("expected ':'");
+        JsonValue v;
+        HAPE_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+        out->members_.emplace_back(std::move(key), std::move(v));
+        if (Consume(',')) continue;
+        if (Consume('}')) return Status::OK();
+        return Error("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind_ = JsonValue::Kind::kArray;
+      if (Consume(']')) return Status::OK();
+      for (;;) {
+        JsonValue v;
+        HAPE_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+        out->items_.push_back(std::move(v));
+        if (Consume(',')) continue;
+        if (Consume(']')) return Status::OK();
+        return Error("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind_ = JsonValue::Kind::kString;
+      return ParseString(&out->str_);
+    }
+    if (c == 't') {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = false;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') {
+      out->kind_ = JsonValue::Kind::kNull;
+      return ParseLiteral("null");
+    }
+    // Number: copy the numeric span into a bounded buffer (the view may
+    // not be NUL-terminated) and delegate to strtod.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) != 0 ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_ || end - pos_ >= 64) return Error("expected a value");
+    char buf[64];
+    text_.copy(buf, end - pos_, pos_);
+    buf[end - pos_] = '\0';
+    char* parsed = nullptr;
+    const double v = std::strtod(buf, &parsed);
+    if (parsed != buf + (end - pos_)) return Error("malformed number");
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->num_ = v;
+    pos_ = end;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
 };
 
 }  // namespace hape

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
+#include "engine/scheduler.h"
 #include "ops/join_kernels.h"
 #include "sim/traffic.h"
 
@@ -22,11 +24,15 @@ std::string GiBString(uint64_t bytes) {
 
 }  // namespace
 
-Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
-                               const std::vector<char>& ran,
-                               const std::vector<sim::SimTime>& finished,
-                               PlacementState* placement, sim::SimTime* t,
-                               RunStats* out) {
+Engine::Engine(sim::Topology* topo) : topo_(topo), executor_(topo) {}
+
+Engine::~Engine() = default;
+
+Status Engine::PlaceJoinStates(PlanExec* ex, sim::SimTime* t) {
+  QueryPlan* plan = ex->plan;
+  const ExecutionPolicy& policy = *ex->policy;
+  PlacementState* placement = &ex->placement;
+  RunStats* out = &ex->out;
   // The tables of this round: every state probed by some pipeline whose
   // build pipeline has finished and that is not yet device-resident, in
   // build declaration order (deterministic sums and broadcasts). Builds
@@ -40,7 +46,7 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
   std::vector<int> build_nodes;
   for (size_t i = 0; i < plan->num_pipelines(); ++i) {
     const PlanNode& n = plan->node(static_cast<int>(i));
-    if (n.is_build && ran[i] && probed.count(n.built_state.get()) > 0 &&
+    if (n.is_build && ex->ran[i] && probed.count(n.built_state.get()) > 0 &&
         placement->placed.count(n.built_state.get()) == 0) {
       build_nodes.push_back(static_cast<int>(i));
     }
@@ -49,7 +55,7 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
 
   // The round starts once its builds are done (and no earlier than the
   // previous round).
-  for (int b : build_nodes) *t = std::max(*t, finished[b]);
+  for (int b : build_nodes) *t = std::max(*t, ex->finished[b]);
 
   // GPU destinations under this policy.
   std::vector<int> gpu_nodes;
@@ -71,6 +77,9 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
     const uint64_t reserved = std::min(cap, policy.device_reserved_bytes);
     min_budget = std::min(min_budget, cap - reserved);
   }
+  // Under a shared schedule, tables other queries hold resident count
+  // against the budget too (ex->placement.resident_bytes was seeded from
+  // the schedule's shared residency before this round).
   const bool fits =
       policy.build_staging_factor *
           static_cast<double>(placement->resident_bytes + total) <=
@@ -115,7 +124,7 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
       for (int b : build_nodes) {
         const JoinStatePtr& s = plan->node(b).built_state;
         const sim::SimTime ready = executor_.BroadcastAsync(
-            s->NominalBytes(), s->location_node, gpu_nodes, finished[b],
+            s->NominalBytes(), s->location_node, gpu_nodes, ex->finished[b],
             policy.async.broadcast_chunk_bytes);
         placement->ready[s.get()] = ready;
         *t = std::max(*t, ready);
@@ -179,14 +188,14 @@ Status Engine::PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
       // Async: the co-partition pass starts when the oversized build
       // itself finishes; the small tables broadcast chunked from their
       // own build finishes, overlapping the pass.
-      const sim::SimTime copart_ready = finished[big] + pass_seconds;
+      const sim::SimTime copart_ready = ex->finished[big] + pass_seconds;
       placement->ready[big_state.get()] = copart_ready;
       sim::SimTime round = copart_ready;
       for (int b : build_nodes) {
         if (b == big) continue;
         const JoinStatePtr& s = plan->node(b).built_state;
         const sim::SimTime ready = executor_.BroadcastAsync(
-            s->NominalBytes(), s->location_node, gpu_nodes, finished[b],
+            s->NominalBytes(), s->location_node, gpu_nodes, ex->finished[b],
             policy.async.broadcast_chunk_bytes);
         placement->ready[s.get()] = ready;
         round = std::max(round, ready);
@@ -228,7 +237,8 @@ Result<opt::OptimizeResult> Engine::Optimize(
   return optimizer.OptimizePlan(plan, policy);
 }
 
-Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
+Status Engine::BeginPlan(QueryPlan* plan, const ExecutionPolicy& policy,
+                         PlanExec* ex) {
   if (plan->executed()) {
     return Status::InvalidArgument(
         "plan '" + plan->name() +
@@ -259,116 +269,176 @@ Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
   HAPE_CHECK(order.ok());  // Validate() already checked for cycles
   plan->mark_executed();
 
-  RunStats out;
-  out.async = policy.async.enabled();
+  ex->plan = plan;
+  ex->policy = &policy;
+  ex->order = std::move(order.value());
+  ex->pos = 0;
   const int n = static_cast<int>(plan->num_pipelines());
-  std::vector<sim::SimTime> finished(n, 0);
-  std::vector<char> ran(n, 0);
+  ex->finished.assign(n, 0);
+  ex->ran.assign(n, 0);
+  ex->out = RunStats{};
+  ex->out.async = policy.async.enabled();
   // Placement is needed only when probes can land on a GPU.
-  const bool needs_placement = policy.UsesGpu(*topo_);
-  PlacementState placement;
-  sim::SimTime placement_finish = 0;
+  ex->needs_placement = policy.UsesGpu(*topo_);
+  return Status::OK();
+}
 
-  for (int idx : order.value()) {
-    PlanNode& node = plan->mutable_node(idx);
+Status Engine::StepPlan(PlanExec* ex) {
+  HAPE_CHECK(!ex->done());
+  QueryPlan* plan = ex->plan;
+  const ExecutionPolicy& policy = *ex->policy;
+  const int idx = ex->order[ex->pos];
+  PlanNode& node = plan->mutable_node(idx);
 
-    if (needs_placement) {
-      bool unplaced = false;
-      for (const JoinStatePtr& s : node.probed) {
-        if (placement.placed.count(s.get()) == 0) unplaced = true;
-      }
-      if (unplaced) {
-        // This node's builds are among its deps, so they have finished;
-        // the round also places every other finished probed build.
-        sim::SimTime t = placement_finish;
-        if (Status st = PlaceJoinStates(plan, policy, ran, finished,
-                                        &placement, &t, &out);
-            !st.ok()) {
-          return st;
-        }
-        placement_finish = t;
-        out.placement_finish = t;
-      }
+  if (ex->needs_placement) {
+    bool unplaced = false;
+    for (const JoinStatePtr& s : node.probed) {
+      if (ex->placement.placed.count(s.get()) == 0) unplaced = true;
     }
-
-    RunOptions run_opts;
-    run_opts.async = policy.async;
-    if (!policy.async.enabled()) {
-      // Synchronous: staging and compute both wait for the full placement
-      // round and every dependency (the legacy barrier).
-      sim::SimTime start = node.probed.empty() ? 0 : placement_finish;
-      for (int d : node.deps) start = std::max(start, finished[d]);
-      run_opts.start = run_opts.compute_ready = run_opts.compute_ready_host =
-          start;
-    } else {
-      // Async: packet staging may begin as soon as the pipeline's *data*
-      // exists — a dependency that only produced a probed hash table
-      // gates compute, not mem-moves. CPU workers probe host-resident
-      // tables and start at the build finishes; GPU workers wait for the
-      // tables they probe to become device-resident (per-table broadcast
-      // or co-partition finish), not for the whole placement round.
-      sim::SimTime transfer_start = 0;
-      sim::SimTime host_gate = 0;
-      for (int d : node.deps) {
-        const PlanNode& dep = plan->node(d);
-        bool builds_probed_state = false;
-        if (dep.is_build) {
-          for (const JoinStatePtr& s : node.probed) {
-            if (s.get() == dep.built_state.get()) builds_probed_state = true;
-          }
-        }
-        if (builds_probed_state) {
-          host_gate = std::max(host_gate, finished[d]);
-        } else {
-          transfer_start = std::max(transfer_start, finished[d]);
-        }
+    if (unplaced) {
+      // This node's builds are among its deps, so they have finished;
+      // the round also places every other finished probed build. Under a
+      // shared schedule the round sees (and advances) the schedule-wide
+      // residency, so one query's broadcasts count against the next's
+      // budget.
+      if (ex->shared_resident != nullptr) {
+        ex->placement.resident_bytes = *ex->shared_resident;
       }
-      host_gate = std::max(host_gate, transfer_start);
-      sim::SimTime gpu_gate = host_gate;
-      for (const JoinStatePtr& s : node.probed) {
-        auto it = placement.ready.find(s.get());
-        if (it != placement.ready.end()) {
-          gpu_gate = std::max(gpu_gate, it->second);
-        }
+      sim::SimTime t = std::max(ex->placement_finish, ex->admit);
+      if (Status st = PlaceJoinStates(ex, &t); !st.ok()) return st;
+      if (ex->shared_resident != nullptr) {
+        *ex->shared_resident = ex->placement.resident_bytes;
       }
-      run_opts.start = transfer_start;
-      run_opts.compute_ready = gpu_gate;
-      run_opts.compute_ready_host = host_gate;
-    }
-
-    const std::vector<int>& devices =
-        !node.run_on.empty()
-            ? node.run_on
-            : (node.is_build ? policy.build_devices : policy.devices);
-    if (devices.empty()) {
-      return Status::InvalidArgument(
-          "pipeline '" + node.pipeline.name +
-          "' is a build but the policy provides no build devices");
-    }
-    node.pipeline.policy = policy.routing;
-    node.pipeline.vector_at_a_time =
-        policy.model == ExecutionModel::kVectorAtATime;
-    node.pipeline.operator_at_a_time =
-        policy.model == ExecutionModel::kOperatorAtATime;
-
-    const ExecStats st = executor_.Run(&node.pipeline, devices, run_opts);
-    finished[idx] = st.finish;
-    ran[idx] = 1;
-    out.finish = std::max(out.finish, st.finish);
-    out.mem_moves += st.mem_moves;
-    out.moved_bytes += st.moved_bytes;
-    out.transfer_busy_s += st.transfer_busy_s;
-    out.transfer_exposed_s += st.transfer_exposed_s;
-    out.pipelines.push_back(PipelineRunStats{node.pipeline.name, st});
-
-    if (node.is_build) {
-      node.built_state->nominal_rows = static_cast<uint64_t>(
-          node.built_state->payload.rows * node.pipeline.scale);
-      node.built_state->location_node =
-          topo_->device(devices.front()).mem_node;
+      ex->placement_finish = t;
+      ex->out.placement_finish = t;
     }
   }
-  return out;
+
+  RunOptions run_opts;
+  run_opts.async = policy.async;
+  run_opts.clocks = ex->clocks;
+  run_opts.dma_stream = ex->dma_stream;
+  run_opts.dma_lane_quota = ex->dma_lane_quota;
+  if (!policy.async.enabled()) {
+    // Synchronous: staging and compute both wait for the full placement
+    // round and every dependency (the legacy barrier).
+    sim::SimTime start = node.probed.empty() ? 0 : ex->placement_finish;
+    for (int d : node.deps) start = std::max(start, ex->finished[d]);
+    start = std::max(start, ex->admit);
+    run_opts.start = run_opts.compute_ready = run_opts.compute_ready_host =
+        start;
+  } else {
+    // Async: packet staging may begin as soon as the pipeline's *data*
+    // exists — a dependency that only produced a probed hash table
+    // gates compute, not mem-moves. CPU workers probe host-resident
+    // tables and start at the build finishes; GPU workers wait for the
+    // tables they probe to become device-resident (per-table broadcast
+    // or co-partition finish), not for the whole placement round.
+    sim::SimTime transfer_start = ex->admit;
+    sim::SimTime host_gate = 0;
+    for (int d : node.deps) {
+      const PlanNode& dep = plan->node(d);
+      bool builds_probed_state = false;
+      if (dep.is_build) {
+        for (const JoinStatePtr& s : node.probed) {
+          if (s.get() == dep.built_state.get()) builds_probed_state = true;
+        }
+      }
+      if (builds_probed_state) {
+        host_gate = std::max(host_gate, ex->finished[d]);
+      } else {
+        transfer_start = std::max(transfer_start, ex->finished[d]);
+      }
+    }
+    host_gate = std::max(host_gate, transfer_start);
+    sim::SimTime gpu_gate = host_gate;
+    for (const JoinStatePtr& s : node.probed) {
+      auto it = ex->placement.ready.find(s.get());
+      if (it != ex->placement.ready.end()) {
+        gpu_gate = std::max(gpu_gate, it->second);
+      }
+    }
+    run_opts.start = transfer_start;
+    run_opts.compute_ready = gpu_gate;
+    run_opts.compute_ready_host = host_gate;
+  }
+
+  const std::vector<int>& devices =
+      !node.run_on.empty()
+          ? node.run_on
+          : (node.is_build ? policy.build_devices : policy.devices);
+  if (devices.empty()) {
+    return Status::InvalidArgument(
+        "pipeline '" + node.pipeline.name +
+        "' is a build but the policy provides no build devices");
+  }
+  node.pipeline.policy = policy.routing;
+  node.pipeline.vector_at_a_time =
+      policy.model == ExecutionModel::kVectorAtATime;
+  node.pipeline.operator_at_a_time =
+      policy.model == ExecutionModel::kOperatorAtATime;
+
+  const ExecStats st = executor_.Run(&node.pipeline, devices, run_opts);
+  ex->finished[idx] = st.finish;
+  ex->ran[idx] = 1;
+  RunStats& out = ex->out;
+  out.finish = std::max(out.finish, st.finish);
+  out.mem_moves += st.mem_moves;
+  out.moved_bytes += st.moved_bytes;
+  out.transfer_busy_s += st.transfer_busy_s;
+  out.transfer_exposed_s += st.transfer_exposed_s;
+  for (const auto& [dev, busy] : st.device_busy_s) {
+    out.device_busy_s[dev] += busy;
+  }
+  out.peak_staged_bytes = std::max(out.peak_staged_bytes,
+                                   st.peak_staged_bytes);
+  out.pipelines.push_back(PipelineRunStats{node.pipeline.name, st});
+
+  if (node.is_build) {
+    node.built_state->nominal_rows = static_cast<uint64_t>(
+        node.built_state->payload.rows * node.pipeline.scale);
+    node.built_state->location_node =
+        topo_->device(devices.front()).mem_node;
+  }
+  ++ex->pos;
+  return Status::OK();
+}
+
+Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
+  PlanExec ex;
+  HAPE_RETURN_NOT_OK(BeginPlan(plan, policy, &ex));
+  while (!ex.done()) {
+    HAPE_RETURN_NOT_OK(StepPlan(&ex));
+  }
+  return std::move(ex.out);
+}
+
+int Engine::Submit(QueryPlan plan) { return Submit(std::move(plan), {}); }
+
+int Engine::Submit(QueryPlan plan, const SubmitOptions& opts) {
+  SubmitOptions o = opts;
+  if (o.label.empty()) o.label = plan.name();
+  submitted_.emplace_back(static_cast<int>(submitted_.size()),
+                          std::move(plan), std::move(o));
+  return submitted_.back().id;
+}
+
+Result<ScheduleStats> Engine::RunAll(const ExecutionPolicy& policy) {
+  std::vector<SubmittedQuery*> pending;
+  for (SubmittedQuery& q : submitted_) {
+    if (!q.executed) pending.push_back(&q);
+  }
+  for (SubmittedQuery* q : pending) {
+    if (q->opts.weight <= 0) {
+      return Status::InvalidArgument("query '" + q->opts.label +
+                                     "' has non-positive weight");
+    }
+  }
+  Scheduler scheduler(this, policy);
+  auto result = scheduler.Run(pending);
+  // Even a failed schedule consumed the plans it started; never retry them.
+  for (SubmittedQuery* q : pending) q->executed = true;
+  return result;
 }
 
 }  // namespace hape::engine

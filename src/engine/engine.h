@@ -14,6 +14,12 @@
 
 namespace hape::engine {
 
+// Multi-query scheduling types, defined in engine/scheduler.h.
+struct SubmitOptions;
+struct SubmittedQuery;
+struct ScheduleStats;
+class Scheduler;
+
 /// Execution record of one pipeline of a plan run (in execution order).
 struct PipelineRunStats {
   std::string name;
@@ -39,6 +45,12 @@ struct RunStats {
   uint64_t moved_bytes = 0;
   sim::SimTime transfer_busy_s = 0;
   sim::SimTime transfer_exposed_s = 0;
+  /// Compute seconds consumed per device id, summed over all pipelines —
+  /// the device-share accounting the multi-query scheduler reports.
+  std::map<int, sim::SimTime> device_busy_s;
+  /// Largest staged-but-unconsumed transfer byte count any worker held at
+  /// once (async mode; bounded by AsyncOptions::max_staged_bytes).
+  uint64_t peak_staged_bytes = 0;
   sim::SimTime transfer_hidden_s() const {
     return transfer_busy_s - transfer_exposed_s;
   }
@@ -51,13 +63,42 @@ struct RunStats {
 /// pipeline, and reports per-pipeline ExecStats. All heterogeneity decisions
 /// (which devices, which join flavor, what crosses which interconnect) are
 /// taken here — plans stay declarative.
+///
+/// Two execution paths share the machinery:
+///   - Run(plan, policy): one plan owns the whole topology (the historical
+///     single-query model, kept bit-exact);
+///   - Submit(plan, opts) ... RunAll(policy): several plans are admitted
+///     into this Engine instance and the scheduler arbitrates workers, GPU
+///     memory, and copy-engine channels between them (see
+///     ExecutionPolicy::scheduling and engine/scheduler.h).
 class Engine {
  public:
-  explicit Engine(sim::Topology* topo) : topo_(topo), executor_(topo) {}
+  // Constructor and destructor are out-of-line: Engine holds the
+  // submission queue by value, whose entry type lives in scheduler.h.
+  explicit Engine(sim::Topology* topo);
+  ~Engine();
 
   /// Execute `plan` under `policy`. The plan is consumed (its input packets
   /// are moved into the pipelines); a second Run on the same plan fails.
   Result<RunStats> Run(QueryPlan* plan, const ExecutionPolicy& policy);
+
+  /// Admit `plan` into this Engine's submission queue for the next RunAll.
+  /// Returns the query id (dense, in submission order). The Engine keeps
+  /// the plan alive after the run, so result handles (AggHandle,
+  /// CollectHandle) taken against it stay valid for the Engine's lifetime.
+  int Submit(QueryPlan plan);
+  int Submit(QueryPlan plan, const SubmitOptions& opts);
+
+  /// Execute every not-yet-run submitted plan under `policy`, arbitrating
+  /// the topology between them per policy.scheduling:
+  ///   - kFifo: run-to-completion in submission order; each query's cost
+  ///     sequences are bit-identical to a standalone Run, the makespan is
+  ///     the serial sum (the compat baseline);
+  ///   - kFairShare: pipelines of different queries interleave on the
+  ///     shared event-queue substrate (requires AsyncOptions depth >= 1).
+  /// RunAll owns the topology: link/copy-engine reservations are reset at
+  /// schedule boundaries.
+  Result<ScheduleStats> RunAll(const ExecutionPolicy& policy);
 
   /// Cost-based optimization pass over `plan` before it runs: collects
   /// statistics from the plan's source tables, estimates cardinalities,
@@ -83,10 +124,17 @@ class Engine {
   /// executor reports.
   std::string Explain(const QueryPlan& plan, const RunStats& run) const;
 
+  /// Execution record of a finished RunAll: the scheduling policy, global
+  /// makespan, and per-query admission time, queueing delay, makespan,
+  /// device shares, and run stats.
+  std::string Explain(const ScheduleStats& schedule) const;
+
   Executor& executor() { return executor_; }
   sim::Topology* topology() { return topo_; }
 
  private:
+  friend class Scheduler;
+
   /// One placement round for GPU execution: place every not-yet-placed
   /// probed hash table whose build has finished — broadcast when the
   /// tables fit device memory (with build staging, counting tables already
@@ -103,17 +151,59 @@ class Engine {
     /// tables they actually probe instead of the whole placement round.
     std::map<const JoinState*, sim::SimTime> ready;
   };
-  Status PlaceJoinStates(QueryPlan* plan, const ExecutionPolicy& policy,
-                         const std::vector<char>& ran,
-                         const std::vector<sim::SimTime>& finished,
-                         PlacementState* placement, sim::SimTime* t,
-                         RunStats* out);
+
+  /// In-flight execution of one plan, advanced one pipeline per StepPlan.
+  /// Engine::Run drives it to completion in a loop; the multi-query
+  /// scheduler interleaves StepPlan calls from several PlanExecs and
+  /// injects the scheduling hooks (admission gate, shared worker clocks,
+  /// shared GPU residency, DMA stream tags). Default hooks leave the
+  /// single-plan path bit-identical to the historical Run.
+  struct PlanExec {
+    QueryPlan* plan = nullptr;
+    const ExecutionPolicy* policy = nullptr;
+    std::vector<int> order;
+    size_t pos = 0;
+    std::vector<sim::SimTime> finished;
+    std::vector<char> ran;
+    PlacementState placement;
+    sim::SimTime placement_finish = 0;
+    bool needs_placement = false;
+    RunStats out;
+    // ---- scheduler hooks ----
+    /// Earliest time any of this plan's work (staging included) may start:
+    /// the scheduler's admission gate. 0 = admitted immediately.
+    sim::SimTime admit = 0;
+    /// Shared cross-query worker availability (null = private workers).
+    WorkerClocks* clocks = nullptr;
+    /// Shared cross-query GPU-resident hash-table bytes (null = private).
+    uint64_t* shared_resident = nullptr;
+    /// Copy-engine stream tag / channel quota of this plan's transfers.
+    int dma_stream = 0;
+    int dma_lane_quota = 0;
+
+    bool done() const { return pos >= order.size(); }
+  };
+
+  /// Validate `plan` and `policy`, check operator-at-a-time admission, and
+  /// initialize `ex` for stepping. Marks the plan executed.
+  Status BeginPlan(QueryPlan* plan, const ExecutionPolicy& policy,
+                   PlanExec* ex);
+  /// Execute the next pipeline in `ex`'s topological order (running a
+  /// placement round first if the pipeline probes unplaced tables) and
+  /// accumulate its stats into `ex->out`.
+  Status StepPlan(PlanExec* ex);
+
+  Status PlaceJoinStates(PlanExec* ex, sim::SimTime* t);
 
   sim::Topology* topo_;
   Executor executor_;
   /// Table statistics cached across Optimize calls (tables are immutable;
   /// entries re-collect if a table's scale or row count changes).
   opt::StatsCatalog stats_cache_;
+  /// Plans admitted via Submit. Executed entries are kept (their sinks own
+  /// the query results the caller's handles point into); RunAll only runs
+  /// the not-yet-executed tail.
+  std::vector<SubmittedQuery> submitted_;
 };
 
 }  // namespace hape::engine

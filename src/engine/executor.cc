@@ -1,9 +1,11 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <queue>
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -55,6 +57,13 @@ sim::SimTime ProcessPacket(Pipeline* p, memory::Batch* b, int worker_index,
   const sim::TrafficStats scaled = codegen::Scaled(t, p->scale);
   stats->traffic += scaled;
   return worker.backend->PacketTime(scaled);
+}
+
+/// Per-device compute-time accounting (the scheduler's fairness currency).
+void AccountDeviceBusy(const std::vector<Worker>& workers, ExecStats* stats) {
+  for (const Worker& w : workers) {
+    if (w.busy > 0) stats->device_busy_s[w.device_id] += w.busy;
+  }
 }
 
 /// Charge the sink's single-worker merge after every packet finished.
@@ -228,6 +237,7 @@ ExecStats Executor::RunSync(Pipeline* p, std::vector<Worker>* workers_ptr,
     stats.finish = std::max(stats.finish, worker.free_at);
   }
 
+  AccountDeviceBusy(workers, &stats);
   FinishSink(p, workers, &stats);
   return stats;
 }
@@ -293,10 +303,23 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
   }
   std::vector<sim::SimTime> gate(n_workers);
   std::vector<std::vector<sim::SimTime>> fin(n_workers);
+  // Instance index of each worker within its device (MakeWorkers order) —
+  // the key into the scheduler's shared WorkerClocks.
+  std::vector<int> instance(n_workers, 0);
+  std::map<int, int> seen;
   for (size_t w = 0; w < n_workers; ++w) {
+    instance[w] = seen[workers[w].device_id]++;
     const bool gpu =
         topo_->device(workers[w].device_id).type == sim::DeviceType::kGpu;
     gate[w] = gpu ? opts.compute_ready : opts.compute_ready_host;
+    if (opts.clocks != nullptr) {
+      // Cross-query sharing: the worker may still be computing another
+      // query's packets; staging is unaffected (copy engines, not workers).
+      gate[w] = std::max(
+          gate[w], opts.clocks->OthersGate(opts.dma_stream,
+                                           workers[w].device_id,
+                                           instance[w]));
+    }
     workers[w].free_at = gate[w];
     workers[w].busy = 0;
     workers[w].packets = 0;
@@ -328,17 +351,44 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
       }
     }
   }
+  // Staged-byte accounting per worker: (compute-begin, wire bytes) of every
+  // issued-but-not-yet-computing transfer. Compute begins are monotonic per
+  // worker, so releases pop from the front. AsyncOptions::max_staged_bytes
+  // bounds the sum: a transfer that would overflow the cap is issued only
+  // once enough staged packets have been handed to compute (their begin
+  // times are already known — the worker's earlier slots were scheduled by
+  // earlier events). A packet larger than the cap proceeds once it is
+  // alone, so the cap bounds accumulation without deadlocking.
+  const uint64_t cap = opts.async.max_staged_bytes;
+  std::vector<std::deque<std::pair<sim::SimTime, uint64_t>>> inflight(
+      n_workers);
+  std::vector<uint64_t> staged(n_workers, 0);
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
     const int w = ev.worker;
     const int k = ev.slot;
     const Rec& r = recs[queue[w][k]];
-    // Issue the staged mem-move now (a buffer just became available).
+    // Issue the staged mem-move now (a buffer just became available),
+    // unless the byte budget delays it.
+    sim::SimTime issue_t = ev.t;
     sim::SimTime ready = ev.t;
     if (r.wire_bytes > 0) {
+      auto& q = inflight[w];
+      while (!q.empty() && q.front().first <= issue_t) {
+        staged[w] -= q.front().second;
+        q.pop_front();
+      }
+      if (cap > 0) {
+        while (staged[w] > 0 && staged[w] + r.wire_bytes > cap) {
+          issue_t = std::max(issue_t, q.front().first);
+          staged[w] -= q.front().second;
+          q.pop_front();
+        }
+      }
       ready = topo_->DmaTransferFinish(r.from_node, workers[w].mem_node,
-                                       ev.t, r.wire_bytes);
+                                       issue_t, r.wire_bytes,
+                                       opts.dma_stream, opts.dma_lane_quota);
     }
     const sim::SimTime prev = k == 0 ? gate[w] : fin[w][k - 1];
     const sim::SimTime begin = std::max(std::max(gate[w], prev), ready);
@@ -348,9 +398,12 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
     ++workers[w].packets;
     stats.finish = std::max(stats.finish, fin[w][k]);
     if (r.wire_bytes > 0) {
+      staged[w] += r.wire_bytes;
+      inflight[w].emplace_back(begin, r.wire_bytes);
+      stats.peak_staged_bytes = std::max(stats.peak_staged_bytes, staged[w]);
       ++stats.mem_moves;
       stats.moved_bytes += r.wire_bytes;
-      stats.transfer_busy_s += ready - ev.t;
+      stats.transfer_busy_s += ready - issue_t;
       stats.transfer_exposed_s +=
           std::max(0.0, ready - std::max(prev, gate[w]));
     }
@@ -361,6 +414,16 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
     }
   }
 
+  if (opts.clocks != nullptr) {
+    // Publish each used worker's final free time back into the shared
+    // clocks under this query's stream (idle workers stay untouched).
+    for (size_t w = 0; w < n_workers; ++w) {
+      if (workers[w].packets == 0) continue;
+      opts.clocks->Update(opts.dma_stream, workers[w].device_id,
+                          instance[w], workers[w].free_at);
+    }
+  }
+  AccountDeviceBusy(workers, &stats);
   FinishSink(p, workers, &stats);
   return stats;
 }

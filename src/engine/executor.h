@@ -24,6 +24,44 @@ struct Worker {
   sim::SimTime busy = 0;
 };
 
+/// Cross-query worker availability, keyed by stream (query id), then
+/// device id, with one entry per worker instance (a CPU core or a whole
+/// GPU, in MakeWorkers order). The multi-query scheduler threads one
+/// WorkerClocks through every pipeline of a schedule: a worker's compute
+/// gate is raised to the *other* queries' clocks on it, and the running
+/// query's final free time is written back under its own stream.
+///
+/// Gating on other streams only is deliberate: a single Engine::Run gives
+/// every pipeline a fresh worker set, so pipelines of one query overlap
+/// freely (the historical intra-query semantic, kept bit-exact). The
+/// clocks add exactly the *cross-query* serialization a shared machine
+/// imposes, without making a scheduled query's own pipelines stricter
+/// than a standalone run's. Only the async executor honors clocks — the
+/// synchronous legacy path stays untouched.
+struct WorkerClocks {
+  std::map<int, std::map<int, std::vector<sim::SimTime>>> busy_until;
+
+  /// Latest busy-until of `dev`/`inst` over every stream except `stream`.
+  sim::SimTime OthersGate(int stream, int dev, int inst) const {
+    sim::SimTime t = 0;
+    for (const auto& [s, devices] : busy_until) {
+      if (s == stream) continue;
+      auto it = devices.find(dev);
+      if (it == devices.end()) continue;
+      if (inst < static_cast<int>(it->second.size())) {
+        t = std::max(t, it->second[inst]);
+      }
+    }
+    return t;
+  }
+
+  void Update(int stream, int dev, int inst, sim::SimTime t) {
+    auto& clock = busy_until[stream][dev];
+    if (clock.size() <= static_cast<size_t>(inst)) clock.resize(inst + 1, 0);
+    clock[inst] = std::max(clock[inst], t);
+  }
+};
+
 /// Per-run knobs of Executor::Run. The synchronous legacy call sites use
 /// the (pipeline, devices, start) overload, which sets every gate to
 /// `start` and leaves async off — bit-identical to the historical model.
@@ -39,6 +77,13 @@ struct RunOptions {
   sim::SimTime compute_ready_host = 0;
   /// Async executor knob; depth 0 reproduces the synchronous timing.
   AsyncOptions async;
+  /// Shared worker availability across pipelines (multi-query scheduling);
+  /// null = workers are free at their gates, the single-query model.
+  WorkerClocks* clocks = nullptr;
+  /// Copy-engine stream tag and per-stream channel quota of this run's DMA
+  /// transfers (0/0 = untagged, all channels — every single-query path).
+  int dma_stream = 0;
+  int dma_lane_quota = 0;
 };
 
 /// Deterministic discrete-event pipeline executor. Packets are routed to

@@ -2,6 +2,7 @@
 #define HAPE_ENGINE_PIPELINE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,6 +107,13 @@ struct ExecStats {
   /// (the packet arrived after the worker went idle). The rest was hidden
   /// behind compute or other transfers.
   sim::SimTime transfer_exposed_s = 0;
+  /// Compute seconds consumed per device id — the currency the multi-query
+  /// scheduler accounts fairness in (a query's "device share" is its busy
+  /// seconds over the schedule's total).
+  std::map<int, sim::SimTime> device_busy_s;
+  /// Largest number of staged-but-unconsumed transfer bytes any worker
+  /// held at once (async mode; AsyncOptions::max_staged_bytes bounds it).
+  uint64_t peak_staged_bytes = 0;
 
   sim::SimTime transfer_hidden_s() const {
     return transfer_busy_s - transfer_exposed_s;

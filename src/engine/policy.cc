@@ -20,6 +20,16 @@ const char* ConfigName(EngineConfig c) {
   return "?";
 }
 
+const char* SchedulingPolicyName(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kFairShare:
+      return "fair-share";
+  }
+  return "?";
+}
+
 const char* ExecutionModelName(ExecutionModel m) {
   switch (m) {
     case ExecutionModel::kJitFused:

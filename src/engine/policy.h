@@ -35,6 +35,24 @@ enum class ExecutionModel {
 
 const char* ExecutionModelName(ExecutionModel m);
 
+/// How Engine::RunAll arbitrates the devices, interconnects, and GPU memory
+/// between the QueryPlans admitted via Engine::Submit.
+enum class SchedulingPolicy {
+  /// Run-to-completion in submission order: each query owns the whole
+  /// topology while it runs, so its cost sequences are bit-identical to a
+  /// standalone Engine::Run — the compatibility baseline whose makespan is
+  /// the serial sum.
+  kFifo,
+  /// Interleave pipelines from different queries on the shared event-queue
+  /// substrate: workers, copy-engine channels, and links are arbitrated
+  /// between queries (weighted by SubmitOptions::weight), and queries are
+  /// admitted in waves when GPU memory for their build tables is contended.
+  /// Requires the async executor (AsyncOptions depth >= 1).
+  kFairShare,
+};
+
+const char* SchedulingPolicyName(SchedulingPolicy p);
+
 /// Asynchronous-execution knob of the event-driven executor. Depth 0 is
 /// the synchronous legacy model and reproduces its cost sequences exactly
 /// (every packet's mem-move serializes with the consuming worker); depth
@@ -47,6 +65,13 @@ struct AsyncOptions {
   int prefetch_depth = 0;
   /// Chunk size of double-buffered hash-table broadcasts (depth >= 1).
   uint64_t broadcast_chunk_bytes = 64 * sim::kMiB;
+  /// Cap on the *bytes* a worker may hold in staged-but-unconsumed packet
+  /// transfers (the prefetch window is otherwise bounded only in buffers,
+  /// i.e. packet count). 0 = unbounded (the legacy behavior). A transfer
+  /// that would exceed the cap waits until enough staged packets have been
+  /// handed to compute; a single packet larger than the cap still proceeds
+  /// alone (the cap bounds accumulation, it cannot split packets).
+  uint64_t max_staged_bytes = 0;
 
   bool enabled() const { return prefetch_depth > 0; }
 
@@ -88,6 +113,15 @@ struct ExecutionPolicy {
   /// double-buffered broadcasts, inter-pipeline overlap). Off by default:
   /// depth 0 reproduces the synchronous cost sequences exactly.
   AsyncOptions async;
+  /// How Engine::RunAll shares the topology between submitted queries.
+  /// Ignored by Engine::Run (a single plan always owns the machine).
+  SchedulingPolicy scheduling = SchedulingPolicy::kFifo;
+  /// Fraction of each device's workers this query expects to hold when it
+  /// runs under SchedulingPolicy::kFairShare (e.g. weight / total weight).
+  /// The cost-based placement mode costs CPU-vs-GPU alternatives at this
+  /// share, so contended offload decisions break even later. 1.0 = the
+  /// query owns the machine (every single-query path).
+  double expected_device_share = 1.0;
   /// Knobs of the cost-based plan optimizer used when Engine::Optimize is
   /// called without explicit options. Defaults are the compatibility
   /// configuration (decisions reproduce well-annotated hand plans).

@@ -1,0 +1,262 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "ops/hash_table.h"
+
+namespace hape::engine {
+
+namespace {
+
+/// Sum of one pipeline run's compute seconds over all devices: the unit
+/// the weighted-fair-queueing virtual time advances by.
+sim::SimTime TotalBusy(const ExecStats& st) {
+  sim::SimTime s = 0;
+  for (const auto& [dev, busy] : st.device_busy_s) s += busy;
+  return s;
+}
+
+}  // namespace
+
+uint64_t Scheduler::EstimatedResidentBytes(const QueryPlan& plan,
+                                           const ExecutionPolicy& policy,
+                                           uint64_t budget) {
+  std::unordered_set<const JoinState*> probed;
+  for (size_t i = 0; i < plan.num_pipelines(); ++i) {
+    for (const JoinStatePtr& s : plan.node(static_cast<int>(i)).probed) {
+      probed.insert(s.get());
+    }
+  }
+  uint64_t total = 0;
+  uint64_t largest_heavy = 0;
+  for (size_t i = 0; i < plan.num_pipelines(); ++i) {
+    const PlanNode& n = plan.node(static_cast<int>(i));
+    if (!n.is_build || probed.count(n.built_state.get()) == 0) continue;
+    const uint64_t rows =
+        n.est_nominal_out_rows > 0
+            ? n.est_nominal_out_rows
+            : static_cast<uint64_t>(n.source_rows * n.pipeline.scale);
+    const uint64_t payload_bytes = 8 * n.build_payload.size();
+    const uint64_t bytes = ops::ChainedHashTable::NominalBytes(rows,
+                                                               payload_bytes);
+    total += bytes;
+    if (n.heavy_build) largest_heavy = std::max(largest_heavy, bytes);
+  }
+  // A plan whose tables cannot fit even alone falls back to §5
+  // co-processing: the largest heavy build streams through co-partitioned
+  // and only the rest stays resident.
+  if (policy.build_staging_factor * static_cast<double>(total) >
+          static_cast<double>(budget) &&
+      largest_heavy > 0) {
+    total -= largest_heavy;
+  }
+  return total;
+}
+
+uint64_t Scheduler::GpuBudget() const {
+  const sim::Topology& topo = *engine_->topo_;
+  uint64_t budget = std::numeric_limits<uint64_t>::max();
+  for (int d : policy_.devices) {
+    const sim::Device& dev = topo.device(d);
+    if (dev.type != sim::DeviceType::kGpu) continue;
+    const uint64_t cap = topo.mem_node(dev.mem_node).capacity();
+    const uint64_t reserved = std::min(cap, policy_.device_reserved_bytes);
+    budget = std::min(budget, cap - reserved);
+  }
+  return budget;
+}
+
+QueryRunStats Scheduler::FinishQuery(const SubmittedQuery& q,
+                                     sim::SimTime admitted, RunStats run,
+                                     int stream) {
+  QueryRunStats qs;
+  qs.id = q.id;
+  qs.label = q.opts.label;
+  qs.weight = q.opts.weight;
+  qs.admitted = admitted;
+  qs.run = std::move(run);
+  sim::Topology* topo = engine_->topo_;
+  for (int n = 0; n < topo->num_mem_nodes(); ++n) {
+    qs.copy_engine_bytes += topo->copy_engine(n).stream_stats(stream).bytes;
+  }
+  return qs;
+}
+
+Result<ScheduleStats> Scheduler::Run(
+    const std::vector<SubmittedQuery*>& queries) {
+  return policy_.scheduling == SchedulingPolicy::kFifo ? RunFifo(queries)
+                                                       : RunFairShare(queries);
+}
+
+Result<ScheduleStats> Scheduler::RunFifo(
+    const std::vector<SubmittedQuery*>& queries) {
+  // Run-to-completion: each query owns the whole topology while it runs.
+  // Resetting link/copy-engine reservations at every query boundary makes
+  // each query's cost sequences bit-identical to a standalone Engine::Run
+  // — FIFO is the compat baseline, and its makespan is the serial sum.
+  ScheduleStats out;
+  out.policy = SchedulingPolicy::kFifo;
+  sim::SimTime clock = 0;
+  for (SubmittedQuery* q : queries) {
+    engine_->topo_->Reset();
+    Engine::PlanExec ex;
+    HAPE_RETURN_NOT_OK(engine_->BeginPlan(&q->plan, policy_, &ex));
+    while (!ex.done()) {
+      HAPE_RETURN_NOT_OK(engine_->StepPlan(&ex));
+    }
+    QueryRunStats qs = FinishQuery(*q, /*admitted=*/clock,
+                                   std::move(ex.out), /*stream=*/0);
+    // The query ran on a private timeline starting at 0; its schedule
+    // window is [clock, clock + finish).
+    qs.finish = clock + qs.run.finish;
+    clock = qs.finish;
+    for (const auto& [dev, busy] : qs.run.device_busy_s) {
+      out.device_busy_s[dev] += busy;
+    }
+    out.queries.push_back(std::move(qs));
+  }
+  out.makespan = clock;
+  return out;
+}
+
+Result<ScheduleStats> Scheduler::RunFairShare(
+    const std::vector<SubmittedQuery*>& queries) {
+  if (!policy_.async.enabled()) {
+    return Status::InvalidArgument(
+        "fair-share scheduling interleaves on the event-queue substrate: "
+        "the policy must enable the async executor (AsyncOptions depth "
+        ">= 1)");
+  }
+  sim::Topology* topo = engine_->topo_;
+  topo->Reset();
+
+  ScheduleStats out;
+  out.policy = SchedulingPolicy::kFairShare;
+  if (queries.empty()) return out;
+
+  // ---- admission: pack queries into waves whose estimated GPU-resident
+  // build bytes co-fit device memory. A wave opens when the previous one
+  // fully finished — the queueing delay GPU-memory contention causes.
+  // Packing is in submission order (no skip-ahead), so admission is fair
+  // and deterministic.
+  const uint64_t budget = GpuBudget();
+  const bool contended = policy_.UsesGpu(*topo);
+  std::vector<std::vector<SubmittedQuery*>> waves;
+  uint64_t wave_bytes = 0;
+  for (SubmittedQuery* q : queries) {
+    const uint64_t fp =
+        contended
+            ? std::min(EstimatedResidentBytes(q->plan, policy_, budget),
+                       budget)
+            : 0;
+    const bool fits =
+        policy_.build_staging_factor * static_cast<double>(wave_bytes + fp) <=
+        static_cast<double>(budget);
+    // Open a new wave when the query does not co-fit the current one. A
+    // query that does not fit even an empty wave still gets one of its
+    // own (the placement step co-partitions or rejects it at run time).
+    if (waves.empty() || (!fits && !waves.back().empty())) {
+      waves.emplace_back();
+      wave_bytes = 0;
+    }
+    waves.back().push_back(q);
+    wave_bytes += fp;
+  }
+
+  // Worker clocks persist across waves: a wave's pipelines naturally queue
+  // behind the previous wave's tail work on each worker.
+  WorkerClocks clocks;
+  // Channel quotas must hold on every engine a transfer may issue from,
+  // so size them off the least-channeled memory node.
+  int channels = topo->copy_engine(0).channels();
+  for (int n = 1; n < topo->num_mem_nodes(); ++n) {
+    channels = std::min(channels, topo->copy_engine(n).channels());
+  }
+  sim::SimTime wave_gate = 0;
+
+  for (const std::vector<SubmittedQuery*>& wave : waves) {
+    uint64_t shared_resident = 0;
+    // Channel quota: only throttle per-query DMA bursts when the wave has
+    // more queries than the copy engines have channels — below that, the
+    // gap-filling lane arbitration interleaves streams fairly on its own,
+    // and a hard stripe would idle channels a solo-sized burst could use.
+    const int quota = static_cast<int>(wave.size()) > channels
+                          ? std::max(1, channels / 2)
+                          : 0;
+    std::vector<Engine::PlanExec> exs(wave.size());
+    for (size_t i = 0; i < wave.size(); ++i) {
+      HAPE_RETURN_NOT_OK(
+          engine_->BeginPlan(&wave[i]->plan, policy_, &exs[i]));
+      exs[i].admit = wave_gate;
+      exs[i].clocks = &clocks;
+      exs[i].shared_resident = &shared_resident;
+      exs[i].dma_stream = wave[i]->id;
+      exs[i].dma_lane_quota = quota;
+    }
+
+    // ---- weighted fair queueing at pipeline granularity: the next
+    // pipeline to issue belongs to the query with the smallest virtual
+    // time (accumulated device-seconds / weight); submission order breaks
+    // ties. Each issued pipeline runs on the shared event-queue substrate
+    // (worker clocks, links, copy engines), so pipelines of different
+    // queries overlap in simulated time whenever they use different
+    // resources and serialize per worker when they contend.
+    //
+    // One refinement on plain WFQ: a query whose *next* pipeline is a
+    // hash build gets priority over probe pipelines (still by virtual
+    // time among builds). Builds are pipeline breakers — small, but they
+    // gate their query's probe work — so letting a fat probe segment
+    // queue ahead of them pushes the gated query's compute past the
+    // schedule tail and idles workers there. Hoisting breakers keeps the
+    // bulk of the work (probes) under weighted fairness while the cheap
+    // critical-path work clears first.
+    std::vector<double> vtime(wave.size(), 0.0);
+    for (;;) {
+      int pick = -1;
+      bool pick_is_build = false;
+      for (size_t i = 0; i < wave.size(); ++i) {
+        if (exs[i].done()) continue;
+        const Engine::PlanExec& ex = exs[i];
+        const bool is_build =
+            ex.plan->node(ex.order[ex.pos]).is_build;
+        if (pick < 0 || (is_build && !pick_is_build) ||
+            (is_build == pick_is_build && vtime[i] < vtime[pick])) {
+          pick = static_cast<int>(i);
+          pick_is_build = is_build;
+        }
+      }
+      if (pick < 0) break;
+      HAPE_RETURN_NOT_OK(engine_->StepPlan(&exs[pick]));
+      vtime[pick] += TotalBusy(exs[pick].out.pipelines.back().stats) /
+                     wave[pick]->opts.weight;
+    }
+
+    sim::SimTime wave_finish = wave_gate;
+    for (size_t i = 0; i < wave.size(); ++i) {
+      QueryRunStats qs = FinishQuery(*wave[i], /*admitted=*/wave_gate,
+                                     std::move(exs[i].out), wave[i]->id);
+      qs.finish = qs.run.finish;
+      wave_finish = std::max(wave_finish, qs.finish);
+      for (const auto& [dev, busy] : qs.run.device_busy_s) {
+        out.device_busy_s[dev] += busy;
+      }
+      out.makespan = std::max(out.makespan, qs.finish);
+      out.queries.push_back(std::move(qs));
+    }
+    // The next wave is admitted when this one's tables are released.
+    wave_gate = wave_finish;
+  }
+
+  // Report queries in submission order regardless of wave composition.
+  std::sort(out.queries.begin(), out.queries.end(),
+            [](const QueryRunStats& a, const QueryRunStats& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace hape::engine

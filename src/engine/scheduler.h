@@ -1,0 +1,133 @@
+#ifndef HAPE_ENGINE_SCHEDULER_H_
+#define HAPE_ENGINE_SCHEDULER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/policy.h"
+
+namespace hape::engine {
+
+/// Per-query knobs of Engine::Submit.
+struct SubmitOptions {
+  /// Fair-share weight: the query's target fraction of every contended
+  /// device is weight / (sum of admitted weights). Must be > 0.
+  double weight = 1.0;
+  /// Display label in ScheduleStats / Explain; defaults to the plan name.
+  std::string label;
+};
+
+/// One entry of the Engine's submission queue.
+struct SubmittedQuery {
+  SubmittedQuery(int id, QueryPlan plan, SubmitOptions opts)
+      : id(id), plan(std::move(plan)), opts(std::move(opts)) {}
+
+  int id;
+  QueryPlan plan;
+  SubmitOptions opts;
+  /// Ran in an earlier RunAll (kept alive for its result handles).
+  bool executed = false;
+};
+
+/// Execution record of one query of a schedule. `admitted` and `finish`
+/// are absolute schedule times; every query is submitted at time 0, so
+/// the queueing delay is the admission time itself. The nested `run`
+/// record is on the timeline the query actually executed on: under
+/// kFairShare that is the shared absolute timeline (run.finish ==
+/// finish), while under kFifo each query runs on a private timeline
+/// starting at 0 — bit-exact standalone compat is the point — and its
+/// schedule window is [admitted, admitted + run.finish).
+struct QueryRunStats {
+  int id = -1;
+  std::string label;
+  double weight = 1.0;
+  /// When the scheduler admitted the query (FIFO: when its turn came;
+  /// fair-share: its admission wave's start, delayed when GPU memory for
+  /// the wave's build tables was contended).
+  sim::SimTime admitted = 0;
+  sim::SimTime finish = 0;
+  /// Bytes this query's transfers moved through the copy engines (its DMA
+  /// stream tag, summed over memory nodes).
+  uint64_t copy_engine_bytes = 0;
+  RunStats run;
+
+  sim::SimTime queueing_delay_s() const { return admitted; }
+  sim::SimTime makespan_s() const { return finish; }
+};
+
+/// Outcome of Engine::RunAll: the global makespan plus per-query makespan,
+/// queueing delay, and device-share accounting.
+struct ScheduleStats {
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  sim::SimTime makespan = 0;
+  /// Compute seconds per device id, summed over all queries. A query's
+  /// device share is its own run.device_busy_s over these totals.
+  std::map<int, sim::SimTime> device_busy_s;
+  std::vector<QueryRunStats> queries;
+};
+
+/// The multi-query scheduler behind Engine::RunAll. One Engine instance
+/// admits several QueryPlans and arbitrates workers, GPU memory, and
+/// copy-engine channels between them:
+///
+///   - kFifo: run-to-completion in submission order. Each query gets the
+///     whole (freshly reset) topology, so its cost sequences are
+///     bit-identical to a standalone Engine::Run and the schedule makespan
+///     is the serial sum — the compatibility baseline.
+///   - kFairShare: queries are first packed into admission waves so each
+///     wave's estimated GPU-resident build bytes fit device memory (a wave
+///     opens when the previous one fully finishes — the queueing delay of
+///     memory contention). Within a wave, pipelines of different queries
+///     interleave on the shared event-queue substrate: worker clocks carry
+///     busy state across pipeline and query boundaries, links and copy
+///     engines are shared (each query's DMA is tagged with its stream and
+///     capped to a channel quota), and the next pipeline to issue always
+///     belongs to the admitted query with the smallest weighted virtual
+///     time (accumulated device-seconds / weight) — weighted fair queueing
+///     at pipeline granularity, with hash builds hoisted ahead of probe
+///     segments because they gate their query's remaining parallelism.
+///     Requires the async executor (depth >= 1):
+///     its admission pass routes packets on a relative timeline, which is
+///     what makes per-query results byte-identical regardless of what else
+///     shares the machine or in which order queries were submitted.
+class Scheduler {
+ public:
+  Scheduler(Engine* engine, const ExecutionPolicy& policy)
+      : engine_(engine), policy_(policy) {}
+
+  /// Execute `queries` (not-yet-run submissions) and report the schedule.
+  Result<ScheduleStats> Run(const std::vector<SubmittedQuery*>& queries);
+
+  /// Estimated nominal bytes of the GPU-resident hash tables `plan` asks
+  /// the placement step for: every probed build's table, sized from the
+  /// optimizer's cardinality estimate when present (source rows
+  /// otherwise), minus the largest heavy build when the total cannot fit
+  /// `budget` anyway (the §5 co-partition fallback streams it instead).
+  /// Exposed for tests.
+  static uint64_t EstimatedResidentBytes(const QueryPlan& plan,
+                                         const ExecutionPolicy& policy,
+                                         uint64_t budget);
+
+ private:
+  Result<ScheduleStats> RunFifo(const std::vector<SubmittedQuery*>& queries);
+  Result<ScheduleStats> RunFairShare(
+      const std::vector<SubmittedQuery*>& queries);
+
+  /// Smallest GPU memory budget under the policy (max uint64 when the
+  /// policy uses no GPU).
+  uint64_t GpuBudget() const;
+
+  QueryRunStats FinishQuery(const SubmittedQuery& q, sim::SimTime admitted,
+                            RunStats run, int stream);
+
+  Engine* engine_;
+  const ExecutionPolicy& policy_;
+};
+
+}  // namespace hape::engine
+
+#endif  // HAPE_ENGINE_SCHEDULER_H_

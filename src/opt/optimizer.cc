@@ -69,29 +69,15 @@ uint64_t PayloadValueBytes(const PlanNode& node, int col) {
 
 // ---- CostModel --------------------------------------------------------------
 
-double CostModel::PipelineSeconds(const sim::Topology& topo,
-                                  const std::vector<int>& devices,
-                                  uint64_t nominal_bytes,
-                                  uint64_t nominal_ops,
-                                  const engine::AsyncOptions& async) {
-  double s = PipelineSeconds(topo, devices, nominal_bytes, nominal_ops);
-  if (!async.enabled() || !std::isfinite(s)) return s;
-  // Prefetched staging hides the per-pipeline link round-trip the sync
-  // model charges as setup; only the kernel launch itself stays exposed.
-  for (int d : devices) {
-    const sim::Device& dev = topo.device(d);
-    if (dev.type == sim::DeviceType::kGpu) {
-      s -= sim::LinkSpec{}.latency_s;
-      break;
-    }
-  }
-  return s;
-}
+namespace {
 
-double CostModel::PipelineSeconds(const sim::Topology& topo,
-                                  const std::vector<int>& devices,
-                                  uint64_t nominal_bytes,
-                                  uint64_t nominal_ops) {
+/// The one cost-model core both public overloads share. `cpu_scale` is
+/// the contended-share factor applied to CPU streaming/compute only
+/// (1.0 = the uncontended base model, bit-exact with its historical
+/// arithmetic since x * 1.0 == x).
+double CostModelCore(const sim::Topology& topo,
+                     const std::vector<int>& devices, uint64_t nominal_bytes,
+                     uint64_t nominal_ops, double cpu_scale) {
   if (devices.empty()) return kInf;
   double bw = 0;        // aggregate streaming bytes/s
   double ops_rate = 0;  // aggregate simple ops/s
@@ -99,9 +85,9 @@ double CostModel::PipelineSeconds(const sim::Topology& topo,
   for (int d : devices) {
     const sim::Device& dev = topo.device(d);
     if (dev.type == sim::DeviceType::kCpu) {
-      bw += sim::GbpsToBytes(dev.cpu.dram_gbps);
+      bw += sim::GbpsToBytes(dev.cpu.dram_gbps) * cpu_scale;
       ops_rate += dev.cpu.cores * dev.cpu.clock_ghz * 1e9 *
-                  dev.cpu.ops_per_cycle;
+                  dev.cpu.ops_per_cycle * cpu_scale;
     } else {
       // Data is host-resident: a GPU ingests at most at the speed of the
       // interconnect it sits behind, and involving it at all costs a
@@ -117,6 +103,64 @@ double CostModel::PipelineSeconds(const sim::Topology& topo,
   }
   return setup + std::max(static_cast<double>(nominal_bytes) / bw,
                           static_cast<double>(nominal_ops) / ops_rate);
+}
+
+/// The async adjustment both overloads share: prefetched staging hides
+/// the per-pipeline link round-trip the sync model charges as setup;
+/// only the kernel launch itself stays exposed.
+double HideAsyncRoundTrip(const sim::Topology& topo,
+                          const std::vector<int>& devices, double s,
+                          const engine::AsyncOptions& async) {
+  if (!async.enabled() || !std::isfinite(s)) return s;
+  for (int d : devices) {
+    if (topo.device(d).type == sim::DeviceType::kGpu) {
+      return s - sim::LinkSpec{}.latency_s;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+double CostModel::PipelineSeconds(const sim::Topology& topo,
+                                  const std::vector<int>& devices,
+                                  uint64_t nominal_bytes,
+                                  uint64_t nominal_ops,
+                                  const engine::AsyncOptions& async,
+                                  double device_share) {
+  if (!(device_share > 0) || device_share >= 1.0) {
+    return PipelineSeconds(topo, devices, nominal_bytes, nominal_ops, async);
+  }
+  // CPU contributions scale with the share. CPUs are the engine's default
+  // (and therefore contended) compute pool — under fair-share scheduling
+  // every admitted query's probe work time-shares their cores, so a query
+  // effectively streams at share x the socket bandwidth. GPUs stay
+  // unscaled: they are explicit per-pipeline offload targets that sit
+  // idle unless placement sends work to them, so contention pressure is
+  // exactly what should make offloading break even earlier (the
+  // heterogeneous pool as a pressure valve).
+  return HideAsyncRoundTrip(
+      topo, devices,
+      CostModelCore(topo, devices, nominal_bytes, nominal_ops, device_share),
+      async);
+}
+
+double CostModel::PipelineSeconds(const sim::Topology& topo,
+                                  const std::vector<int>& devices,
+                                  uint64_t nominal_bytes,
+                                  uint64_t nominal_ops,
+                                  const engine::AsyncOptions& async) {
+  return HideAsyncRoundTrip(
+      topo, devices,
+      PipelineSeconds(topo, devices, nominal_bytes, nominal_ops), async);
+}
+
+double CostModel::PipelineSeconds(const sim::Topology& topo,
+                                  const std::vector<int>& devices,
+                                  uint64_t nominal_bytes,
+                                  uint64_t nominal_ops) {
+  return CostModelCore(topo, devices, nominal_bytes, nominal_ops,
+                       /*cpu_scale=*/1.0);
 }
 
 // ---- op ordering ------------------------------------------------------------
@@ -365,8 +409,11 @@ void Optimizer::ChoosePlacement(QueryPlan* plan, int node_idx,
   const uint64_t nominal_ops =
       static_cast<uint64_t>(ops * node.pipeline.scale);
 
+  // Under fair-share scheduling the query holds only a fraction of every
+  // device, which shifts where CPU-vs-GPU offload breaks even.
+  const double share = policy.expected_device_share;
   decision->est_seconds = CostModel::PipelineSeconds(
-      *topo_, base_set, bytes, nominal_ops, policy.async);
+      *topo_, base_set, bytes, nominal_ops, policy.async, share);
   if (options_.placement != PlacementMode::kCostBased ||
       !node.run_on.empty()) {
     // kPolicy, or an explicit hand placement: keep, only record the cost.
@@ -378,10 +425,10 @@ void Optimizer::ChoosePlacement(QueryPlan* plan, int node_idx,
   for (int d : base_set) {
     (topo_->device(d).type == sim::DeviceType::kCpu ? cpus : gpus).push_back(d);
   }
-  const double cpu_s = CostModel::PipelineSeconds(*topo_, cpus, bytes,
-                                                  nominal_ops, policy.async);
-  const double gpu_s = CostModel::PipelineSeconds(*topo_, gpus, bytes,
-                                                  nominal_ops, policy.async);
+  const double cpu_s = CostModel::PipelineSeconds(
+      *topo_, cpus, bytes, nominal_ops, policy.async, share);
+  const double gpu_s = CostModel::PipelineSeconds(
+      *topo_, gpus, bytes, nominal_ops, policy.async, share);
   // The full policy set wins ties: the router splits work across it.
   if (cpu_s < decision->est_seconds && cpu_s <= gpu_s) {
     plan->mutable_node(node_idx).run_on = cpus;

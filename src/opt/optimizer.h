@@ -37,6 +37,22 @@ class CostModel {
                                 const std::vector<int>& devices,
                                 uint64_t nominal_bytes, uint64_t nominal_ops,
                                 const engine::AsyncOptions& async);
+
+  /// Contended-share variant: under fair-share multi-query scheduling the
+  /// query holds only `device_share` (0, 1] of the *CPU pool* — the
+  /// engine's default compute target, which every admitted query's probe
+  /// work time-shares — so CPU streaming bandwidth and compute rate scale
+  /// down by the share. GPU throughput, link ingest, and fixed setup
+  /// (kernel launch) are deliberately NOT scaled: accelerators sit idle
+  /// unless placement offloads to them, so contention pressure is what
+  /// should make offloading break even earlier. Share 1.0 is exactly the
+  /// overlap-aware variant, so single-query placement decisions are
+  /// unchanged.
+  static double PipelineSeconds(const sim::Topology& topo,
+                                const std::vector<int>& devices,
+                                uint64_t nominal_bytes, uint64_t nominal_ops,
+                                const engine::AsyncOptions& async,
+                                double device_share);
 };
 
 /// Decisions the optimizer took for one pipeline.

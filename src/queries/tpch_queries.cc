@@ -62,10 +62,7 @@ QueryResult RunPlan(TpchContext* ctx, EngineConfig config, QueryPlan plan,
   ExecutionPolicy policy = ExecutionPolicy::ForConfig(*ctx->topo, config);
   policy.partitioned_gpu_join = ctx->partitioned_gpu_join;
   policy.async = ctx->async;
-  if (ctx->engine == nullptr || ctx->engine->topology() != ctx->topo) {
-    ctx->engine = std::make_shared<Engine>(ctx->topo);
-  }
-  Engine& eng = *ctx->engine;
+  Engine& eng = EngineFor(ctx);
   if (ctx->plan_mode == PlanMode::kOptimized) {
     auto opt = eng.Optimize(&plan, policy);
     if (!opt.ok()) {
@@ -85,7 +82,26 @@ QueryResult RunPlan(TpchContext* ctx, EngineConfig config, QueryPlan plan,
   return r;
 }
 
+/// RunQx = BuildQxPlan + RunPlan.
+QueryResult RunBuilt(TpchContext* ctx, EngineConfig config,
+                     Result<BuiltQuery> built) {
+  if (!built.ok()) {
+    QueryResult r;
+    r.status = built.status();
+    return r;
+  }
+  return RunPlan(ctx, config, std::move(built.value().plan),
+                 built.value().agg);
+}
+
 }  // namespace
+
+engine::Engine& EngineFor(TpchContext* ctx) {
+  if (ctx->engine == nullptr || ctx->engine->topology() != ctx->topo) {
+    ctx->engine = std::make_shared<Engine>(ctx->topo);
+  }
+  return *ctx->engine;
+}
 
 Status PrepareTpch(TpchContext* ctx, uint64_t seed) {
   storage::tpch::TpchGenerator gen(ctx->sf_actual, seed, /*home_node=*/0);
@@ -94,13 +110,9 @@ Status PrepareTpch(TpchContext* ctx, uint64_t seed) {
 
 // ---- Q1: scan-heavy multi-aggregate ----------------------------------------
 
-QueryResult RunQ1(TpchContext* ctx, EngineConfig config) {
-  QueryResult r;
+Result<BuiltQuery> BuildQ1Plan(TpchContext* ctx) {
   auto lineitem = ctx->catalog.Get("lineitem");
-  if (!lineitem.ok()) {
-    r.status = lineitem.status();
-    return r;
-  }
+  if (!lineitem.ok()) return lineitem.status();
 
   PlanBuilder b("q1");
   // Columns: 0 flag, 1 status, 2 qty, 3 extprice, 4 discount, 5 tax,
@@ -129,18 +141,18 @@ QueryResult RunQ1(TpchContext* ctx, EngineConfig config) {
   b.DeclareMaterializedIntermediate(
       static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.98) * 44,
       "Q1 selection output");
-  return RunPlan(ctx, config, std::move(b).Build(), agg);
+  return BuiltQuery(std::move(b).Build(), agg);
+}
+
+QueryResult RunQ1(TpchContext* ctx, EngineConfig config) {
+  return RunBuilt(ctx, config, BuildQ1Plan(ctx));
 }
 
 // ---- Q6: selective scan + single aggregate ----------------------------------
 
-QueryResult RunQ6(TpchContext* ctx, EngineConfig config) {
-  QueryResult r;
+Result<BuiltQuery> BuildQ6Plan(TpchContext* ctx) {
   auto lineitem = ctx->catalog.Get("lineitem");
-  if (!lineitem.ok()) {
-    r.status = lineitem.status();
-    return r;
-  }
+  if (!lineitem.ok()) return lineitem.status();
 
   PlanBuilder b("q6");
   // Columns: 0 shipdate, 1 discount, 2 quantity, 3 extendedprice.
@@ -162,21 +174,21 @@ QueryResult RunQ6(TpchContext* ctx, EngineConfig config) {
   b.DeclareMaterializedIntermediate(
       static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.02) * 32,
       "Q6 selection output");
-  return RunPlan(ctx, config, std::move(b).Build(), agg);
+  return BuiltQuery(std::move(b).Build(), agg);
+}
+
+QueryResult RunQ6(TpchContext* ctx, EngineConfig config) {
+  return RunBuilt(ctx, config, BuildQ6Plan(ctx));
 }
 
 // ---- Q3: shipping-priority, two FK joins with reducing filters --------------
 
-QueryResult RunQ3(TpchContext* ctx, EngineConfig config) {
-  QueryResult r;
+Result<BuiltQuery> BuildQ3Plan(TpchContext* ctx) {
   auto lineitem = ctx->catalog.Get("lineitem");
   auto orders = ctx->catalog.Get("orders");
   auto customer = ctx->catalog.Get("customer");
   for (const auto* t : {&lineitem, &orders, &customer}) {
-    if (!t->ok()) {
-      r.status = t->status();
-      return r;
-    }
+    if (!t->ok()) return t->status();
   }
   constexpr int32_t kQ3Date = storage::tpch::Date(1995, 3, 15);
 
@@ -220,23 +232,23 @@ QueryResult RunQ3(TpchContext* ctx, EngineConfig config) {
   b.DeclareMaterializedIntermediate(
       static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.54) * 40,
       "Q3 selection output");
-  return RunPlan(ctx, config, std::move(b).Build(), agg);
+  return BuiltQuery(std::move(b).Build(), agg);
+}
+
+QueryResult RunQ3(TpchContext* ctx, EngineConfig config) {
+  return RunBuilt(ctx, config, BuildQ3Plan(ctx));
 }
 
 // ---- Q5: join-heavy, group by nation ----------------------------------------
 
-QueryResult RunQ5(TpchContext* ctx, EngineConfig config) {
-  QueryResult r;
+Result<BuiltQuery> BuildQ5Plan(TpchContext* ctx) {
   auto lineitem = ctx->catalog.Get("lineitem");
   auto orders = ctx->catalog.Get("orders");
   auto customer = ctx->catalog.Get("customer");
   auto supplier = ctx->catalog.Get("supplier");
   auto nation = ctx->catalog.Get("nation");
   for (const auto* t : {&lineitem, &orders, &customer, &supplier, &nation}) {
-    if (!t->ok()) {
-      r.status = t->status();
-      return r;
-    }
+    if (!t->ok()) return t->status();
   }
 
   PlanBuilder b("q5");
@@ -312,22 +324,22 @@ QueryResult RunQ5(TpchContext* ctx, EngineConfig config) {
   b.DeclareMaterializedIntermediate(
       static_cast<uint64_t>(NominalRows(*ctx, lineitem.value()) * 0.2) * 80,
       "materialized join matches");
-  return RunPlan(ctx, config, std::move(b).Build(), agg);
+  return BuiltQuery(std::move(b).Build(), agg);
+}
+
+QueryResult RunQ5(TpchContext* ctx, EngineConfig config) {
+  return RunBuilt(ctx, config, BuildQ5Plan(ctx));
 }
 
 // ---- Q9*: join-heavy with an out-of-GPU build side --------------------------
 
-QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
-  QueryResult r;
+Result<BuiltQuery> BuildQ9Plan(TpchContext* ctx) {
   auto lineitem = ctx->catalog.Get("lineitem");
   auto orders = ctx->catalog.Get("orders");
   auto supplier = ctx->catalog.Get("supplier");
   auto partsupp = ctx->catalog.Get("partsupp");
   for (const auto* t : {&lineitem, &orders, &supplier, &partsupp}) {
-    if (!t->ok()) {
-      r.status = t->status();
-      return r;
-    }
+    if (!t->ok()) return t->status();
   }
 
   PlanBuilder b("q9");
@@ -402,7 +414,11 @@ QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
           HashTableBytes(NominalRows(*ctx, partsupp.value())) +
           NominalRows(*ctx, lineitem.value()) * 16,
       "build sides (full orders + partsupp) plus intermediates");
-  return RunPlan(ctx, config, std::move(b).Build(), agg);
+  return BuiltQuery(std::move(b).Build(), agg);
+}
+
+QueryResult RunQ9(TpchContext* ctx, EngineConfig config) {
+  return RunBuilt(ctx, config, BuildQ9Plan(ctx));
 }
 
 // ---- trusted scalar references ----------------------------------------------

@@ -70,11 +70,38 @@ struct TpchContext {
 /// Populate `ctx.catalog` with generated TPC-H tables at `sf_actual`.
 Status PrepareTpch(TpchContext* ctx, uint64_t seed = 42);
 
+/// A declared-but-not-yet-executed query: the QueryPlan plus the aggregate
+/// handle its result is read through. This is the unit Engine::Submit
+/// admits — build several queries, submit them all, RunAll, then read each
+/// result off its handle (handles stay valid as long as the plan, which a
+/// submitted plan outlives via the Engine).
+struct BuiltQuery {
+  BuiltQuery(engine::QueryPlan plan, engine::AggHandle agg)
+      : plan(std::move(plan)), agg(agg) {}
+  engine::QueryPlan plan;
+  engine::AggHandle agg;
+};
+
+/// Declare the QueryPlan of TPC-H Q1 / Q3 / Q5 / Q6 / Q9* against `ctx`
+/// (honoring ctx->plan_mode) without executing it.
+Result<BuiltQuery> BuildQ1Plan(TpchContext* ctx);
+Result<BuiltQuery> BuildQ3Plan(TpchContext* ctx);
+Result<BuiltQuery> BuildQ5Plan(TpchContext* ctx);
+Result<BuiltQuery> BuildQ6Plan(TpchContext* ctx);
+Result<BuiltQuery> BuildQ9Plan(TpchContext* ctx);
+
+using BuildFn = Result<BuiltQuery> (*)(TpchContext*);
+
+/// The Engine shared across this context's runs (created lazily so its
+/// table-statistics cache actually caches).
+engine::Engine& EngineFor(TpchContext* ctx);
+
 /// Run TPC-H Q1 / Q3 / Q5 / Q6 / Q9* under `config` (Q9* = the paper's
 /// variant: no LIKE predicate and no join to the filtered part table; Q3
 /// groups by l_orderkey, which determines the orderdate/shippriority group
-/// columns). Each query declares a QueryPlan with PlanBuilder and executes
-/// it through the Engine facade under the configuration's ExecutionPolicy.
+/// columns). Each query declares a QueryPlan with PlanBuilder (BuildQ*Plan
+/// above) and executes it through the Engine facade under the
+/// configuration's ExecutionPolicy.
 QueryResult RunQ1(TpchContext* ctx, EngineConfig config);
 QueryResult RunQ3(TpchContext* ctx, EngineConfig config);
 QueryResult RunQ5(TpchContext* ctx, EngineConfig config);

@@ -56,16 +56,25 @@ void Timeline::Reset() {
   busy_time_ = 0;
 }
 
-SimTime CopyEngine::Issue(SimTime earliest, SimTime dur, uint64_t bytes) {
+SimTime CopyEngine::Issue(SimTime earliest, SimTime dur, uint64_t bytes,
+                          int stream, int max_lanes) {
   HAPE_CHECK(channels_ > 0);
   if (lanes_.empty()) lanes_.resize(channels_);
-  // The channel that can issue earliest wins; lowest index breaks ties so
-  // the schedule is deterministic.
-  int best = 0;
-  SimTime best_start = lanes_[0].ProbeStart(earliest, dur);
-  for (int c = 1; c < channels_; ++c) {
+  // The allowed lanes: all of them without a quota, otherwise the stream's
+  // stripe. The stripe offset spreads streams over disjoint (or minimally
+  // overlapping) channel sets.
+  const int quota =
+      max_lanes <= 0 ? channels_ : std::min(max_lanes, channels_);
+  const int offset =
+      max_lanes <= 0 ? 0 : (stream * quota) % channels_;
+  // The allowed channel that can issue earliest wins; lowest lane index
+  // breaks ties so the schedule is deterministic.
+  int best = -1;
+  SimTime best_start = 0;
+  for (int k = 0; k < quota; ++k) {
+    const int c = (offset + k) % channels_;
     const SimTime s = lanes_[c].ProbeStart(earliest, dur);
-    if (s < best_start) {
+    if (best < 0 || s < best_start || (s == best_start && c < best)) {
       best_start = s;
       best = c;
     }
@@ -73,7 +82,16 @@ SimTime CopyEngine::Issue(SimTime earliest, SimTime dur, uint64_t bytes) {
   lanes_[best].Reserve(earliest, dur);
   total_bytes_ += bytes;
   ++copies_;
+  StreamStats& ss = streams_[stream];
+  ++ss.copies;
+  ss.bytes += bytes;
+  ss.busy += dur;
   return best_start;
+}
+
+CopyEngine::StreamStats CopyEngine::stream_stats(int stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? StreamStats{} : it->second;
 }
 
 SimTime CopyEngine::busy_time() const {
@@ -86,6 +104,7 @@ void CopyEngine::Reset() {
   for (Timeline& l : lanes_) l.Reset();
   total_bytes_ = 0;
   copies_ = 0;
+  streams_.clear();
 }
 
 }  // namespace hape::sim

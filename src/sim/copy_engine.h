@@ -2,6 +2,7 @@
 #define HAPE_SIM_COPY_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,18 +63,39 @@ class Timeline {
 /// source memory); with more in-flight copies than channels, issues
 /// serialize — the "DMA queue" backpressure a real copy engine imposes.
 /// Synchronous execution never touches copy engines (exact-compat).
+///
+/// Multi-query arbitration: issues carry a `stream` tag (one stream per
+/// scheduled query) for per-stream accounting, and an optional `max_lanes`
+/// quota. With a quota q, stream s may only use the deterministic lane
+/// stripe {(s * q + k) mod channels : k < q}, so one query's DMA burst
+/// cannot occupy every channel and starve another query's first copy — the
+/// channel arbitration the fair-share scheduler relies on. Quota 0 (the
+/// default, and every single-query path) keeps the legacy any-lane policy.
 class CopyEngine {
  public:
   explicit CopyEngine(int channels = 4) : channels_(channels) {}
 
+  /// Per-stream issue accounting.
+  struct StreamStats {
+    uint64_t copies = 0;
+    uint64_t bytes = 0;
+    SimTime busy = 0;
+  };
+
   /// Earliest time a copy of first-hop duration `dur` may issue at or
-  /// after `earliest`, and reserve the chosen channel for it.
-  SimTime Issue(SimTime earliest, SimTime dur, uint64_t bytes);
+  /// after `earliest`, and reserve the chosen channel for it. The channel
+  /// is picked gap-filling among the lanes `stream` may use under
+  /// `max_lanes` (0 = all of them); earliest start wins, lowest lane
+  /// breaks ties, so the schedule is deterministic.
+  SimTime Issue(SimTime earliest, SimTime dur, uint64_t bytes,
+                int stream = 0, int max_lanes = 0);
 
   int channels() const { return channels_; }
   uint64_t total_bytes() const { return total_bytes_; }
   SimTime busy_time() const;
   uint64_t copies() const { return copies_; }
+  /// Stats of one stream (zeroes for a stream that never issued).
+  StreamStats stream_stats(int stream) const;
 
   void Reset();
 
@@ -82,6 +104,7 @@ class CopyEngine {
   std::vector<Timeline> lanes_;  // grown lazily up to channels_
   uint64_t total_bytes_ = 0;
   uint64_t copies_ = 0;
+  std::map<int, StreamStats> streams_;
 };
 
 }  // namespace hape::sim

@@ -100,8 +100,12 @@ class Topology {
   /// hop i finishes). Returns the finish time. Compute workers are not
   /// involved: this is the decoupled transfer timeline of the async
   /// executor. Synchronous execution never calls this.
+  /// `stream` / `lane_quota` forward to CopyEngine::Issue: the multi-query
+  /// scheduler tags each query's transfers and caps the copy-engine
+  /// channels one query may occupy at once.
   SimTime DmaTransferFinish(int from_node, int to_node, SimTime earliest,
-                            uint64_t bytes);
+                            uint64_t bytes, int stream = 0,
+                            int lane_quota = 0);
 
   /// Reset all link reservations and memory usage statistics.
   void Reset();

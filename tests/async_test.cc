@@ -10,9 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/stages.h"
 #include "queries/tpch_queries.h"
 #include "sim/copy_engine.h"
 #include "storage/tpch.h"
@@ -244,6 +246,85 @@ TEST_F(AsyncExec, ExplainSurfacesOverlapAccounting) {
   EXPECT_NE(json.find("\"transfer_exposed_s\""), std::string::npos);
   EXPECT_NE(json.find("\"async\":true"), std::string::npos);
   EXPECT_NE(json.find("\"pipelines\""), std::string::npos);
+}
+
+// ---- bounded staging memory: AsyncOptions::max_staged_bytes -----------------
+
+// The prefetch window is bounded in *buffers* (packets) per worker; the
+// byte cap bounds the staged transfer *memory*. A transfer that would
+// overflow the cap waits until enough staged packets were handed to
+// compute.
+TEST(AsyncStaging, MaxStagedBytesCapsInFlightTransfers) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  engine::Executor exec(&topo);
+  const int gpu = topo.GpuDeviceIds().front();
+  constexpr size_t kRows = 4096;
+  const uint64_t packet = kRows * 8;  // one int64 column
+  auto make_pipeline = [&] {
+    engine::Pipeline p;
+    p.name = "staging";
+    for (int i = 0; i < 16; ++i) {
+      memory::Batch b;
+      b.rows = kRows;
+      b.mem_node = 0;  // host-resident: every packet crosses PCIe
+      b.columns = {std::make_shared<storage::Column>(
+          std::vector<int64_t>(kRows, i))};
+      p.inputs.push_back(std::move(b));
+    }
+    p.stages.push_back(engine::ScanStage());
+    return p;
+  };
+
+  engine::RunOptions opts;
+  opts.async = engine::AsyncOptions::Depth(8);
+  topo.Reset();
+  auto p1 = make_pipeline();
+  const engine::ExecStats unlimited = exec.Run(&p1, {gpu}, opts);
+  // Without a byte cap the whole 8-deep window sits staged at once.
+  EXPECT_GT(unlimited.peak_staged_bytes, 2 * packet);
+  EXPECT_EQ(unlimited.mem_moves, 16u);
+
+  opts.async.max_staged_bytes = 2 * packet;
+  topo.Reset();
+  auto p2 = make_pipeline();
+  const engine::ExecStats capped = exec.Run(&p2, {gpu}, opts);
+  EXPECT_LE(capped.peak_staged_bytes, 2 * packet);
+  EXPECT_GT(capped.peak_staged_bytes, 0u);
+  // The cap reorders nothing: same packets, same bytes moved.
+  EXPECT_EQ(capped.packets, unlimited.packets);
+  EXPECT_EQ(capped.moved_bytes, unlimited.moved_bytes);
+  // Less staging can only delay, never accelerate.
+  EXPECT_GE(capped.finish, unlimited.finish);
+
+  // A packet larger than the cap still proceeds (alone): no deadlock.
+  opts.async.max_staged_bytes = packet / 2;
+  topo.Reset();
+  auto p3 = make_pipeline();
+  const engine::ExecStats tiny = exec.Run(&p3, {gpu}, opts);
+  EXPECT_EQ(tiny.mem_moves, 16u);
+  EXPECT_LE(tiny.peak_staged_bytes, packet);
+}
+
+TEST_F(AsyncExec, StagedByteCapHoldsOnHybridQ5AndKeepsResults) {
+  const QueryResult unlimited =
+      RunAtDepth(RunQ5, EngineConfig::kProteusHybrid, 4);
+  ASSERT_FALSE(unlimited.DidNotFinish());
+  ASSERT_GT(unlimited.exec.peak_staged_bytes, 0u);
+
+  const uint64_t cap = unlimited.exec.peak_staged_bytes * 3 / 4;
+  topo_->Reset();
+  ctx_->async = engine::AsyncOptions::Depth(4);
+  ctx_->async.max_staged_bytes = cap;
+  const QueryResult capped = RunQ5(ctx_, EngineConfig::kProteusHybrid);
+  ctx_->async = engine::AsyncOptions::Off();
+  ASSERT_FALSE(capped.DidNotFinish());
+  EXPECT_LE(capped.exec.peak_staged_bytes, cap);
+  EXPECT_LT(capped.exec.peak_staged_bytes,
+            unlimited.exec.peak_staged_bytes);
+  // Bounding staging memory changes *when*, never *what*.
+  EXPECT_EQ(capped.exec.broadcast_bytes, unlimited.exec.broadcast_bytes);
+  EXPECT_EQ(capped.exec.moved_bytes, unlimited.exec.moved_bytes);
+  ExpectBitIdenticalGroups(unlimited, capped, "staged-byte cap");
 }
 
 // ---- determinism: byte-identical results, deterministic stats ---------------

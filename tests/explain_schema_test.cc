@@ -1,0 +1,252 @@
+// Schema tests for every Engine::Explain variant: each document is parsed
+// back through common/json.h and validated structurally (required keys,
+// kinds, cross-field consistency) instead of with brittle string goldens.
+// Also unit-tests the JSON parser itself against the writer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "engine/scheduler.h"
+#include "queries/tpch_queries.h"
+#include "storage/tpch.h"
+
+namespace hape::queries {
+namespace {
+
+using engine::Engine;
+using engine::ExecutionPolicy;
+using engine::ScheduleStats;
+using engine::SchedulingPolicy;
+
+// ---- JSON parser unit tests -------------------------------------------------
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("a \"quoted\"\nline\tand \\ backslash");
+  w.Key("i");
+  w.Int(-42);
+  w.Key("u");
+  w.Uint(18446744073709551615ull);
+  w.Key("d");
+  w.Double(0.30009299038461529);
+  w.Key("b");
+  w.Bool(true);
+  w.Key("n");
+  w.Null();
+  w.Key("arr");
+  w.BeginArray();
+  w.Int(1);
+  w.BeginObject();
+  w.Key("nested");
+  w.Bool(false);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  auto parsed = JsonParser::Parse(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = parsed.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("s")->str(), "a \"quoted\"\nline\tand \\ backslash");
+  EXPECT_DOUBLE_EQ(v.Find("i")->number(), -42.0);
+  EXPECT_DOUBLE_EQ(v.Find("d")->number(), 0.30009299038461529);
+  EXPECT_TRUE(v.Find("b")->bool_value());
+  EXPECT_EQ(v.Find("n")->kind(), JsonValue::Kind::kNull);
+  ASSERT_TRUE(v.Find("arr")->is_array());
+  ASSERT_EQ(v.Find("arr")->items().size(), 2u);
+  EXPECT_FALSE(v.Find("arr")->items()[1].Find("nested")->bool_value());
+  EXPECT_FALSE(v.Has("missing"));
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "{\"a\":1,}",
+        "\"unterminated", "nul"}) {
+    EXPECT_FALSE(JsonParser::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParser, ParsesNumbersExactly) {
+  auto v = JsonParser::Parse("[0, -1, 3.5, 1e3, 2.25e-2, 4503599627370496]");
+  ASSERT_TRUE(v.ok());
+  const auto& items = v.value().items();
+  EXPECT_DOUBLE_EQ(items[0].number(), 0.0);
+  EXPECT_DOUBLE_EQ(items[1].number(), -1.0);
+  EXPECT_DOUBLE_EQ(items[2].number(), 3.5);
+  EXPECT_DOUBLE_EQ(items[3].number(), 1000.0);
+  EXPECT_DOUBLE_EQ(items[4].number(), 0.0225);
+  EXPECT_DOUBLE_EQ(items[5].number(), 4503599627370496.0);
+}
+
+// ---- Explain schema ---------------------------------------------------------
+
+class ExplainSchema : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new sim::Topology(sim::Topology::PaperServer());
+    ctx_ = new TpchContext();
+    ctx_->topo = topo_;
+    ctx_->sf_actual = 0.01;
+    ctx_->sf_nominal = 100.0;
+    ASSERT_TRUE(PrepareTpch(ctx_).ok());
+  }
+  void SetUp() override { topo_->Reset(); }
+
+  static void ExpectKeys(const JsonValue& obj,
+                         const std::vector<const char*>& keys,
+                         const std::string& where) {
+    ASSERT_TRUE(obj.is_object()) << where;
+    for (const char* k : keys) {
+      EXPECT_TRUE(obj.Has(k)) << where << " missing key '" << k << "'";
+    }
+  }
+
+  static sim::Topology* topo_;
+  static TpchContext* ctx_;
+};
+sim::Topology* ExplainSchema::topo_ = nullptr;
+TpchContext* ExplainSchema::ctx_ = nullptr;
+
+void ExpectRunObject(const JsonValue& run, const std::string& where) {
+  ASSERT_TRUE(run.is_object()) << where;
+  for (const char* k :
+       {"async", "finish_s", "placement_finish_s", "broadcast_bytes",
+        "co_processed", "mem_moves", "moved_bytes", "transfer_busy_s",
+        "transfer_exposed_s", "transfer_hidden_s", "peak_staged_bytes",
+        "device_busy", "pipelines"}) {
+    EXPECT_TRUE(run.Has(k)) << where << " missing key '" << k << "'";
+  }
+  // The hidden-vs-exposed split must be internally consistent.
+  EXPECT_NEAR(run.Find("transfer_busy_s")->number() -
+                  run.Find("transfer_exposed_s")->number(),
+              run.Find("transfer_hidden_s")->number(), 1e-9)
+      << where;
+  ASSERT_TRUE(run.Find("pipelines")->is_array()) << where;
+  for (const JsonValue& p : run.Find("pipelines")->items()) {
+    for (const char* k :
+         {"name", "start_s", "finish_s", "packets", "rows_out", "mem_moves",
+          "moved_bytes", "transfer_busy_s", "transfer_exposed_s",
+          "transfer_hidden_s"}) {
+      EXPECT_TRUE(p.Has(k)) << where << " pipeline missing '" << k << "'";
+    }
+  }
+  for (const JsonValue& d : run.Find("device_busy")->items()) {
+    EXPECT_TRUE(d.Has("device")) << where;
+    EXPECT_TRUE(d.Has("busy_s")) << where;
+  }
+}
+
+TEST_F(ExplainSchema, PlanDocumentHasRequiredStructure) {
+  ctx_->async = engine::AsyncOptions::Off();
+  auto bq = BuildQ5Plan(ctx_);
+  ASSERT_TRUE(bq.ok());
+  Engine& eng = EngineFor(ctx_);
+  const ExecutionPolicy policy =
+      ExecutionPolicy::ForConfig(*topo_, EngineConfig::kProteusHybrid);
+  ASSERT_TRUE(eng.Optimize(&bq.value().plan, policy).ok());
+
+  auto parsed = JsonParser::Parse(eng.Explain(bq.value().plan));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  ExpectKeys(doc, {"plan", "num_pipelines", "pipelines"}, "plan doc");
+  const JsonValue& pipelines = *doc.Find("pipelines");
+  ASSERT_TRUE(pipelines.is_array());
+  ASSERT_EQ(pipelines.items().size(),
+            static_cast<size_t>(doc.Find("num_pipelines")->number()));
+  bool saw_build = false, saw_probe_op = false;
+  for (const JsonValue& p : pipelines.items()) {
+    ExpectKeys(p,
+               {"id", "name", "deps", "run_on", "build", "scale", "declared",
+                "estimated", "ops", "sink"},
+               "pipeline");
+    ExpectKeys(*p.Find("declared"), {"source_rows"}, "declared");
+    ExpectKeys(*p.Find("estimated"),
+               {"out_rows", "nominal_out_rows", "cost_seconds"}, "estimated");
+    if (p.Find("build")->bool_value()) {
+      saw_build = true;
+      ExpectKeys(p, {"heavy", "ht_buckets"}, "build pipeline");
+    }
+    for (const JsonValue& op : p.Find("ops")->items()) {
+      ASSERT_TRUE(op.Has("kind"));
+      if (op.Find("kind")->str() == "probe") {
+        saw_probe_op = true;
+        ExpectKeys(op, {"build_pipeline", "appended_cols"}, "probe op");
+      }
+    }
+  }
+  EXPECT_TRUE(saw_build);
+  EXPECT_TRUE(saw_probe_op);
+}
+
+TEST_F(ExplainSchema, RunDocumentCarriesOverlapAccounting) {
+  ctx_->async = engine::AsyncOptions::Depth(2);
+  const QueryResult r = RunQ5(ctx_, EngineConfig::kProteusHybrid);
+  ASSERT_FALSE(r.DidNotFinish());
+  auto bq = BuildQ5Plan(ctx_);  // a fresh shape to serialize against
+  ASSERT_TRUE(bq.ok());
+  Engine& eng = EngineFor(ctx_);
+  auto parsed = JsonParser::Parse(eng.Explain(bq.value().plan, r.exec));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  ExpectKeys(doc, {"plan", "run", "explain"}, "run doc");
+  ExpectRunObject(*doc.Find("run"), "run");
+  EXPECT_TRUE(doc.Find("run")->Find("async")->bool_value());
+  // The nested explain is itself a full plan document.
+  ExpectKeys(*doc.Find("explain"), {"plan", "num_pipelines", "pipelines"},
+             "nested explain");
+}
+
+TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
+  ExecutionPolicy policy =
+      ExecutionPolicy::ForConfig(*topo_, EngineConfig::kProteusHybrid);
+  policy.async = engine::AsyncOptions::Depth(2);
+  policy.scheduling = SchedulingPolicy::kFairShare;
+  Engine eng(topo_);
+  for (BuildFn build : {BuildQ3Plan, BuildQ5Plan}) {
+    auto bq = build(ctx_);
+    ASSERT_TRUE(bq.ok());
+    ASSERT_TRUE(eng.Optimize(&bq.value().plan, policy).ok());
+    eng.Submit(std::move(bq.value().plan));
+  }
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+
+  auto parsed = JsonParser::Parse(eng.Explain(sched.value()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  ASSERT_TRUE(doc.Has("schedule"));
+  const JsonValue& s = *doc.Find("schedule");
+  ExpectKeys(s, {"policy", "num_queries", "makespan_s", "device_busy",
+                 "queries"},
+             "schedule");
+  EXPECT_EQ(s.Find("policy")->str(), "fair-share");
+  const auto& queries = s.Find("queries")->items();
+  ASSERT_EQ(queries.size(),
+            static_cast<size_t>(s.Find("num_queries")->number()));
+  for (const JsonValue& q : queries) {
+    ExpectKeys(q,
+               {"id", "label", "weight", "admitted_s", "queueing_delay_s",
+                "finish_s", "makespan_s", "copy_engine_bytes",
+                "device_share", "run"},
+               "schedule query");
+    ExpectRunObject(*q.Find("run"), "schedule query run");
+    // Shares are fractions of the schedule totals.
+    for (const JsonValue& d : q.Find("device_share")->items()) {
+      ExpectKeys(d, {"device", "busy_s", "share"}, "device_share");
+      EXPECT_GE(d.Find("share")->number(), 0.0);
+      EXPECT_LE(d.Find("share")->number(), 1.0 + 1e-12);
+    }
+    // Every query's makespan bounds the schedule's.
+    EXPECT_LE(q.Find("makespan_s")->number(),
+              s.Find("makespan_s")->number() + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace hape::queries

@@ -1,0 +1,441 @@
+// Multi-query scheduler: several QueryPlans admitted into one Engine via
+// Submit/RunAll, sharing devices, GPU memory, and copy-engine channels.
+// The acceptance contract:
+//   - kFifo is run-to-completion and reproduces standalone per-query cost
+//     sequences bit-exactly (its makespan is the serial sum);
+//   - kFairShare interleaves pipelines from different queries and beats
+//     the serial-sum makespan on the transfer-bound hybrid mix;
+//   - per-query results are byte-identical regardless of submission order
+//     and of what else shares the machine;
+//   - GPU-memory contention delays admission (waves), never correctness.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/scheduler.h"
+#include "queries/tpch_queries.h"
+#include "sim/copy_engine.h"
+#include "storage/tpch.h"
+
+namespace hape::queries {
+namespace {
+
+using engine::Engine;
+using engine::ExecutionPolicy;
+using engine::ScheduleStats;
+using engine::SchedulingPolicy;
+using engine::SubmitOptions;
+
+using Groups = std::map<int64_t, std::vector<double>>;
+
+void ExpectBitIdentical(const Groups& a, const Groups& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first) << label;
+    ASSERT_EQ(ita->second.size(), itb->second.size()) << label;
+    EXPECT_EQ(0, std::memcmp(ita->second.data(), itb->second.data(),
+                             ita->second.size() * sizeof(double)))
+        << label << " group " << ita->first;
+  }
+}
+
+class SchedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new sim::Topology(sim::Topology::PaperServer());
+    ctx_ = new TpchContext();
+    ctx_->topo = topo_;
+    ctx_->sf_actual = 0.01;
+    ctx_->sf_nominal = 100.0;
+    ASSERT_TRUE(PrepareTpch(ctx_).ok());
+  }
+  void SetUp() override {
+    topo_->Reset();
+    ctx_->partitioned_gpu_join = true;
+    ctx_->plan_mode = PlanMode::kOptimized;
+    ctx_->async = engine::AsyncOptions::Off();
+    ctx_->nominal_packet_rows = 4 << 20;
+  }
+
+  ExecutionPolicy MakePolicy(EngineConfig config, int depth,
+                             SchedulingPolicy sched) {
+    ExecutionPolicy p = ExecutionPolicy::ForConfig(*topo_, config);
+    p.partitioned_gpu_join = true;
+    p.async = engine::AsyncOptions::Depth(depth);
+    p.scheduling = sched;
+    if (sched == SchedulingPolicy::kFairShare) {
+      // Queries submitted to a shared schedule expect a slice of the CPU
+      // pool; the optimizer estimates costs at that share (decisions are
+      // unchanged under the default kPolicy placement).
+      p.expected_device_share = 1.0 / 3;
+    }
+    return p;
+  }
+
+  QueryResult Standalone(QueryFn fn, EngineConfig config, int depth) {
+    topo_->Reset();
+    ctx_->async = depth > 0 ? engine::AsyncOptions::Depth(depth)
+                            : engine::AsyncOptions::Off();
+    return fn(ctx_, config);
+  }
+
+  /// Build + optimize + submit one query; returns its result handle.
+  engine::AggHandle SubmitQuery(Engine* eng, BuildFn build,
+                                const ExecutionPolicy& policy,
+                                double weight = 1.0) {
+    auto bq = build(ctx_);
+    EXPECT_TRUE(bq.ok()) << bq.status().ToString();
+    auto opt = eng->Optimize(&bq.value().plan, policy);
+    EXPECT_TRUE(opt.ok()) << opt.status().ToString();
+    engine::AggHandle agg = bq.value().agg;
+    SubmitOptions so;
+    so.weight = weight;
+    eng->Submit(std::move(bq.value().plan), so);
+    return agg;
+  }
+
+  static sim::Topology* topo_;
+  static TpchContext* ctx_;
+};
+sim::Topology* SchedTest::topo_ = nullptr;
+TpchContext* SchedTest::ctx_ = nullptr;
+
+// ---- copy-engine channel arbitration ----------------------------------------
+
+TEST(CopyEngineStreams, LaneQuotaIsolatesStreams) {
+  sim::CopyEngine eng(4);
+  // Stream 0, quota 2 -> lanes {0, 1}: a burst serializes on its stripe.
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 10, /*stream=*/0, /*max_lanes=*/2),
+                   0.0);
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 10, 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 10, 0, 2), 1.0);
+  // Stream 1, quota 2 -> lanes {2, 3}: unaffected by stream 0's queue.
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 10, /*stream=*/1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 10, 1, 2), 0.0);
+  // Per-stream accounting.
+  EXPECT_EQ(eng.stream_stats(0).copies, 3u);
+  EXPECT_EQ(eng.stream_stats(0).bytes, 30u);
+  EXPECT_EQ(eng.stream_stats(1).copies, 2u);
+  EXPECT_EQ(eng.stream_stats(7).copies, 0u);
+  EXPECT_EQ(eng.total_bytes(), 50u);
+}
+
+TEST(CopyEngineStreams, NoQuotaKeepsLegacyAnyLanePolicy) {
+  sim::CopyEngine eng(2);
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(eng.Issue(0.0, 1.0, 100), 1.0);
+}
+
+// ---- contended-share cost model ---------------------------------------------
+
+TEST(ContendedCostModel, ShareScalesCpuThroughputOnly) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  const std::vector<int> cpus = topo.CpuDeviceIds();
+  const std::vector<int> gpus = topo.GpuDeviceIds();
+  const uint64_t bytes = 8ull << 30;
+  const uint64_t ops = 1ull << 30;
+  const engine::AsyncOptions async = engine::AsyncOptions::Depth(2);
+
+  // Share 1.0 is the uncontended model, bit-exactly.
+  EXPECT_EQ(opt::CostModel::PipelineSeconds(topo, cpus, bytes, ops, async),
+            opt::CostModel::PipelineSeconds(topo, cpus, bytes, ops, async,
+                                            1.0));
+  // A CPU-only set at half share streams at half the bandwidth.
+  const double cpu_full =
+      opt::CostModel::PipelineSeconds(topo, cpus, bytes, ops, async, 1.0);
+  const double cpu_half =
+      opt::CostModel::PipelineSeconds(topo, cpus, bytes, ops, async, 0.5);
+  EXPECT_DOUBLE_EQ(cpu_half, cpu_full * 2.0);
+  // GPUs are offload targets, not part of the time-shared pool: a
+  // GPU-only set is untouched by the share.
+  EXPECT_EQ(opt::CostModel::PipelineSeconds(topo, gpus, bytes, ops, async,
+                                            0.25),
+            opt::CostModel::PipelineSeconds(topo, gpus, bytes, ops, async));
+  // On the mixed hybrid set, contention therefore shifts the CPU-vs-GPU
+  // break-even toward the accelerators: the contended cost grows, but by
+  // less than the CPU-only penalty (the GPU slice keeps its full rate).
+  std::vector<int> hybrid = cpus;
+  hybrid.insert(hybrid.end(), gpus.begin(), gpus.end());
+  const double hy_full =
+      opt::CostModel::PipelineSeconds(topo, hybrid, bytes, ops, async, 1.0);
+  const double hy_half =
+      opt::CostModel::PipelineSeconds(topo, hybrid, bytes, ops, async, 0.5);
+  EXPECT_GT(hy_half, hy_full);
+  EXPECT_LT(hy_half, hy_full * 2.0);
+}
+
+// ---- FIFO: the bit-exact serial baseline ------------------------------------
+
+TEST_F(SchedTest, FifoReproducesStandaloneTimingsBitExactly) {
+  const int depth = 2;
+  const auto config = EngineConfig::kProteusHybrid;
+  struct Case {
+    QueryFn run;
+    BuildFn build;
+    const char* name;
+  } cases[] = {{RunQ3, BuildQ3Plan, "q3"},
+               {RunQ5, BuildQ5Plan, "q5"},
+               {RunQ9, BuildQ9Plan, "q9"}};
+
+  std::vector<QueryResult> solo;
+  for (const auto& c : cases) {
+    solo.push_back(Standalone(c.run, config, depth));
+    ASSERT_FALSE(solo.back().DidNotFinish()) << c.name;
+  }
+
+  const ExecutionPolicy policy =
+      MakePolicy(config, depth, SchedulingPolicy::kFifo);
+  Engine eng(topo_);
+  std::vector<engine::AggHandle> aggs;
+  for (const auto& c : cases) {
+    aggs.push_back(SubmitQuery(&eng, c.build, policy));
+  }
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  const ScheduleStats& s = sched.value();
+  ASSERT_EQ(s.queries.size(), 3u);
+  EXPECT_EQ(s.policy, SchedulingPolicy::kFifo);
+
+  sim::SimTime serial_sum = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    // Bit-exact compat: under FIFO each query owns the machine, so its
+    // private cost sequence equals the standalone run's to the last bit.
+    EXPECT_EQ(s.queries[i].run.finish, solo[i].seconds) << cases[i].name;
+    EXPECT_EQ(s.queries[i].admitted, serial_sum) << cases[i].name;
+    ASSERT_EQ(s.queries[i].run.pipelines.size(),
+              solo[i].exec.pipelines.size());
+    for (size_t p = 0; p < solo[i].exec.pipelines.size(); ++p) {
+      EXPECT_EQ(s.queries[i].run.pipelines[p].stats.finish,
+                solo[i].exec.pipelines[p].stats.finish)
+          << cases[i].name << " " << solo[i].exec.pipelines[p].name;
+    }
+    ExpectBitIdentical(aggs[i].result(), solo[i].groups, cases[i].name);
+    serial_sum += solo[i].seconds;
+  }
+  EXPECT_EQ(s.makespan, serial_sum);
+  EXPECT_EQ(s.queries[2].finish, serial_sum);
+}
+
+// ---- fair share: concurrent makespan beats the serial sum -------------------
+
+// Where the concurrency win is structural: at staging depth 1 each solo
+// run leaves exposed per-packet transfer waits and underused build phases
+// on the table, and interleaving another query's compute into those holes
+// shortens the joint makespan. (At deeper prefetch the solo runs already
+// hide nearly everything — hybrid utilization is 91-98% — so the
+// concurrent makespan converges to the serial sum instead of beating it;
+// the depth-2 bound below pins that convergence.)
+TEST_F(SchedTest, FairShareBeatsSerialSumOnHybridMix) {
+  const auto config = EngineConfig::kProteusHybrid;
+  BuildFn builds[] = {BuildQ3Plan, BuildQ5Plan, BuildQ9Plan};
+  QueryFn runs[] = {RunQ3, RunQ5, RunQ9};
+  ctx_->nominal_packet_rows = 2 << 20;
+
+  for (int depth : {1, 2}) {
+    sim::SimTime serial_sum = 0;
+    std::vector<Groups> solo;
+    for (int i = 0; i < 3; ++i) {
+      const QueryResult r = Standalone(runs[i], config, depth);
+      ASSERT_FALSE(r.DidNotFinish());
+      serial_sum += r.seconds;
+      solo.push_back(r.groups);
+    }
+
+    const ExecutionPolicy policy =
+        MakePolicy(config, depth, SchedulingPolicy::kFairShare);
+    Engine eng(topo_);
+    std::vector<engine::AggHandle> aggs;
+    for (BuildFn b : builds) aggs.push_back(SubmitQuery(&eng, b, policy));
+    auto sched = eng.RunAll(policy);
+    ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+    const ScheduleStats& s = sched.value();
+
+    if (depth == 1) {
+      EXPECT_LT(s.makespan, serial_sum)
+          << "concurrent execution must beat back-to-back serial makespan";
+    } else {
+      // Saturated regime: sharing may not win, but its arbitration
+      // overhead must stay marginal.
+      EXPECT_LT(s.makespan, serial_sum * 1.03);
+    }
+    for (int i = 0; i < 3; ++i) {
+      // Sharing the machine changes *when*, never *what*.
+      ExpectBitIdentical(aggs[i].result(), solo[i], s.queries[i].label);
+      EXPECT_GT(s.queries[i].finish, 0.0);
+      EXPECT_GE(s.queries[i].admitted, 0.0);
+    }
+    // Device-share accounting is populated and consistent: per-query busy
+    // sums to the schedule totals.
+    std::map<int, sim::SimTime> sum;
+    for (const auto& q : s.queries) {
+      for (const auto& [dev, busy] : q.run.device_busy_s) sum[dev] += busy;
+    }
+    ASSERT_FALSE(s.device_busy_s.empty());
+    for (const auto& [dev, busy] : s.device_busy_s) {
+      EXPECT_DOUBLE_EQ(sum[dev], busy);
+    }
+  }
+}
+
+// ---- concurrency determinism: submission order cannot change results --------
+
+TEST_F(SchedTest, FairShareResultsInvariantUnderSubmissionOrder) {
+  const int depth = 1;
+  const auto config = EngineConfig::kProteusHybrid;
+  struct Named {
+    BuildFn build;
+    const char* name;
+  };
+  const Named q3{BuildQ3Plan, "q3"}, q5{BuildQ5Plan, "q5"},
+      q9{BuildQ9Plan, "q9"};
+  const std::vector<std::vector<Named>> orders = {
+      {q3, q5, q9}, {q9, q3, q5}, {q5, q9, q3}};
+
+  const ExecutionPolicy policy =
+      MakePolicy(config, depth, SchedulingPolicy::kFairShare);
+  std::map<std::string, Groups> first;
+  for (size_t o = 0; o < orders.size(); ++o) {
+    topo_->Reset();
+    Engine eng(topo_);
+    std::vector<engine::AggHandle> aggs;
+    for (const Named& n : orders[o]) {
+      aggs.push_back(SubmitQuery(&eng, n.build, policy));
+    }
+    auto sched = eng.RunAll(policy);
+    ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+    for (size_t i = 0; i < orders[o].size(); ++i) {
+      const std::string name = orders[o][i].name;
+      if (o == 0) {
+        first[name] = aggs[i].result();
+      } else {
+        // Timings may shift with the submission order; bytes may not.
+        ExpectBitIdentical(aggs[i].result(), first[name],
+                           name + " order " + std::to_string(o));
+      }
+    }
+  }
+}
+
+// ---- admission control under GPU-memory contention --------------------------
+
+TEST_F(SchedTest, FairShareAdmissionWavesUnderMemoryContention) {
+  const int depth = 2;
+  const auto config = EngineConfig::kProteusHybrid;
+  ExecutionPolicy policy = MakePolicy(config, depth,
+                                      SchedulingPolicy::kFairShare);
+
+  // Measure one optimized Q5's estimated resident footprint, then shrink
+  // the GPU budget so one copy fits but two do not.
+  auto probe = BuildQ5Plan(ctx_);
+  ASSERT_TRUE(probe.ok());
+  Engine eng(topo_);
+  ASSERT_TRUE(eng.Optimize(&probe.value().plan, policy).ok());
+  uint64_t full_budget = 0;
+  {
+    const int gpu = topo_->GpuDeviceIds().front();
+    const uint64_t cap =
+        topo_->mem_node(topo_->device(gpu).mem_node).capacity();
+    full_budget = cap - std::min(cap, policy.device_reserved_bytes);
+    const uint64_t fp = engine::Scheduler::EstimatedResidentBytes(
+        probe.value().plan, policy, full_budget);
+    ASSERT_GT(fp, 0u);
+    ASSERT_LT(policy.build_staging_factor * fp, full_budget);
+    // Budget for exactly one query (1.5x its staged footprint).
+    const uint64_t budget = static_cast<uint64_t>(
+        policy.build_staging_factor * static_cast<double>(fp) * 1.5);
+    policy.device_reserved_bytes = cap - budget;
+  }
+
+  engine::AggHandle a = SubmitQuery(&eng, BuildQ5Plan, policy);
+  engine::AggHandle b = SubmitQuery(&eng, BuildQ5Plan, policy);
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  const ScheduleStats& s = sched.value();
+  ASSERT_EQ(s.queries.size(), 2u);
+  // The first copy is admitted immediately; the second queues until the
+  // first wave releases its hash tables.
+  EXPECT_EQ(s.queries[0].admitted, 0.0);
+  EXPECT_GT(s.queries[1].admitted, 0.0);
+  EXPECT_EQ(s.queries[1].admitted, s.queries[0].finish);
+  EXPECT_GT(s.queries[1].queueing_delay_s(), 0.0);
+  // Contention delays, it does not corrupt: both copies agree bytewise.
+  ExpectBitIdentical(a.result(), b.result(), "contended twin Q5");
+}
+
+TEST_F(SchedTest, FairShareRequiresAsyncExecutor) {
+  ExecutionPolicy policy = MakePolicy(EngineConfig::kProteusHybrid,
+                                      /*depth=*/2,
+                                      SchedulingPolicy::kFairShare);
+  policy.async = engine::AsyncOptions::Off();
+  Engine eng(topo_);
+  SubmitQuery(&eng, BuildQ6Plan, policy);
+  auto sched = eng.RunAll(policy);
+  ASSERT_FALSE(sched.ok());
+  EXPECT_EQ(sched.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedTest, NonPositiveWeightIsRejected) {
+  const ExecutionPolicy policy = MakePolicy(
+      EngineConfig::kProteusCpu, /*depth=*/1, SchedulingPolicy::kFairShare);
+  Engine eng(topo_);
+  SubmitQuery(&eng, BuildQ6Plan, policy, /*weight=*/0.0);
+  auto sched = eng.RunAll(policy);
+  ASSERT_FALSE(sched.ok());
+  EXPECT_EQ(sched.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- weighted shares --------------------------------------------------------
+
+TEST_F(SchedTest, HigherWeightFinishesTwinQueryFirst) {
+  const int depth = 2;
+  const ExecutionPolicy policy = MakePolicy(
+      EngineConfig::kProteusHybrid, depth, SchedulingPolicy::kFairShare);
+  Engine eng(topo_);
+  // Identical queries; the heavy one is submitted *second* so any win must
+  // come from its weight, not from tie-breaks.
+  engine::AggHandle light = SubmitQuery(&eng, BuildQ5Plan, policy, 1.0);
+  engine::AggHandle heavy = SubmitQuery(&eng, BuildQ5Plan, policy, 4.0);
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  const ScheduleStats& s = sched.value();
+  ASSERT_EQ(s.queries.size(), 2u);
+  EXPECT_LT(s.queries[1].finish, s.queries[0].finish)
+      << "the 4x-weighted twin must clear the machine first";
+  ExpectBitIdentical(light.result(), heavy.result(), "weighted twins");
+}
+
+// ---- RunAll lifecycle -------------------------------------------------------
+
+TEST_F(SchedTest, RunAllOnlyRunsPendingSubmissionsAndKeepsHandlesAlive) {
+  const ExecutionPolicy policy = MakePolicy(
+      EngineConfig::kProteusCpu, /*depth=*/1, SchedulingPolicy::kFairShare);
+  Engine eng(topo_);
+  engine::AggHandle first = SubmitQuery(&eng, BuildQ6Plan, policy);
+  auto s1 = eng.RunAll(policy);
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  ASSERT_EQ(s1.value().queries.size(), 1u);
+  const Groups groups1 = first.result();
+  EXPECT_FALSE(groups1.empty());
+
+  // A second batch runs only the new submission...
+  engine::AggHandle second = SubmitQuery(&eng, BuildQ1Plan, policy);
+  auto s2 = eng.RunAll(policy);
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+  ASSERT_EQ(s2.value().queries.size(), 1u);
+  EXPECT_EQ(s2.value().queries[0].label, "q1");
+  EXPECT_FALSE(second.result().empty());
+  // ...and the first batch's handle still reads its result.
+  ExpectBitIdentical(first.result(), groups1, "handle stability");
+}
+
+}  // namespace
+}  // namespace hape::queries
