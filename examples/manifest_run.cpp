@@ -1,0 +1,245 @@
+// Executes an experiment manifest: a checked-in JSON file naming the TPC-H
+// scale, an ExecutionPolicy, and N serialized QueryPlans that are Submitted
+// into one Engine and scheduled together — a BENCH_sched-style concurrent
+// run reproducible from a file instead of C++ that rebuilds the plans.
+//
+//   $ ./example_manifest_run examples/manifests/mix_q3_q5_q9.json
+//   $ ./example_manifest_run --write examples/manifests/mix_q3_q5_q9.json
+//
+// --write regenerates the built-in manifest (hybrid fair-share mix of
+// Q3 + Q5 + Q9* at async depth 1) by dumping the PlanBuilder plans through
+// Engine::DumpPlan.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "engine/plan_json.h"
+#include "engine/scheduler.h"
+#include "queries/tpch_queries.h"
+#include "storage/tpch.h"
+
+using namespace hape;           // NOLINT — example code
+using namespace hape::queries;  // NOLINT
+
+namespace {
+
+constexpr const char* kManifestFormat = "hape-manifest-v1";
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "manifest_run: %s\n", what.c_str());
+  return 1;
+}
+
+/// Null-safe typed readers: hand-edited manifests must produce error
+/// messages, not crashes (JsonValue accessors CHECK-fail on kind misuse).
+const JsonValue* FindNumber(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.is_object() ? obj.Find(key) : nullptr;
+  return v != nullptr && v->kind() == JsonValue::Kind::kNumber ? v : nullptr;
+}
+
+const JsonValue* FindString(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.is_object() ? obj.Find(key) : nullptr;
+  return v != nullptr && v->kind() == JsonValue::Kind::kString ? v : nullptr;
+}
+
+int WriteManifest(const char* path) {
+  sim::Topology topo = sim::Topology::PaperServer();
+  TpchContext ctx;
+  ctx.topo = &topo;
+  ctx.sf_actual = 0.01;
+  ctx.sf_nominal = 100.0;
+  if (const Status st = PrepareTpch(&ctx); !st.ok()) {
+    return Fail("generation failed: " + st.ToString());
+  }
+
+  engine::ExecutionPolicy policy =
+      engine::ExecutionPolicy::ForConfig(topo, EngineConfig::kProteusHybrid);
+  policy.async = engine::AsyncOptions::Depth(1);
+  policy.scheduling = engine::SchedulingPolicy::kFairShare;
+  policy.expected_device_share = 1.0 / 3;
+
+  engine::Engine& eng = EngineFor(&ctx);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("format");
+  w.String(kManifestFormat);
+  w.Key("tpch");
+  w.BeginObject();
+  w.Key("sf_actual");
+  w.Double(ctx.sf_actual);
+  w.Key("sf_nominal");
+  w.Double(ctx.sf_nominal);
+  w.Key("seed");
+  w.Uint(42);
+  w.EndObject();
+  w.Key("policy");
+  engine::PlanJson::WritePolicy(&w, policy);
+  w.Key("queries");
+  w.BeginArray();
+  struct Entry {
+    const char* label;
+    BuildFn build;
+    double weight;
+  };
+  for (const Entry& e : {Entry{"q3", BuildQ3Plan, 1.0},
+                         Entry{"q5", BuildQ5Plan, 1.0},
+                         Entry{"q9", BuildQ9Plan, 1.0}}) {
+    auto bq = e.build(&ctx);
+    if (!bq.ok()) return Fail(bq.status().ToString());
+    auto dumped = eng.DumpPlan(bq.value().plan);
+    if (!dumped.ok()) return Fail(dumped.status().ToString());
+    w.BeginObject();
+    w.Key("label");
+    w.String(e.label);
+    w.Key("weight");
+    w.Double(e.weight);
+    w.Key("plan");
+    w.Raw(dumped.value());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::ofstream out(path);
+  if (!out) return Fail(std::string("cannot write ") + path);
+  out << w.str() << "\n";
+  std::printf("wrote %s (%zu bytes)\n", path, w.str().size() + 1);
+  return 0;
+}
+
+int RunManifest(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Fail(std::string("cannot read ") + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  auto parsed = JsonParser::Parse(text);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) return Fail("manifest must be a JSON object");
+  const JsonValue* format = FindString(doc, "format");
+  if (format == nullptr || format->str() != kManifestFormat) {
+    return Fail(std::string("expected a '") + kManifestFormat +
+                "' document");
+  }
+
+  // TPC-H context at the manifest's scale (plans chunk their scans in
+  // actual rows, so the generated tables must match the dump).
+  const JsonValue* tpch = doc.Find("tpch");
+  if (tpch == nullptr || !tpch->is_object()) {
+    return Fail("missing 'tpch' object");
+  }
+  const JsonValue* sf_actual = FindNumber(*tpch, "sf_actual");
+  const JsonValue* sf_nominal = FindNumber(*tpch, "sf_nominal");
+  if (sf_actual == nullptr || sf_nominal == nullptr ||
+      sf_actual->number() <= 0 || sf_nominal->number() <= 0) {
+    return Fail("'tpch' needs positive 'sf_actual' and 'sf_nominal'");
+  }
+  sim::Topology topo = sim::Topology::PaperServer();
+  TpchContext ctx;
+  ctx.topo = &topo;
+  ctx.sf_actual = sf_actual->number();
+  ctx.sf_nominal = sf_nominal->number();
+  const JsonValue* seed_v = FindNumber(*tpch, "seed");
+  if (seed_v != nullptr &&
+      (seed_v->number() < 0 || seed_v->number() > 9007199254740992.0)) {
+    return Fail("'tpch.seed' must be a non-negative integer");
+  }
+  const uint64_t seed =
+      seed_v != nullptr ? static_cast<uint64_t>(seed_v->number()) : 42;
+  if (const Status st = PrepareTpch(&ctx, seed); !st.ok()) {
+    return Fail("generation failed: " + st.ToString());
+  }
+  std::printf("TPC-H generated at SF %.3g, costed as SF %.0f\n",
+              ctx.sf_actual, ctx.sf_nominal);
+
+  const JsonValue* pol = doc.Find("policy");
+  if (pol == nullptr) return Fail("missing 'policy' object");
+  auto policy = engine::PlanJson::ReadPolicy(*pol);
+  if (!policy.ok()) return Fail(policy.status().ToString());
+  if (const Status st = policy.value().Validate(topo); !st.ok()) {
+    return Fail(st.ToString());
+  }
+
+  const JsonValue* queries = doc.Find("queries");
+  if (queries == nullptr || !queries->is_array() ||
+      queries->items().empty()) {
+    return Fail("'queries' must be a non-empty array");
+  }
+
+  engine::Engine eng(&topo);
+  std::vector<engine::AggHandle> handles;
+  std::vector<char> has_agg;  // collect-terminal plans have no agg handle
+  std::vector<std::string> labels;
+  for (const JsonValue& q : queries->items()) {
+    const JsonValue* plan_doc = q.Find("plan");
+    if (plan_doc == nullptr) return Fail("query entry without a 'plan'");
+    auto loaded = engine::PlanJson::Load(*plan_doc, ctx.catalog, &topo);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    if (const auto opt = eng.Optimize(&loaded.value().plan, policy.value());
+        !opt.ok()) {
+      return Fail(opt.status().ToString());
+    }
+    engine::SubmitOptions so;
+    if (const JsonValue* wt = FindNumber(q, "weight")) {
+      if (wt->number() <= 0) return Fail("query 'weight' must be positive");
+      so.weight = wt->number();
+    }
+    if (const JsonValue* lb = FindString(q, "label")) so.label = lb->str();
+    const bool agg = !loaded.value().aggs.empty();
+    handles.push_back(agg ? loaded.value().agg() : engine::AggHandle{});
+    has_agg.push_back(agg ? 1 : 0);
+    labels.push_back(so.label.empty() ? loaded.value().plan.name()
+                                      : so.label);
+    eng.Submit(std::move(loaded.value().plan), so);
+  }
+
+  auto sched = eng.RunAll(policy.value());
+  if (!sched.ok()) return Fail(sched.status().ToString());
+  const engine::ScheduleStats& s = sched.value();
+
+  std::printf("\n%zu queries under %s scheduling, makespan %.3f s, "
+              "peak resident %llu MiB\n\n",
+              s.queries.size(),
+              engine::SchedulingPolicyName(s.policy), s.makespan,
+              static_cast<unsigned long long>(s.peak_resident_bytes >> 20));
+  std::printf("%-8s %10s %12s %10s %10s\n", "query", "admit s", "queue s",
+              "finish s", "groups");
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    const engine::QueryRunStats& q = s.queries[i];
+    std::printf("%-8s %10.3f %12.3f %10.3f ", labels[i].c_str(), q.admitted,
+                q.queueing_delay_s(), q.finish);
+    if (has_agg[i]) {
+      std::printf("%10llu\n",
+                  static_cast<unsigned long long>(handles[i].result().size()));
+    } else {
+      std::printf("%10s\n", "-");
+    }
+  }
+
+  // The machine-readable record, for diffing runs.
+  std::ofstream out("MANIFEST_schedule.json");
+  out << eng.Explain(s) << "\n";
+  std::printf("\nschedule record written to MANIFEST_schedule.json\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--write") == 0) {
+    return WriteManifest(argv[2]);
+  }
+  if (argc == 2) return RunManifest(argv[1]);
+  std::fprintf(stderr,
+               "usage: %s <manifest.json>\n"
+               "       %s --write <manifest.json>\n",
+               argv[0], argv[0]);
+  return 1;
+}

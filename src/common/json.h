@@ -126,9 +126,13 @@ class JsonWriter {
         default:
           if (static_cast<unsigned char>(c) < 0x20) {
             char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
             out_ += buf;
           } else {
+            // Bytes >= 0x80 pass through raw: the document stays valid
+            // UTF-8 when the input was, and the parser (which also passes
+            // raw bytes through) round-trips it byte-exactly.
             out_ += c;
           }
       }
@@ -196,9 +200,12 @@ class JsonValue {
 
 /// Minimal recursive-descent JSON parser: the read half of this header,
 /// used by tests to validate Explain documents structurally instead of
-/// with brittle string goldens, and by tools reading the bench manifests.
-/// Accepts exactly the grammar JsonWriter emits (RFC 8259 minus exotic
-/// escapes: \uXXXX only decodes code points below 0x80).
+/// with brittle string goldens, and by the plan/manifest loaders
+/// (engine/plan_json.h). Accepts the grammar JsonWriter emits plus the
+/// full RFC 8259 \uXXXX escape range: escapes decode to UTF-8, with
+/// surrogate pairs combining into code points above the BMP, so string
+/// values round-trip byte-exactly with the writer (which passes non-ASCII
+/// bytes through raw).
 class JsonParser {
  public:
   static Result<JsonValue> Parse(std::string_view text) {
@@ -245,6 +252,45 @@ class JsonParser {
     return Status::OK();
   }
 
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += h - '0';
+      } else if (h >= 'a' && h <= 'f') {
+        code += h - 'a' + 10;
+      } else if (h >= 'A' && h <= 'F') {
+        code += h - 'A' + 10;
+      } else {
+        return Error("bad \\u escape");
+      }
+    }
+    *out = code;
+    return Status::OK();
+  }
+
+  /// UTF-8-encode one code point (the caller has excluded lone surrogates).
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   Status ParseString(std::string* out) {
     if (!Consume('"')) return Error("expected string");
     out->clear();
@@ -279,23 +325,28 @@ class JsonParser {
           out->push_back('\f');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += h - '0';
-            } else if (h >= 'a' && h <= 'f') {
-              code += h - 'a' + 10;
-            } else if (h >= 'A' && h <= 'F') {
-              code += h - 'A' + 10;
-            } else {
-              return Error("bad \\u escape");
-            }
+          HAPE_RETURN_NOT_OK(ParseHex4(&code));
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate in \\u escape");
           }
-          if (code >= 0x80) return Error("non-ASCII \\u escape unsupported");
-          out->push_back(static_cast<char>(code));
+          uint32_t cp = code;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow, and the
+            // pair combines into one supplementary-plane code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            HAPE_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("high surrogate not followed by a low surrogate");
+            }
+            cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(out, cp);
           break;
         }
         default:

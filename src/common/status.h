@@ -86,10 +86,19 @@ class Result {
     if (!_st.ok()) return _st;                  \
   } while (0)
 
-#define HAPE_ASSIGN_OR_RETURN(lhs, expr)        \
-  auto _res_##__LINE__ = (expr);                \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = _res_##__LINE__.MoveValue();
+// Token pasting must go through an extra expansion so __LINE__ resolves to
+// the line number (a bare ##__LINE__ pastes the literal token, making every
+// use in a scope collide).
+#define HAPE_CONCAT_INNER(a, b) a##b
+#define HAPE_CONCAT(a, b) HAPE_CONCAT_INNER(a, b)
+
+#define HAPE_ASSIGN_OR_RETURN_IMPL(res, lhs, expr) \
+  auto res = (expr);                               \
+  if (!res.ok()) return res.status();              \
+  lhs = res.MoveValue();
+
+#define HAPE_ASSIGN_OR_RETURN(lhs, expr) \
+  HAPE_ASSIGN_OR_RETURN_IMPL(HAPE_CONCAT(_res_, __LINE__), lhs, expr)
 
 }  // namespace hape
 

@@ -423,6 +423,20 @@ int Engine::Submit(QueryPlan plan, const SubmitOptions& opts) {
   return submitted_.back().id;
 }
 
+Result<std::string> Engine::DumpPlan(const QueryPlan& plan) const {
+  return PlanJson::Dump(plan);
+}
+
+Result<std::string> Engine::DumpPlan(const QueryPlan& plan,
+                                     const ExecutionPolicy& policy) const {
+  return PlanJson::Dump(plan, policy);
+}
+
+Result<LoadedPlan> Engine::LoadPlan(std::string_view json,
+                                    const storage::Catalog& catalog) const {
+  return PlanJson::Load(json, catalog, topo_);
+}
+
 Result<ScheduleStats> Engine::RunAll(const ExecutionPolicy& policy) {
   std::vector<SubmittedQuery*> pending;
   for (SubmittedQuery& q : submitted_) {

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "engine/executor.h"
 #include "engine/plan.h"
+#include "engine/plan_json.h"
 #include "engine/policy.h"
 #include "opt/optimizer.h"
 
@@ -128,6 +129,21 @@ class Engine {
   /// makespan, and per-query admission time, queueing delay, makespan,
   /// device shares, and run stats.
   std::string Explain(const ScheduleStats& schedule) const;
+
+  /// Serialize `plan` (and optionally the policy it should run under) to a
+  /// self-contained JSON document Engine::LoadPlan reconstructs exactly —
+  /// the load half of plan serialization that Explain (dump-only) lacks.
+  /// Fails for plans with Source() pipelines or custom sinks.
+  Result<std::string> DumpPlan(const QueryPlan& plan) const;
+  Result<std::string> DumpPlan(const QueryPlan& plan,
+                               const ExecutionPolicy& policy) const;
+
+  /// Rebuild a dumped plan (plus its policy, when the document carries one)
+  /// against `catalog`, validating tables, columns, probe edges, and device
+  /// ids against this Engine's topology. Malformed manifests return Status
+  /// errors, never crash.
+  Result<LoadedPlan> LoadPlan(std::string_view json,
+                              const storage::Catalog& catalog) const;
 
   Executor& executor() { return executor_; }
   sim::Topology* topology() { return topo_; }

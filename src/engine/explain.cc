@@ -142,6 +142,8 @@ std::string Engine::Explain(const ScheduleStats& schedule) const {
   w.Uint(schedule.queries.size());
   w.Key("makespan_s");
   w.Double(schedule.makespan);
+  w.Key("peak_resident_bytes");
+  w.Uint(schedule.peak_resident_bytes);
   w.Key("device_busy");
   DeviceBusyArray(&w, schedule.device_busy_s, nullptr);
   w.Key("queries");

@@ -142,6 +142,7 @@ PipelineBuilder PlanBuilder::Scan(const storage::TablePtr& table,
   node.source_rows = table->num_rows();
   node.source_table = table;
   node.source_columns = columns;
+  node.source_chunk_rows = chunk_rows;
   node.pipeline.stages.push_back(ScanStage());
   nodes_.push_back(std::move(node));
   return PipelineBuilder(this, static_cast<int>(nodes_.size()) - 1);

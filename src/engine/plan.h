@@ -122,6 +122,10 @@ struct PlanNode {
   /// through these.
   storage::TablePtr source_table;
   std::vector<std::string> source_columns;
+  /// Packet granularity the scan was declared with (actual rows per chunk;
+  /// 0 for Source() pipelines). Recorded so plan serialization
+  /// (engine/plan_json.h) can re-chunk the scan identically on load.
+  size_t source_chunk_rows = 0;
   /// Logical view of the fused stage chain, in stage order.
   std::vector<LogicalOp> ops;
   /// Deprecated BuildOptions::expected_selectivity (< 0: none declared).

@@ -139,14 +139,15 @@ Result<ScheduleStats> Scheduler::RunFairShare(
   if (queries.empty()) return out;
 
   // ---- admission: pack queries into waves whose estimated GPU-resident
-  // build bytes co-fit device memory. A wave opens when the previous one
-  // fully finished — the queueing delay GPU-memory contention causes.
-  // Packing is in submission order (no skip-ahead), so admission is fair
-  // and deterministic.
+  // build bytes co-fit device memory. A finished query releases its
+  // residency at completion, so the next wave is admitted at the earliest
+  // release that leaves room for its footprint — the queueing delay
+  // GPU-memory contention causes. Packing is in submission order (no
+  // skip-ahead), so admission is fair and deterministic.
   const uint64_t budget = GpuBudget();
   const bool contended = policy_.UsesGpu(*topo);
   std::vector<std::vector<SubmittedQuery*>> waves;
-  uint64_t wave_bytes = 0;
+  std::vector<uint64_t> wave_fp;  // estimated footprint per wave
   for (SubmittedQuery* q : queries) {
     const uint64_t fp =
         contended
@@ -154,17 +155,19 @@ Result<ScheduleStats> Scheduler::RunFairShare(
                        budget)
             : 0;
     const bool fits =
-        policy_.build_staging_factor * static_cast<double>(wave_bytes + fp) <=
-        static_cast<double>(budget);
+        !waves.empty() &&
+        policy_.build_staging_factor *
+                static_cast<double>(wave_fp.back() + fp) <=
+            static_cast<double>(budget);
     // Open a new wave when the query does not co-fit the current one. A
     // query that does not fit even an empty wave still gets one of its
     // own (the placement step co-partitions or rejects it at run time).
     if (waves.empty() || (!fits && !waves.back().empty())) {
       waves.emplace_back();
-      wave_bytes = 0;
+      wave_fp.push_back(0);
     }
     waves.back().push_back(q);
-    wave_bytes += fp;
+    wave_fp.back() += fp;
   }
 
   // Worker clocks persist across waves: a wave's pipelines naturally queue
@@ -178,8 +181,26 @@ Result<ScheduleStats> Scheduler::RunFairShare(
   }
   sim::SimTime wave_gate = 0;
 
-  for (const std::vector<SubmittedQuery*>& wave : waves) {
-    uint64_t shared_resident = 0;
+  // Residency intervals of every admitted query: (release time = the
+  // query's completion, bytes = the placements attributed to it). Bytes
+  // still held at time t are the intervals with release > t — a purely
+  // functional view, so a query's bytes can never be freed twice.
+  std::vector<std::pair<sim::SimTime, uint64_t>> residency;
+  const auto held_after = [&residency](sim::SimTime t) {
+    uint64_t s = 0;
+    for (const auto& [release, bytes] : residency) {
+      if (release > t) s += bytes;
+    }
+    return s;
+  };
+  // Bytes carried into the current wave: placements of still-running
+  // earlier queries at this wave's admission time (counted against the
+  // wave's budget, conservatively never released mid-wave).
+  uint64_t carried = 0;
+
+  for (size_t w = 0; w < waves.size(); ++w) {
+    const std::vector<SubmittedQuery*>& wave = waves[w];
+    uint64_t shared_resident = carried;
     // Channel quota: only throttle per-query DMA bursts when the wave has
     // more queries than the copy engines have channels — below that, the
     // gap-filling lane arbitration interleaves streams fairly on its own,
@@ -215,6 +236,10 @@ Result<ScheduleStats> Scheduler::RunFairShare(
     // bulk of the work (probes) under weighted fairness while the cheap
     // critical-path work clears first.
     std::vector<double> vtime(wave.size(), 0.0);
+    // Per-query residency attribution: the shared counter only ever grows
+    // while pipelines run, and each step's growth belongs to the stepped
+    // query (its placement round broadcast the tables).
+    std::vector<uint64_t> contrib(wave.size(), 0);
     for (;;) {
       int pick = -1;
       bool pick_is_build = false;
@@ -230,10 +255,24 @@ Result<ScheduleStats> Scheduler::RunFairShare(
         }
       }
       if (pick < 0) break;
+      const uint64_t resident_before = shared_resident;
       HAPE_RETURN_NOT_OK(engine_->StepPlan(&exs[pick]));
+      HAPE_CHECK(shared_resident >= resident_before)
+          << "GPU residency accounting went backwards (double-free?)";
+      contrib[pick] += shared_resident - resident_before;
+      out.peak_resident_bytes =
+          std::max(out.peak_resident_bytes, shared_resident);
       vtime[pick] += TotalBusy(exs[pick].out.pipelines.back().stats) /
                      wave[pick]->opts.weight;
     }
+
+    // Every placed byte of this wave is attributed to exactly one query —
+    // releasing per query at completion can neither double-free nor leak.
+    uint64_t attributed = 0;
+    for (uint64_t c : contrib) attributed += c;
+    HAPE_CHECK(attributed == shared_resident - carried)
+        << "per-query residency attribution does not cover the wave's "
+        << "placements exactly";
 
     sim::SimTime wave_finish = wave_gate;
     for (size_t i = 0; i < wave.size(); ++i) {
@@ -241,14 +280,41 @@ Result<ScheduleStats> Scheduler::RunFairShare(
                                      std::move(exs[i].out), wave[i]->id);
       qs.finish = qs.run.finish;
       wave_finish = std::max(wave_finish, qs.finish);
+      // The query's tables are released the moment it completes.
+      if (contrib[i] > 0) residency.emplace_back(qs.finish, contrib[i]);
       for (const auto& [dev, busy] : qs.run.device_busy_s) {
         out.device_busy_s[dev] += busy;
       }
       out.makespan = std::max(out.makespan, qs.finish);
       out.queries.push_back(std::move(qs));
     }
-    // The next wave is admitted when this one's tables are released.
-    wave_gate = wave_finish;
+
+    // Admit the next wave at the earliest completion whose releases leave
+    // room for its estimated footprint (falling back to the whole wave
+    // draining when they never do). Bytes still held at that point are
+    // carried into the next wave's budget.
+    if (w + 1 < waves.size()) {
+      const uint64_t next_fp = wave_fp[w + 1];
+      std::vector<sim::SimTime> candidates{wave_gate};
+      for (const auto& [release, bytes] : residency) {
+        if (release > wave_gate && release < wave_finish) {
+          candidates.push_back(release);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      sim::SimTime gate = wave_finish;
+      for (sim::SimTime t : candidates) {
+        const uint64_t held = held_after(t);
+        if (policy_.build_staging_factor *
+                static_cast<double>(held + next_fp) <=
+            static_cast<double>(budget)) {
+          gate = t;
+          break;
+        }
+      }
+      wave_gate = std::max(gate, wave_gate);
+      carried = held_after(wave_gate);
+    }
   }
 
   // Report queries in submission order regardless of wave composition.

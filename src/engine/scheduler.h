@@ -67,6 +67,11 @@ struct ScheduleStats {
   /// Compute seconds per device id, summed over all queries. A query's
   /// device share is its own run.device_busy_s over these totals.
   std::map<int, sim::SimTime> device_busy_s;
+  /// Largest GPU-resident hash-table byte count the schedule held at once
+  /// (fair-share only; the admission waves bound it by the GPU budget). A
+  /// query's residency is released at its completion, so a later wave can
+  /// be admitted as soon as enough bytes have been freed.
+  uint64_t peak_resident_bytes = 0;
   std::vector<QueryRunStats> queries;
 };
 
@@ -79,9 +84,12 @@ struct ScheduleStats {
 ///     bit-identical to a standalone Engine::Run and the schedule makespan
 ///     is the serial sum — the compatibility baseline.
 ///   - kFairShare: queries are first packed into admission waves so each
-///     wave's estimated GPU-resident build bytes fit device memory (a wave
-///     opens when the previous one fully finishes — the queueing delay of
-///     memory contention). Within a wave, pipelines of different queries
+///     wave's estimated GPU-resident build bytes fit device memory. A
+///     query releases its residency the moment it completes, so the next
+///     wave is admitted at the earliest point enough finished queries have
+///     freed the bytes its footprint needs — not when the whole previous
+///     wave drains (the queueing delay of memory contention).
+///     Within a wave, pipelines of different queries
 ///     interleave on the shared event-queue substrate: worker clocks carry
 ///     busy state across pipeline and query boundaries, links and copy
 ///     engines are shared (each query's DMA is tagged with its stream and

@@ -77,6 +77,11 @@ class HashAggSink final : public Sink {
   }
   uint64_t num_groups() const { return result_.size(); }
 
+  /// Declarative view for plan serialization (current state — the plan
+  /// optimizer may have remapped column references).
+  const expr::ExprPtr& key_expr() const { return key_expr_; }
+  const std::vector<AggDef>& aggs() const { return aggs_; }
+
  private:
   expr::ExprPtr key_expr_;
   std::vector<AggDef> aggs_;

@@ -72,6 +72,48 @@ TEST(JsonParser, RejectsMalformedDocuments) {
   }
 }
 
+TEST(JsonParser, DecodesUnicodeEscapesToUtf8) {
+  // \uXXXX escapes >= 0x80 used to be rejected outright; they must decode
+  // to UTF-8, including surrogate pairs for code points above the BMP.
+  auto v = JsonParser::Parse(
+      R"(["\u00e9", "\u20ac", "\ud83d\ude80", "caf\u00e9 \u65e5\u672c\u8a9e"])");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const auto& items = v.value().items();
+  EXPECT_EQ(items[0].str(), "\xC3\xA9");              // é
+  EXPECT_EQ(items[1].str(), "\xE2\x82\xAC");          // €
+  EXPECT_EQ(items[2].str(), "\xF0\x9F\x9A\x80");      // U+1F680 🚀
+  EXPECT_EQ(items[3].str(),
+            "caf\xC3\xA9 \xE6\x97\xA5\xE6\x9C\xAC\xE8\xAA\x9E");
+}
+
+TEST(JsonParser, RejectsBrokenSurrogatePairs) {
+  for (const char* bad :
+       {R"("\ud83d")",           // lone high surrogate
+        R"("\ude00")",           // lone low surrogate
+        R"("\ud83dx")",          // high surrogate followed by a raw char
+        R"("\ud83dA")",          // high surrogate, then a non-escape char
+        R"("\ud8")",             // truncated escape
+        R"("\ud83d\ude")"}) {    // truncated low half
+    EXPECT_FALSE(JsonParser::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonWriter, NonAsciiStringsRoundTripWithParser) {
+  // The writer passes non-ASCII bytes through raw (valid UTF-8 in, valid
+  // UTF-8 out); the parser must hand back the identical bytes — the
+  // property non-ASCII query labels in plan manifests rely on.
+  const std::string label = "q5-\xCE\xBA\xCF\x8C\xCF\x83\xCE\xBC\xCE\xBF"
+                            "\xCF\x82 \xF0\x9F\x9A\x80\ttab";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("label");
+  w.String(label);
+  w.EndObject();
+  auto parsed = JsonParser::Parse(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("label")->str(), label);
+}
+
 TEST(JsonParser, ParsesNumbersExactly) {
   auto v = JsonParser::Parse("[0, -1, 3.5, 1e3, 2.25e-2, 4503599627370496]");
   ASSERT_TRUE(v.ok());
@@ -222,8 +264,8 @@ TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
   const JsonValue& doc = parsed.value();
   ASSERT_TRUE(doc.Has("schedule"));
   const JsonValue& s = *doc.Find("schedule");
-  ExpectKeys(s, {"policy", "num_queries", "makespan_s", "device_busy",
-                 "queries"},
+  ExpectKeys(s, {"policy", "num_queries", "makespan_s",
+                 "peak_resident_bytes", "device_busy", "queries"},
              "schedule");
   EXPECT_EQ(s.Find("policy")->str(), "fair-share");
   const auto& queries = s.Find("queries")->items();

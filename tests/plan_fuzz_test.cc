@@ -546,6 +546,24 @@ TEST_P(PlanFuzz, ByteIdenticalToScalarReferenceEverywhere) {
   const FuzzSpec spec = fuzzer.Generate();
   const Groups expected = Reference(spec, *catalog_);
 
+  // Serialization leg: the fuzzed DAG must survive dump -> load as a fixed
+  // point (a second dump of the loaded plan is byte-identical), and the
+  // loaded plan must run byte-identical to the in-memory one in every cell
+  // below.
+  std::string dumped;
+  {
+    FuzzPlan fp = BuildPlan(spec, *catalog_, /*chunk_rows=*/2048);
+    auto d = engine_->DumpPlan(fp.plan);
+    ASSERT_TRUE(d.ok()) << "seed " << seed << ": " << d.status().ToString();
+    dumped = d.value();
+    auto reloaded = engine_->LoadPlan(dumped, *catalog_);
+    ASSERT_TRUE(reloaded.ok())
+        << "seed " << seed << ": " << reloaded.status().ToString();
+    auto d2 = engine_->DumpPlan(reloaded.value().plan);
+    ASSERT_TRUE(d2.ok()) << "seed " << seed;
+    ASSERT_EQ(dumped, d2.value()) << "seed " << seed;
+  }
+
   for (EngineConfig config : kAllConfigs) {
     for (int depth : {0, 1, 4}) {
       topo_->Reset();
@@ -575,6 +593,32 @@ TEST_P(PlanFuzz, ByteIdenticalToScalarReferenceEverywhere) {
                                  itg->second.size() * sizeof(double)))
             << "seed " << seed << " config " << ConfigName(config)
             << " depth " << depth << " group " << itg->first;
+      }
+
+      // Dump -> load -> optimize -> run must reproduce the same bytes.
+      topo_->Reset();
+      auto loaded = engine_->LoadPlan(dumped, *catalog_);
+      ASSERT_TRUE(loaded.ok())
+          << "seed " << seed << ": " << loaded.status().ToString();
+      auto opt2 = engine_->Optimize(&loaded.value().plan, policy);
+      ASSERT_TRUE(opt2.ok())
+          << "seed " << seed << ": " << opt2.status().ToString();
+      auto run2 = engine_->Run(&loaded.value().plan, policy);
+      ASSERT_TRUE(run2.ok()) << "seed " << seed << " config "
+                             << ConfigName(config) << " depth " << depth
+                             << " (loaded): " << run2.status().ToString();
+      const Groups& reloaded = loaded.value().agg().result();
+      ASSERT_EQ(reloaded.size(), expected.size())
+          << "seed " << seed << " (loaded)";
+      auto itr = reloaded.begin();
+      for (auto it = expected.begin(); it != expected.end(); ++it, ++itr) {
+        ASSERT_EQ(itr->first, it->first) << "seed " << seed << " (loaded)";
+        ASSERT_EQ(itr->second.size(), it->second.size())
+            << "seed " << seed << " (loaded)";
+        ASSERT_EQ(0, std::memcmp(itr->second.data(), it->second.data(),
+                                 itr->second.size() * sizeof(double)))
+            << "seed " << seed << " config " << ConfigName(config)
+            << " depth " << depth << " (loaded) group " << itr->first;
       }
     }
   }

@@ -371,6 +371,64 @@ TEST_F(SchedTest, FairShareAdmissionWavesUnderMemoryContention) {
   ExpectBitIdentical(a.result(), b.result(), "contended twin Q5");
 }
 
+TEST_F(SchedTest, FairShareReleasesResidencyAtQueryCompletion) {
+  // Wave 1 holds two Q5 twins with different weights (so they finish at
+  // different times); the budget fits two footprints but not three. The
+  // third copy must be admitted at the *first* twin's completion — its
+  // released tables make room — not when the whole wave drains.
+  const int depth = 2;
+  const auto config = EngineConfig::kProteusHybrid;
+  ExecutionPolicy policy = MakePolicy(config, depth,
+                                      SchedulingPolicy::kFairShare);
+  auto probe = BuildQ5Plan(ctx_);
+  ASSERT_TRUE(probe.ok());
+  Engine eng(topo_);
+  ASSERT_TRUE(eng.Optimize(&probe.value().plan, policy).ok());
+  {
+    const int gpu = topo_->GpuDeviceIds().front();
+    const uint64_t cap =
+        topo_->mem_node(topo_->device(gpu).mem_node).capacity();
+    const uint64_t full_budget = cap - std::min(cap,
+                                                policy.device_reserved_bytes);
+    const uint64_t fp = engine::Scheduler::EstimatedResidentBytes(
+        probe.value().plan, policy, full_budget);
+    ASSERT_GT(fp, 0u);
+    // Budget for ~2.25 footprints (with build staging): two co-fit, three
+    // do not, and one released footprint re-admits the third.
+    const uint64_t budget = static_cast<uint64_t>(
+        policy.build_staging_factor * static_cast<double>(fp) * 2.25);
+    ASSERT_LT(budget, full_budget);
+    policy.device_reserved_bytes = cap - budget;
+  }
+
+  engine::AggHandle a = SubmitQuery(&eng, BuildQ5Plan, policy, /*weight=*/1.0);
+  engine::AggHandle b = SubmitQuery(&eng, BuildQ5Plan, policy, /*weight=*/4.0);
+  engine::AggHandle c = SubmitQuery(&eng, BuildQ5Plan, policy, /*weight=*/1.0);
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  const ScheduleStats& s = sched.value();
+  ASSERT_EQ(s.queries.size(), 3u);
+  // First two share wave 1 from time 0.
+  EXPECT_EQ(s.queries[0].admitted, 0.0);
+  EXPECT_EQ(s.queries[1].admitted, 0.0);
+  const sim::SimTime first_done =
+      std::min(s.queries[0].finish, s.queries[1].finish);
+  const sim::SimTime wave_drain =
+      std::max(s.queries[0].finish, s.queries[1].finish);
+  ASSERT_LT(first_done, wave_drain) << "twins must not tie for this test";
+  // The third query queues on memory, but only until the first completion
+  // releases its tables — strictly earlier than the full wave drain.
+  EXPECT_GT(s.queries[2].admitted, 0.0);
+  EXPECT_EQ(s.queries[2].admitted, first_done);
+  EXPECT_LT(s.queries[2].admitted, wave_drain);
+  EXPECT_GT(s.queries[2].queueing_delay_s(), 0.0);
+  // Residency peaked at the two co-resident footprints, within budget.
+  EXPECT_GT(s.peak_resident_bytes, 0u);
+  // Contention delays, it does not corrupt.
+  ExpectBitIdentical(a.result(), b.result(), "released twin a/b");
+  ExpectBitIdentical(a.result(), c.result(), "released twin a/c");
+}
+
 TEST_F(SchedTest, FairShareRequiresAsyncExecutor) {
   ExecutionPolicy policy = MakePolicy(EngineConfig::kProteusHybrid,
                                       /*depth=*/2,
