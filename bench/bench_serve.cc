@@ -1,0 +1,256 @@
+// Serving-layer bench: a 1000-query open-loop workload (TPC-H suite +
+// fuzzer-pool plans under Poisson arrivals, SLA tiers weighted toward
+// best-effort traffic) replayed through a QueryService — plan cache,
+// admission control, and the kSlaTiered pipeline-preempting scheduler —
+// against an *untiered* baseline: the identical arrival trace with every
+// query forced to tier 0 on the same substrate, i.e. plain fair-share
+// serving. The tiering claim is that the high-SLA tier's p95 queueing
+// delay drops strictly below the untiered p95 without starving the rest.
+//
+// Besides the stdout table, results go to BENCH_serve.json. CI enforces:
+//   - the replay is deterministic (a second run of the tiered schedule is
+//     bit-identical, per-tier percentiles included),
+//   - tier 0's p95 queueing delay is strictly below the untiered
+//     baseline's overall p95 on the same trace,
+//   - the plan cache hit rate is > 0 (repeated statements actually hit),
+//   - every query of the trace runs to completion.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "engine/scheduler.h"
+#include "queries/tpch_queries.h"
+#include "serve/query_service.h"
+#include "serve/workload.h"
+
+namespace {
+
+using namespace hape;         // NOLINT
+using namespace hape::serve;  // NOLINT
+
+queries::TpchContext* Context() {
+  static sim::Topology topo = sim::Topology::PaperServer();
+  static queries::TpchContext* ctx = [] {
+    auto* c = new queries::TpchContext();
+    c->topo = &topo;
+    c->sf_actual = 0.003;
+    c->sf_nominal = 100.0;
+    HAPE_CHECK(PrepareTpch(c).ok());
+    return c;
+  }();
+  return ctx;
+}
+
+engine::ExecutionPolicy ServingPolicy() {
+  engine::ExecutionPolicy p = engine::ExecutionPolicy::ForConfig(
+      *Context()->topo, engine::EngineConfig::kProteusHybrid);
+  p.async = engine::AsyncOptions::Depth(1);
+  p.scheduling = engine::SchedulingPolicy::kSlaTiered;
+  p.serve.max_inflight = 8;
+  // Aging well above the expected p99 wait: the promotion is a
+  // starvation backstop here, not a scheduling feature under test.
+  p.serve.aging_boost_s = 120.0;
+  return p;
+}
+
+WorkloadOptions BenchWorkload(int num_queries) {
+  WorkloadOptions wo;
+  wo.num_queries = num_queries;
+  wo.seed = 17;
+  wo.arrival_rate_qps = 4.0;
+  wo.tier_weights = {1.0, 2.0, 5.0};
+  wo.fuzz_pool = 16;
+  wo.fuzz_fraction = 0.6;
+  return wo;
+}
+
+struct Replay {
+  engine::ScheduleStats stats;
+  PlanCache::Stats cache;
+};
+
+/// Replay the trace through a fresh engine + service. `untiered` forces
+/// every request to tier 0 — the baseline of the tiering comparison —
+/// without touching arrivals, plans, or anything else.
+Replay Run(const WorkloadOptions& wo, bool untiered) {
+  queries::TpchContext* ctx = Context();
+  ctx->topo->Reset();
+  engine::Engine eng(ctx->topo);
+  QueryService service(&eng, &ctx->catalog, ServingPolicy());
+  auto trace = GenerateWorkload(ctx, wo);
+  HAPE_CHECK(trace.ok()) << trace.status().ToString();
+  for (WorkloadQuery& q : trace.value()) {
+    engine::SubmitOptions so = q.opts;
+    if (untiered) so.tier = 0;
+    auto t = service.Submit(q.plan, so);
+    HAPE_CHECK(t.ok()) << t.status().ToString();
+  }
+  auto stats = service.Run();
+  HAPE_CHECK(stats.ok()) << stats.status().ToString();
+  return Replay{std::move(stats.value()), service.cache_stats()};
+}
+
+void WriteTiers(JsonWriter* w, const engine::ScheduleStats& s) {
+  w->Key("tiers");
+  w->BeginArray();
+  for (const engine::TierPercentiles& t : s.tiers) {
+    w->BeginObject();
+    w->Key("tier");
+    w->Int(t.tier);
+    w->Key("queries");
+    w->Uint(t.queries);
+    w->Key("queue_p50_s");
+    w->Double(t.queue_p50);
+    w->Key("queue_p95_s");
+    w->Double(t.queue_p95);
+    w->Key("queue_p99_s");
+    w->Double(t.queue_p99);
+    w->Key("makespan_p50_s");
+    w->Double(t.makespan_p50);
+    w->Key("makespan_p95_s");
+    w->Double(t.makespan_p95);
+    w->Key("makespan_p99_s");
+    w->Double(t.makespan_p99);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+bool SchedulesIdentical(const engine::ScheduleStats& a,
+                        const engine::ScheduleStats& b) {
+  if (a.makespan != b.makespan || a.queries.size() != b.queries.size() ||
+      a.peak_resident_bytes != b.peak_resident_bytes ||
+      a.tiers.size() != b.tiers.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    if (a.queries[i].admitted != b.queries[i].admitted ||
+        a.queries[i].finish != b.queries[i].finish ||
+        a.queries[i].tier != b.queries[i].tier ||
+        a.queries[i].copy_engine_bytes != b.queries[i].copy_engine_bytes) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.tiers.size(); ++i) {
+    if (a.tiers[i].queue_p95 != b.tiers[i].queue_p95 ||
+        a.tiers[i].makespan_p99 != b.tiers[i].makespan_p99) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ReplayTableAndJson() {
+  const int kQueries = 1000;
+  const WorkloadOptions wo = BenchWorkload(kQueries);
+
+  std::printf("== Serving: %d-query open-loop replay, tiered vs untiered "
+              "==\n",
+              kQueries);
+  const Replay tiered = Run(wo, /*untiered=*/false);
+  const Replay again = Run(wo, /*untiered=*/false);
+  const Replay untiered = Run(wo, /*untiered=*/true);
+
+  const bool deterministic = SchedulesIdentical(tiered.stats, again.stats);
+  HAPE_CHECK(!untiered.stats.tiers.empty());
+  const engine::TierPercentiles& base = untiered.stats.tiers[0];
+
+  std::printf("%-10s %8s %12s %12s %12s %14s\n", "schedule", "tier",
+              "queries", "queue_p50", "queue_p95", "makespan_p95");
+  for (const engine::TierPercentiles& t : tiered.stats.tiers) {
+    std::printf("%-10s %8d %12llu %12.4f %12.4f %14.4f\n", "tiered",
+                t.tier, static_cast<unsigned long long>(t.queries),
+                t.queue_p50, t.queue_p95, t.makespan_p95);
+  }
+  std::printf("%-10s %8d %12llu %12.4f %12.4f %14.4f\n", "untiered",
+              base.tier, static_cast<unsigned long long>(base.queries),
+              base.queue_p50, base.queue_p95, base.makespan_p95);
+  std::printf(
+      "\ncompleted %zu/%d queries, makespan %.2f s, deterministic replay: "
+      "%s\ncache: %llu hits / %llu misses (%llu entries, hit rate %.3f)\n",
+      tiered.stats.queries.size(), kQueries, tiered.stats.makespan,
+      deterministic ? "yes" : "NO",
+      static_cast<unsigned long long>(tiered.cache.hits),
+      static_cast<unsigned long long>(tiered.cache.misses),
+      static_cast<unsigned long long>(tiered.cache.entries),
+      tiered.cache.hit_rate());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("serve");
+  w.Key("num_queries");
+  w.Int(kQueries);
+  w.Key("completed");
+  w.Uint(tiered.stats.queries.size());
+  w.Key("seed");
+  w.Uint(wo.seed);
+  w.Key("arrival_rate_qps");
+  w.Double(wo.arrival_rate_qps);
+  w.Key("deterministic_replay");
+  w.Bool(deterministic);
+  w.Key("makespan_s");
+  w.Double(tiered.stats.makespan);
+  w.Key("peak_resident_bytes");
+  w.Uint(tiered.stats.peak_resident_bytes);
+  w.Key("cache");
+  w.BeginObject();
+  w.Key("hits");
+  w.Uint(tiered.cache.hits);
+  w.Key("misses");
+  w.Uint(tiered.cache.misses);
+  w.Key("entries");
+  w.Uint(tiered.cache.entries);
+  w.Key("hit_rate");
+  w.Double(tiered.cache.hit_rate());
+  w.EndObject();
+  w.Key("tiered");
+  w.BeginObject();
+  WriteTiers(&w, tiered.stats);
+  w.EndObject();
+  w.Key("untiered");
+  w.BeginObject();
+  WriteTiers(&w, untiered.stats);
+  w.EndObject();
+  HAPE_CHECK(!tiered.stats.tiers.empty());
+  w.Key("high_tier_queue_p95_s");
+  w.Double(tiered.stats.tiers[0].queue_p95);
+  w.Key("untiered_queue_p95_s");
+  w.Double(base.queue_p95);
+  w.Key("high_tier_beats_untiered");
+  w.Bool(tiered.stats.tiers[0].queue_p95 < base.queue_p95);
+  w.EndObject();
+  std::ofstream out("BENCH_serve.json");
+  out << w.str() << "\n";
+  std::printf("\nwrote BENCH_serve.json\n\n");
+}
+
+void BM_Replay(benchmark::State& state, bool untiered) {
+  const WorkloadOptions wo = BenchWorkload(64);
+  for (auto _ : state) {
+    const Replay r = Run(wo, untiered);
+    benchmark::DoNotOptimize(r.stats.makespan);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReplayTableAndJson();
+  benchmark::RegisterBenchmark("Serve/tiered/64", [](benchmark::State& s) {
+    BM_Replay(s, /*untiered=*/false);
+  });
+  benchmark::RegisterBenchmark("Serve/untiered/64", [](benchmark::State& s) {
+    BM_Replay(s, /*untiered=*/true);
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

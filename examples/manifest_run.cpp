@@ -29,6 +29,9 @@ using namespace hape::queries;  // NOLINT
 namespace {
 
 constexpr const char* kManifestFormat = "hape-manifest-v1";
+// Manifest schema version: absent implies current, anything else must match
+// exactly (mirrors PlanJson::kVersion for the embedded plan documents).
+constexpr int kManifestVersion = 2;
 
 int Fail(const std::string& what) {
   std::fprintf(stderr, "manifest_run: %s\n", what.c_str());
@@ -68,6 +71,8 @@ int WriteManifest(const char* path) {
   w.BeginObject();
   w.Key("format");
   w.String(kManifestFormat);
+  w.Key("version");
+  w.Int(kManifestVersion);
   w.Key("tpch");
   w.BeginObject();
   w.Key("sf_actual");
@@ -127,6 +132,12 @@ int RunManifest(const char* path) {
   if (format == nullptr || format->str() != kManifestFormat) {
     return Fail(std::string("expected a '") + kManifestFormat +
                 "' document");
+  }
+  if (const JsonValue* ver = doc.Find("version");
+      ver != nullptr && (ver->kind() != JsonValue::Kind::kNumber ||
+                         ver->number() != kManifestVersion)) {
+    return Fail("unsupported manifest schema version (expected " +
+                std::to_string(kManifestVersion) + ")");
   }
 
   // TPC-H context at the manifest's scale (plans chunk their scans in

@@ -447,6 +447,14 @@ Result<ScheduleStats> Engine::RunAll(const ExecutionPolicy& policy) {
       return Status::InvalidArgument("query '" + q->opts.label +
                                      "' has non-positive weight");
     }
+    if (q->opts.tier < 0) {
+      return Status::InvalidArgument("query '" + q->opts.label +
+                                     "' has negative SLA tier");
+    }
+    if (q->opts.arrival < 0) {
+      return Status::InvalidArgument("query '" + q->opts.label +
+                                     "' has negative arrival time");
+    }
   }
   Scheduler scheduler(this, policy);
   auto result = scheduler.Run(pending);

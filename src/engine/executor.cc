@@ -326,20 +326,13 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
     fin[w].assign(queue[w].size(), 0);
   }
 
-  struct Event {
-    sim::SimTime t;
-    uint64_t seq;  // FIFO tie-break: deterministic schedule
+  // Staging events on the shared (time, seq) event queue: FIFO among
+  // simultaneous events keeps the schedule deterministic.
+  struct Staged {
     int worker;
     int slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, Later> events;
-  uint64_t seq = 0;
+  EventQueue<Staged> events;
   // Prefill slot-major (slot 0 of every worker, then slot 1, ...): the
   // initial staging issues in packet order across workers, so no worker's
   // whole prefetch window reserves the links ahead of the others' first
@@ -347,7 +340,7 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
   for (int k = 0; k < depth; ++k) {
     for (size_t w = 0; w < n_workers; ++w) {
       if (k < static_cast<int>(queue[w].size())) {
-        events.push(Event{opts.start, seq++, static_cast<int>(w), k});
+        events.Push(opts.start, Staged{static_cast<int>(w), k});
       }
     }
   }
@@ -364,15 +357,14 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
       n_workers);
   std::vector<uint64_t> staged(n_workers, 0);
   while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
+    const auto [ev_t, ev] = events.Pop();
     const int w = ev.worker;
     const int k = ev.slot;
     const Rec& r = recs[queue[w][k]];
     // Issue the staged mem-move now (a buffer just became available),
     // unless the byte budget delays it.
-    sim::SimTime issue_t = ev.t;
-    sim::SimTime ready = ev.t;
+    sim::SimTime issue_t = ev_t;
+    sim::SimTime ready = ev_t;
     if (r.wire_bytes > 0) {
       auto& q = inflight[w];
       while (!q.empty() && q.front().first <= issue_t) {
@@ -410,7 +402,7 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
     // Computing slot k frees a staging buffer: issue slot k + depth.
     const int next = k + depth;
     if (next < static_cast<int>(queue[w].size())) {
-      events.push(Event{begin, seq++, w, next});
+      events.Push(begin, Staged{w, next});
     }
   }
 

@@ -1,9 +1,13 @@
 #ifndef HAPE_ENGINE_EXECUTOR_H_
 #define HAPE_ENGINE_EXECUTOR_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "engine/pipeline.h"
@@ -11,6 +15,46 @@
 #include "sim/topology.h"
 
 namespace hape::engine {
+
+/// Deterministic discrete-event queue: a binary min-heap over
+/// (time, sequence), where the sequence number is the push order — FIFO
+/// among simultaneous events, so event schedules are reproducible without
+/// any tie-break policy at the call sites. O(log n) push/pop, replacing
+/// linear next-event scans. The async executor's staging loop runs on one;
+/// the multi-query serving loop replays arrival events through another.
+template <typename Payload>
+class EventQueue {
+ public:
+  void Push(sim::SimTime t, Payload p) {
+    heap_.push_back(Entry{t, seq_++, std::move(p)});
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+  }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  /// Time of the earliest event; heap must be non-empty.
+  sim::SimTime next_time() const { return heap_.front().t; }
+  std::pair<sim::SimTime, Payload> Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    return {e.t, std::move(e.payload)};
+  }
+
+ private:
+  struct Entry {
+    sim::SimTime t;
+    uint64_t seq;
+    Payload payload;
+  };
+  /// Heap "less": a sorts after b (std::push_heap keeps the max on top, so
+  /// ordering by "later" surfaces the earliest event).
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+  std::vector<Entry> heap_;
+  uint64_t seq_ = 0;
+};
 
 /// One logical consumer instance of a pipeline: a CPU core or a whole GPU.
 /// Instantiated per pipeline run by the executor from the device list —
@@ -39,26 +83,57 @@ struct Worker {
 /// than a standalone run's. Only the async executor honors clocks — the
 /// synchronous legacy path stays untouched.
 struct WorkerClocks {
-  std::map<int, std::map<int, std::vector<sim::SimTime>>> busy_until;
+  static constexpr int kNoStream = std::numeric_limits<int>::min();
+
+  /// One worker instance's cross-stream clock, summarized as the two
+  /// latest busy-until values over *distinct* streams. The gate excluding
+  /// any one stream is then O(1): the global maximum when the asking
+  /// stream is not the one holding it, the runner-up otherwise. The
+  /// summary is exact because updates are monotone (Update takes the max,
+  /// so a stream's clock only ever grows): whenever a stream loses the
+  /// top spot its value is captured into max2, and every later value of a
+  /// non-top stream folds into max2 too — a displaced value can never
+  /// resurface above the cached pair. This replaces the per-stream map a
+  /// linear scan needed, which grew with every query a long-running
+  /// serving engine had ever admitted.
+  struct Slot {
+    int max_stream = kNoStream;
+    sim::SimTime max1 = 0;  ///< latest busy-until over all streams
+    sim::SimTime max2 = 0;  ///< latest over streams other than max_stream
+
+    void Update(int stream, sim::SimTime t) {
+      if (stream == max_stream) {
+        max1 = std::max(max1, t);
+      } else if (t > max1) {
+        max2 = max1;
+        max_stream = stream;
+        max1 = t;
+      } else {
+        max2 = std::max(max2, t);
+      }
+    }
+    sim::SimTime Gate(int stream) const {
+      return stream == max_stream ? max2 : max1;
+    }
+  };
+
+  /// Device id -> per-instance slots (MakeWorkers order).
+  std::map<int, std::vector<Slot>> slots;
 
   /// Latest busy-until of `dev`/`inst` over every stream except `stream`.
   sim::SimTime OthersGate(int stream, int dev, int inst) const {
-    sim::SimTime t = 0;
-    for (const auto& [s, devices] : busy_until) {
-      if (s == stream) continue;
-      auto it = devices.find(dev);
-      if (it == devices.end()) continue;
-      if (inst < static_cast<int>(it->second.size())) {
-        t = std::max(t, it->second[inst]);
-      }
+    auto it = slots.find(dev);
+    if (it == slots.end() ||
+        inst >= static_cast<int>(it->second.size())) {
+      return 0;
     }
-    return t;
+    return it->second[inst].Gate(stream);
   }
 
   void Update(int stream, int dev, int inst, sim::SimTime t) {
-    auto& clock = busy_until[stream][dev];
-    if (clock.size() <= static_cast<size_t>(inst)) clock.resize(inst + 1, 0);
-    clock[inst] = std::max(clock[inst], t);
+    auto& v = slots[dev];
+    if (v.size() <= static_cast<size_t>(inst)) v.resize(inst + 1);
+    v[inst].Update(stream, t);
   }
 };
 

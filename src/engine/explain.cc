@@ -146,6 +146,32 @@ std::string Engine::Explain(const ScheduleStats& schedule) const {
   w.Uint(schedule.peak_resident_bytes);
   w.Key("device_busy");
   DeviceBusyArray(&w, schedule.device_busy_s, nullptr);
+  // Per-SLA-tier latency distributions (nearest-rank percentiles).
+  // Non-tiered policies report one tier-0 row over all queries, so tiered
+  // and untiered runs of the same trace are directly comparable.
+  w.Key("tiers");
+  w.BeginArray();
+  for (const TierPercentiles& t : schedule.tiers) {
+    w.BeginObject();
+    w.Key("tier");
+    w.Int(t.tier);
+    w.Key("queries");
+    w.Uint(t.queries);
+    w.Key("queue_p50_s");
+    w.Double(t.queue_p50);
+    w.Key("queue_p95_s");
+    w.Double(t.queue_p95);
+    w.Key("queue_p99_s");
+    w.Double(t.queue_p99);
+    w.Key("makespan_p50_s");
+    w.Double(t.makespan_p50);
+    w.Key("makespan_p95_s");
+    w.Double(t.makespan_p95);
+    w.Key("makespan_p99_s");
+    w.Double(t.makespan_p99);
+    w.EndObject();
+  }
+  w.EndArray();
   w.Key("queries");
   w.BeginArray();
   for (const QueryRunStats& q : schedule.queries) {
@@ -156,8 +182,13 @@ std::string Engine::Explain(const ScheduleStats& schedule) const {
     w.String(q.label);
     w.Key("weight");
     w.Double(q.weight);
-    // Per-query schedule accounting: when the scheduler let the query in,
-    // how long it queued for the machine, and its end-to-end makespan.
+    w.Key("tier");
+    w.Int(q.tier);
+    // Per-query schedule accounting: when the query arrived, when the
+    // scheduler let it in, how long it queued for the machine, and its
+    // end-to-end makespan.
+    w.Key("arrival_s");
+    w.Double(q.arrival);
     w.Key("admitted_s");
     w.Double(q.admitted);
     w.Key("queueing_delay_s");
@@ -239,9 +270,9 @@ std::string Engine::Explain(const QueryPlan& plan) const {
     w.BeginObject();
     w.Key("source_rows");
     w.Uint(n.source_rows);
-    if (n.declared_selectivity >= 0) {
-      w.Key("selectivity");
-      w.Double(n.declared_selectivity);
+    if (n.declared_build_rows > 0) {
+      w.Key("build_rows");
+      w.Uint(n.declared_build_rows);
     }
     w.EndObject();
     w.Key("estimated");

@@ -82,18 +82,18 @@ BuildHandle PipelineBuilder::HashBuild(expr::ExprPtr key,
   PlanNode& n = node();
   HAPE_CHECK(n.pipeline.sink == nullptr)
       << "pipeline '" << n.pipeline.name << "' already has a sink";
-  // Declared selectivity is an explicit override; without one the table is
-  // sized for the full source until Engine::Optimize re-buckets it from its
-  // cardinality estimate.
-  const double sizing_sel =
-      opts.expected_selectivity < 0 ? 1.0 : opts.expected_selectivity;
-  auto state = std::make_shared<JoinState>(
-      static_cast<size_t>(n.source_rows * sizing_sel) + 16);
+  // A declared cardinality is an explicit override; without one the table
+  // is sized for the full source until Engine::Optimize re-buckets it from
+  // its cardinality estimate.
+  const size_t sizing_rows = opts.expected_rows > 0
+                                 ? static_cast<size_t>(opts.expected_rows)
+                                 : n.source_rows;
+  auto state = std::make_shared<JoinState>(sizing_rows + 16);
   n.pipeline.sink = std::make_unique<BuildSink>(state, key, payload_cols);
   n.is_build = true;
   n.heavy_build = opts.heavy;
   n.built_state = state;
-  n.declared_selectivity = opts.expected_selectivity;
+  n.declared_build_rows = opts.expected_rows;
   n.build_key = std::move(key);
   n.build_payload = std::move(payload_cols);
   BuildHandle h;

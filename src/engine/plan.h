@@ -23,12 +23,12 @@ class QueryPlan;
 
 /// Options of a HashBuild terminal.
 struct BuildOptions {
-  /// DEPRECATED: hand-declared build-side selectivity. Negative (the
-  /// default) means "derive from the optimizer's cardinality estimate"
-  /// (Engine::Optimize re-buckets the table; an unoptimized Run sizes it
-  /// for the full source). A non-negative value is an explicit override
-  /// that the optimizer respects.
-  double expected_selectivity = -1.0;
+  /// Hand-declared build-side cardinality (rows surviving the pipeline's
+  /// filters). 0 (the default) means "derive from the optimizer's
+  /// cardinality estimate" (Engine::Optimize re-buckets the table; an
+  /// unoptimized Run sizes it for the full source). A positive value is an
+  /// explicit override that the optimizer respects.
+  uint64_t expected_rows = 0;
   /// Marks a big build side. Heavy builds drive the engine's placement
   /// decisions on GPUs: partitioned vs non-partitioned probing (Fig. 9) and
   /// the co-processing fallback when the table exceeds device memory (§5).
@@ -128,8 +128,8 @@ struct PlanNode {
   size_t source_chunk_rows = 0;
   /// Logical view of the fused stage chain, in stage order.
   std::vector<LogicalOp> ops;
-  /// Deprecated BuildOptions::expected_selectivity (< 0: none declared).
-  double declared_selectivity = -1.0;
+  /// BuildOptions::expected_rows (0: none declared).
+  uint64_t declared_build_rows = 0;
   /// Build terminal metadata (set when is_build): key expression and the
   /// payload column indices carried into the hash table.
   expr::ExprPtr build_key;

@@ -160,6 +160,7 @@ constexpr std::pair<const char*, ExecutionModel> kModelNames[] = {
 constexpr std::pair<const char*, SchedulingPolicy> kSchedulingNames[] = {
     {"fifo", SchedulingPolicy::kFifo},
     {"fair-share", SchedulingPolicy::kFairShare},
+    {"sla-tiered", SchedulingPolicy::kSlaTiered},
 };
 
 constexpr std::pair<const char*, opt::PlacementMode> kPlacementNames[] = {
@@ -229,8 +230,8 @@ Status WriteSink(JsonWriter* w, const QueryPlan& plan, const PlanNode& n) {
     WriteExprOrNull(w, n.build_key);
     w->Key("payload_cols");
     WriteIntArray(w, n.build_payload);
-    w->Key("declared_selectivity");
-    w->Double(n.declared_selectivity);
+    w->Key("declared_build_rows");
+    w->Uint(n.declared_build_rows);
     w->Key("heavy");
     w->Bool(n.heavy_build);
     w->Key("ht_buckets");
@@ -367,6 +368,8 @@ Result<std::string> DumpImpl(const QueryPlan& plan,
   w.BeginObject();
   w.Key("format");
   w.String(PlanJson::kFormat);
+  w.Key("version");
+  w.Int(PlanJson::kVersion);
   w.Key("plan");
   HAPE_RETURN_NOT_OK(WritePlanObject(&w, plan));
   if (policy != nullptr) {
@@ -599,8 +602,8 @@ Status ApplyBuildSink(const PipeDoc& doc, PipelineBuilder* pipe, int width,
   }
   (*payload_width)[pipe->id()] = static_cast<int>(payload.size());
   BuildOptions opts;
-  HAPE_RETURN_NOT_OK(ReadOptNumber(sink, "declared_selectivity",
-                                   &opts.expected_selectivity, doc.where));
+  HAPE_RETURN_NOT_OK(ReadOptUint(sink, "declared_build_rows",
+                                 &opts.expected_rows, doc.where));
   HAPE_RETURN_NOT_OK(ReadOptBool(sink, "heavy", &opts.heavy, doc.where));
   BuildHandle h = pipe->HashBuild(std::move(key), std::move(payload), opts);
   // Reproduce the dumped bucket count exactly (the plan optimizer may have
@@ -745,6 +748,13 @@ void PlanJson::WritePolicy(JsonWriter* w, const ExecutionPolicy& policy) {
   w->EndObject();
   w->Key("scheduling");
   w->String(SchedulingPolicyName(policy.scheduling));
+  w->Key("serve");
+  w->BeginObject();
+  w->Key("max_inflight");
+  w->Int(policy.serve.max_inflight);
+  w->Key("aging_boost_s");
+  w->Double(policy.serve.aging_boost_s);
+  w->EndObject();
   w->Key("expected_device_share");
   w->Double(policy.expected_device_share);
   w->Key("optimizer");
@@ -818,6 +828,17 @@ Result<ExecutionPolicy> PlanJson::ReadPolicy(const JsonValue& v) {
         p.scheduling,
         ParseEnum(s->str(), kSchedulingNames, "scheduling policy"));
   }
+  if (const JsonValue* s = v.Find("serve")) {
+    if (!s->is_object()) return Bad("policy", "'serve' must be an object");
+    int64_t inflight = p.serve.max_inflight;
+    HAPE_RETURN_NOT_OK(ReadOptUint(*s, "max_inflight", &inflight, "serve"));
+    if (inflight > kMaxSmallKnob) {
+      return Bad("serve", "'max_inflight' is implausibly large");
+    }
+    p.serve.max_inflight = static_cast<int>(inflight);
+    HAPE_RETURN_NOT_OK(ReadOptNumber(*s, "aging_boost_s",
+                                     &p.serve.aging_boost_s, "serve"));
+  }
   HAPE_RETURN_NOT_OK(ReadOptNumber(v, "expected_device_share",
                                    &p.expected_device_share, "policy"));
   if (const JsonValue* o = v.Find("optimizer")) {
@@ -879,6 +900,16 @@ Result<LoadedPlan> PlanJson::Load(const JsonValue& doc,
                        f->str() != kFormat)) {
     return Bad("document", "unsupported format (expected '" +
                                std::string(kFormat) + "')");
+  }
+  // Schema versioning: an absent "version" implies the current schema; a
+  // present one must match exactly (unknown versions are rejected so stale
+  // plan-cache fingerprints and hand-edited manifests fail loudly).
+  if (const JsonValue* ver = doc.Find("version"); ver != nullptr) {
+    if (ver->kind() != JsonValue::Kind::kNumber ||
+        ver->number() != static_cast<double>(kVersion)) {
+      return Bad("document", "unsupported schema version (expected " +
+                                 std::to_string(kVersion) + ")");
+    }
   }
   HAPE_ASSIGN_OR_RETURN(const JsonValue* pv,
                         GetMember(doc, "plan", "document"));

@@ -52,9 +52,9 @@ struct LoadedPlan {
 /// order (which fixes the stable topological order): per pipeline the scan
 /// source (table / columns / chunk granularity), the logical op chain with
 /// full expression trees, dependency and build/probe edges, the terminal
-/// sink (build key + payload, aggregate definitions), the deprecated
-/// BuildOptions annotations, and the optimizer's estimates (so a dumped
-/// *optimized* plan reloads with its sizing and heavy marks intact).
+/// sink (build key + payload, aggregate definitions), the BuildOptions
+/// annotations, and the optimizer's estimates (so a dumped *optimized*
+/// plan reloads with its sizing and heavy marks intact).
 ///
 /// Load rebuilds the plan through PlanBuilder against a Catalog resolving
 /// the scanned tables, re-validating everything a hand-edited manifest can
@@ -66,6 +66,13 @@ class PlanJson {
  public:
   /// Document format tag ("format" key) accepted by Load.
   static constexpr const char* kFormat = "hape-plan-v1";
+  /// Schema version ("version" key) written by Dump. Load accepts documents
+  /// that either omit the key (the current schema is implied) or carry
+  /// exactly this value; anything else is rejected with a Status error, so
+  /// cached fingerprints and checked-in manifests can never silently load
+  /// under the wrong schema. v2 renamed the build-sink override key
+  /// declared_selectivity -> declared_build_rows.
+  static constexpr int kVersion = 2;
 
   static Result<std::string> Dump(const QueryPlan& plan);
   static Result<std::string> Dump(const QueryPlan& plan,

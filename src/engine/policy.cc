@@ -26,6 +26,8 @@ const char* SchedulingPolicyName(SchedulingPolicy p) {
       return "fifo";
     case SchedulingPolicy::kFairShare:
       return "fair-share";
+    case SchedulingPolicy::kSlaTiered:
+      return "sla-tiered";
   }
   return "?";
 }

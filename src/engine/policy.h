@@ -49,6 +49,17 @@ enum class SchedulingPolicy {
   /// admitted in waves when GPU memory for their build tables is contended.
   /// Requires the async executor (AsyncOptions depth >= 1).
   kFairShare,
+  /// The serving policy: queries carry an SLA tier and an arrival time
+  /// (SubmitOptions::tier / arrival) and the scheduler runs an open-loop
+  /// admission clock — queries become visible at their arrivals, are
+  /// admitted in (tier, arrival) order subject to the GPU-memory budget
+  /// and ExecutionPolicy::serve.max_inflight, and in-flight queries
+  /// interleave on the kFairShare substrate with strictly tier-ordered
+  /// pipeline picks (preemption at pipeline granularity: a high-tier
+  /// arrival waits at most one pipeline of lower-tier work). Aging
+  /// promotes long-waiting queries to tier 0 so low tiers cannot starve.
+  /// Requires the async executor (AsyncOptions depth >= 1).
+  kSlaTiered,
 };
 
 const char* SchedulingPolicyName(SchedulingPolicy p);
@@ -81,6 +92,20 @@ struct AsyncOptions {
     a.prefetch_depth = n;
     return a;
   }
+};
+
+/// Knobs of the SchedulingPolicy::kSlaTiered serving loop. Ignored by the
+/// other policies.
+struct ServeOptions {
+  /// Maximum queries in flight at once: admission holds further arrivals
+  /// in the (tier, arrival)-ordered ready queue once this many queries
+  /// share the substrate, independent of the GPU-memory budget.
+  int max_inflight = 8;
+  /// A ready query that has waited this long (simulated seconds since its
+  /// arrival) is promoted to tier 0 for admission and pipeline picks, so
+  /// a saturating stream of high-tier work cannot starve low tiers.
+  /// <= 0 disables aging.
+  double aging_boost_s = 10.0;
 };
 
 /// Declarative description of *where and how* a QueryPlan executes. Derived
@@ -116,6 +141,8 @@ struct ExecutionPolicy {
   /// How Engine::RunAll shares the topology between submitted queries.
   /// Ignored by Engine::Run (a single plan always owns the machine).
   SchedulingPolicy scheduling = SchedulingPolicy::kFifo;
+  /// Admission/aging knobs of SchedulingPolicy::kSlaTiered.
+  ServeOptions serve;
   /// Fraction of each device's workers this query expects to hold when it
   /// runs under SchedulingPolicy::kFairShare (e.g. weight / total weight).
   /// The cost-based placement mode costs CPU-vs-GPU alternatives at this

@@ -1,9 +1,14 @@
 #include "engine/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <queue>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
+
+#include "engine/executor.h"
 
 #include "common/logging.h"
 #include "ops/hash_table.h"
@@ -18,6 +23,52 @@ sim::SimTime TotalBusy(const ExecStats& st) {
   sim::SimTime s = 0;
   for (const auto& [dev, busy] : st.device_busy_s) s += busy;
   return s;
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the value at
+/// rank ceil(p * n), clamped to [1, n]. Exact sample values (no
+/// interpolation), so percentile invariants are bit-reproducible.
+double NearestRank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t n = sorted.size();
+  size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+/// Group the schedule's queries by SLA tier and summarize each tier's
+/// queueing-delay and makespan distributions. Runs under every policy:
+/// non-tiered schedules report one tier-0 row, which is what makes a
+/// tiered run comparable to its untiered baseline on the same trace.
+void ComputeTierPercentiles(ScheduleStats* out) {
+  std::map<int, std::vector<const QueryRunStats*>> by_tier;
+  for (const QueryRunStats& q : out->queries) {
+    by_tier[q.tier].push_back(&q);
+  }
+  out->tiers.clear();
+  for (const auto& [tier, qs] : by_tier) {
+    TierPercentiles tp;
+    tp.tier = tier;
+    tp.queries = qs.size();
+    std::vector<double> queue, makespan;
+    queue.reserve(qs.size());
+    makespan.reserve(qs.size());
+    for (const QueryRunStats* q : qs) {
+      queue.push_back(q->queueing_delay_s());
+      makespan.push_back(q->makespan_s());
+    }
+    std::sort(queue.begin(), queue.end());
+    std::sort(makespan.begin(), makespan.end());
+    tp.queue_p50 = NearestRank(queue, 0.50);
+    tp.queue_p95 = NearestRank(queue, 0.95);
+    tp.queue_p99 = NearestRank(queue, 0.99);
+    tp.makespan_p50 = NearestRank(makespan, 0.50);
+    tp.makespan_p95 = NearestRank(makespan, 0.95);
+    tp.makespan_p99 = NearestRank(makespan, 0.99);
+    out->tiers.push_back(tp);
+  }
 }
 
 }  // namespace
@@ -77,6 +128,7 @@ QueryRunStats Scheduler::FinishQuery(const SubmittedQuery& q,
   qs.id = q.id;
   qs.label = q.opts.label;
   qs.weight = q.opts.weight;
+  qs.tier = q.opts.tier;
   qs.admitted = admitted;
   qs.run = std::move(run);
   sim::Topology* topo = engine_->topo_;
@@ -88,8 +140,21 @@ QueryRunStats Scheduler::FinishQuery(const SubmittedQuery& q,
 
 Result<ScheduleStats> Scheduler::Run(
     const std::vector<SubmittedQuery*>& queries) {
-  return policy_.scheduling == SchedulingPolicy::kFifo ? RunFifo(queries)
-                                                       : RunFairShare(queries);
+  Result<ScheduleStats> res = [&]() -> Result<ScheduleStats> {
+    switch (policy_.scheduling) {
+      case SchedulingPolicy::kFifo:
+        return RunFifo(queries);
+      case SchedulingPolicy::kFairShare:
+        return RunFairShare(queries);
+      case SchedulingPolicy::kSlaTiered:
+        return RunSlaTiered(queries);
+    }
+    return Status::Internal("unknown scheduling policy");
+  }();
+  if (!res.ok()) return res;
+  ScheduleStats out = res.MoveValue();
+  ComputeTierPercentiles(&out);
+  return out;
 }
 
 Result<ScheduleStats> Scheduler::RunFifo(
@@ -240,21 +305,38 @@ Result<ScheduleStats> Scheduler::RunFairShare(
     // while pipelines run, and each step's growth belongs to the stepped
     // query (its placement round broadcast the tables).
     std::vector<uint64_t> contrib(wave.size(), 0);
-    for (;;) {
-      int pick = -1;
-      bool pick_is_build = false;
-      for (size_t i = 0; i < wave.size(); ++i) {
-        if (exs[i].done()) continue;
-        const Engine::PlanExec& ex = exs[i];
-        const bool is_build =
-            ex.plan->node(ex.order[ex.pos]).is_build;
-        if (pick < 0 || (is_build && !pick_is_build) ||
-            (is_build == pick_is_build && vtime[i] < vtime[pick])) {
-          pick = static_cast<int>(i);
-          pick_is_build = is_build;
-        }
+    // The pick is the lexicographic argmin over (probe-class, vtime,
+    // index): builds beat probes, smaller virtual time wins within a
+    // class, submission order breaks exact ties. Only the stepped query's
+    // key changes per iteration, so a min-heap holding exactly the
+    // not-yet-done queries replaces the linear scan — O(log n) per step,
+    // which is what keeps thousand-query serving waves tractable.
+    const auto next_is_build = [&exs](size_t i) {
+      const Engine::PlanExec& ex = exs[i];
+      return ex.plan->node(ex.order[ex.pos]).is_build;
+    };
+    struct PickKey {
+      bool probe;
+      double vtime;
+      int index;
+    };
+    struct LaterPick {
+      bool operator()(const PickKey& a, const PickKey& b) const {
+        if (a.probe != b.probe) return a.probe;  // builds surface first
+        if (a.vtime != b.vtime) return a.vtime > b.vtime;
+        return a.index > b.index;
       }
-      if (pick < 0) break;
+    };
+    std::priority_queue<PickKey, std::vector<PickKey>, LaterPick> picks;
+    for (size_t i = 0; i < wave.size(); ++i) {
+      if (!exs[i].done()) {
+        picks.push(PickKey{!next_is_build(i), vtime[i],
+                           static_cast<int>(i)});
+      }
+    }
+    while (!picks.empty()) {
+      const int pick = picks.top().index;
+      picks.pop();
       const uint64_t resident_before = shared_resident;
       HAPE_RETURN_NOT_OK(engine_->StepPlan(&exs[pick]));
       HAPE_CHECK(shared_resident >= resident_before)
@@ -264,6 +346,9 @@ Result<ScheduleStats> Scheduler::RunFairShare(
           std::max(out.peak_resident_bytes, shared_resident);
       vtime[pick] += TotalBusy(exs[pick].out.pipelines.back().stats) /
                      wave[pick]->opts.weight;
+      if (!exs[pick].done()) {
+        picks.push(PickKey{!next_is_build(pick), vtime[pick], pick});
+      }
     }
 
     // Every placed byte of this wave is attributed to exactly one query —
@@ -318,6 +403,197 @@ Result<ScheduleStats> Scheduler::RunFairShare(
   }
 
   // Report queries in submission order regardless of wave composition.
+  std::sort(out.queries.begin(), out.queries.end(),
+            [](const QueryRunStats& a, const QueryRunStats& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Result<ScheduleStats> Scheduler::RunSlaTiered(
+    const std::vector<SubmittedQuery*>& queries) {
+  if (!policy_.async.enabled()) {
+    return Status::InvalidArgument(
+        "sla-tiered scheduling interleaves on the event-queue substrate: "
+        "the policy must enable the async executor (AsyncOptions depth "
+        ">= 1)");
+  }
+  sim::Topology* topo = engine_->topo_;
+  topo->Reset();
+
+  ScheduleStats out;
+  out.policy = SchedulingPolicy::kSlaTiered;
+  if (queries.empty()) return out;
+
+  const uint64_t budget = GpuBudget();
+  const bool contended = policy_.UsesGpu(*topo);
+  const int max_inflight = std::max(1, policy_.serve.max_inflight);
+  int channels = topo->copy_engine(0).channels();
+  for (int n = 1; n < topo->num_mem_nodes(); ++n) {
+    channels = std::min(channels, topo->copy_engine(n).channels());
+  }
+  // Channel quota sized for the in-flight cap, not the whole backlog: at
+  // most max_inflight streams ever burst DMA concurrently.
+  const int quota =
+      max_inflight > channels ? std::max(1, channels / 2) : 0;
+
+  const size_t n = queries.size();
+  std::vector<uint64_t> fp(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    fp[i] = contended
+                ? std::min(EstimatedResidentBytes(queries[i]->plan,
+                                                  policy_, budget),
+                           budget)
+                : 0;
+  }
+
+  // Replay the open-loop arrival trace through an event queue. Events are
+  // pushed in submission order, so simultaneous arrivals keep that order
+  // (the queue's FIFO tie-break).
+  EventQueue<int> arrivals;
+  for (size_t i = 0; i < n; ++i) {
+    arrivals.Push(queries[i]->opts.arrival, static_cast<int>(i));
+  }
+
+  WorkerClocks clocks;
+  std::vector<Engine::PlanExec> exs(n);
+  std::vector<double> vtime(n, 0.0);
+  // Per-query residency attribution (the bytes each query's placement
+  // rounds actually put on the GPUs).
+  std::vector<uint64_t> contrib(n, 0);
+  std::vector<sim::SimTime> admitted(n, 0);
+  std::vector<int> ready;    // arrived, waiting for admission
+  std::vector<int> running;  // admitted, not yet done
+  // (release time, bytes) of completed queries — see RunFairShare.
+  std::vector<std::pair<sim::SimTime, uint64_t>> residency;
+  uint64_t shared_resident = 0;
+
+  // GPU bytes spoken for at time t. A completed query holds its bytes
+  // until its finish; a running query other than `self` reserves the
+  // larger of what it has placed and its admission estimate (it may still
+  // place up to the estimate); the stepped query itself counts only what
+  // it has actually placed, so its own placement round is not charged for
+  // its own headroom.
+  const auto held_for = [&](sim::SimTime t, int self) {
+    uint64_t held = 0;
+    for (int i : running) {
+      held += i == self ? contrib[i] : std::max(contrib[i], fp[i]);
+    }
+    for (const auto& [release, bytes] : residency) {
+      if (release > t) held += bytes;
+    }
+    return held;
+  };
+
+  // A ready query past the aging window counts as tier 0 from then on —
+  // the anti-starvation promotion.
+  const auto eff_tier = [&](int i, sim::SimTime t) {
+    const SubmitOptions& o = queries[i]->opts;
+    if (policy_.serve.aging_boost_s > 0 &&
+        t - o.arrival >= policy_.serve.aging_boost_s) {
+      return 0;
+    }
+    return o.tier;
+  };
+
+  sim::SimTime clock = 0;
+  size_t done_count = 0;
+  while (done_count < n) {
+    // Nothing visible and nothing running: jump the clock to the next
+    // arrival (the open-loop idle gap).
+    if (ready.empty() && running.empty()) {
+      clock = std::max(clock, arrivals.next_time());
+    }
+    while (!arrivals.empty() && arrivals.next_time() <= clock) {
+      ready.push_back(arrivals.Pop().second);
+    }
+
+    // ---- admission: strict head-of-line in (effective tier, arrival,
+    // id) order. No skip-ahead — a query that does not fit blocks the
+    // queue until completions free memory or an in-flight slot, so a
+    // large low-tier query can be delayed but never overtaken forever
+    // (and aging caps even that delay). A query that does not fit an
+    // *idle* machine is admitted solo: the placement step co-partitions
+    // or rejects it, exactly as under fair-share.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      const int ta = eff_tier(a, clock);
+      const int tb = eff_tier(b, clock);
+      if (ta != tb) return ta < tb;
+      if (queries[a]->opts.arrival != queries[b]->opts.arrival) {
+        return queries[a]->opts.arrival < queries[b]->opts.arrival;
+      }
+      return queries[a]->id < queries[b]->id;
+    });
+    while (!ready.empty() &&
+           static_cast<int>(running.size()) < max_inflight) {
+      const int i = ready.front();
+      const bool fits =
+          policy_.build_staging_factor *
+              static_cast<double>(held_for(clock, -1) + fp[i]) <=
+          static_cast<double>(budget);
+      if (!fits && !running.empty()) break;
+      HAPE_RETURN_NOT_OK(
+          engine_->BeginPlan(&queries[i]->plan, policy_, &exs[i]));
+      exs[i].admit = clock;
+      exs[i].clocks = &clocks;
+      exs[i].shared_resident = &shared_resident;
+      exs[i].dma_stream = queries[i]->id;
+      exs[i].dma_lane_quota = quota;
+      admitted[i] = clock;
+      running.push_back(i);
+      ready.erase(ready.begin());
+    }
+    if (running.empty()) continue;  // clock jumps to the next arrival
+
+    // ---- pipeline pick: strictly by effective tier, then the fair-share
+    // refinement (builds before probes, weighted virtual time, id). Tier
+    // outranking vtime is the preemption: once a higher-tier query is
+    // admitted, every subsequent pick is its pipeline until it finishes,
+    // so lower-tier work yields at the next pipeline boundary. The scan
+    // is over at most max_inflight entries.
+    int pick = running.front();
+    auto key = [&](int i) {
+      const Engine::PlanExec& ex = exs[i];
+      const bool probe = !ex.plan->node(ex.order[ex.pos]).is_build;
+      return std::make_tuple(eff_tier(i, clock), probe, vtime[i],
+                             queries[i]->id);
+    };
+    for (int i : running) {
+      if (key(i) < key(pick)) pick = i;
+    }
+
+    const uint64_t seed = held_for(clock, pick);
+    shared_resident = seed;
+    HAPE_RETURN_NOT_OK(engine_->StepPlan(&exs[pick]));
+    HAPE_CHECK(shared_resident >= seed)
+        << "GPU residency accounting went backwards (double-free?)";
+    contrib[pick] += shared_resident - seed;
+    out.peak_resident_bytes =
+        std::max(out.peak_resident_bytes, shared_resident);
+    const ExecStats& last = exs[pick].out.pipelines.back().stats;
+    vtime[pick] += TotalBusy(last) / queries[pick]->opts.weight;
+    // The decision clock advances to the stepped pipeline's finish: the
+    // next admission/pick decision happens at a pipeline boundary, which
+    // is the preemption granularity.
+    clock = std::max(clock, last.finish);
+
+    if (exs[pick].done()) {
+      running.erase(std::find(running.begin(), running.end(), pick));
+      QueryRunStats qs =
+          FinishQuery(*queries[pick], admitted[pick],
+                      std::move(exs[pick].out), queries[pick]->id);
+      qs.arrival = queries[pick]->opts.arrival;
+      qs.finish = qs.run.finish;
+      if (contrib[pick] > 0) residency.emplace_back(qs.finish, contrib[pick]);
+      for (const auto& [dev, busy] : qs.run.device_busy_s) {
+        out.device_busy_s[dev] += busy;
+      }
+      out.makespan = std::max(out.makespan, qs.finish);
+      out.queries.push_back(std::move(qs));
+      ++done_count;
+    }
+  }
+
   std::sort(out.queries.begin(), out.queries.end(),
             [](const QueryRunStats& a, const QueryRunStats& b) {
               return a.id < b.id;

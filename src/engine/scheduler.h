@@ -19,6 +19,15 @@ struct SubmitOptions {
   double weight = 1.0;
   /// Display label in ScheduleStats / Explain; defaults to the plan name.
   std::string label;
+  /// SLA tier under SchedulingPolicy::kSlaTiered: 0 is the most urgent,
+  /// larger values are best-effort. Must be >= 0. The other policies
+  /// record it in the stats but do not act on it.
+  int tier = 0;
+  /// Open-loop arrival time (absolute schedule seconds) under
+  /// SchedulingPolicy::kSlaTiered: the query is invisible to admission
+  /// before this instant. Must be >= 0. The other policies treat every
+  /// query as arriving at 0.
+  sim::SimTime arrival = 0;
 };
 
 /// One entry of the Engine's submission queue.
@@ -33,11 +42,12 @@ struct SubmittedQuery {
   bool executed = false;
 };
 
-/// Execution record of one query of a schedule. `admitted` and `finish`
-/// are absolute schedule times; every query is submitted at time 0, so
-/// the queueing delay is the admission time itself. The nested `run`
-/// record is on the timeline the query actually executed on: under
-/// kFairShare that is the shared absolute timeline (run.finish ==
+/// Execution record of one query of a schedule. `arrival`, `admitted`,
+/// and `finish` are absolute schedule times; under kFifo/kFairShare every
+/// query arrives at 0, so the queueing delay reduces to the admission
+/// time itself (the historical semantic). The nested `run` record is on
+/// the timeline the query actually executed on: under kFairShare and
+/// kSlaTiered that is the shared absolute timeline (run.finish ==
 /// finish), while under kFifo each query runs on a private timeline
 /// starting at 0 — bit-exact standalone compat is the point — and its
 /// schedule window is [admitted, admitted + run.finish).
@@ -45,9 +55,12 @@ struct QueryRunStats {
   int id = -1;
   std::string label;
   double weight = 1.0;
+  int tier = 0;
+  sim::SimTime arrival = 0;
   /// When the scheduler admitted the query (FIFO: when its turn came;
   /// fair-share: its admission wave's start, delayed when GPU memory for
-  /// the wave's build tables was contended).
+  /// the wave's build tables was contended; sla-tiered: when the serving
+  /// loop let it onto the substrate).
   sim::SimTime admitted = 0;
   sim::SimTime finish = 0;
   /// Bytes this query's transfers moved through the copy engines (its DMA
@@ -55,8 +68,23 @@ struct QueryRunStats {
   uint64_t copy_engine_bytes = 0;
   RunStats run;
 
-  sim::SimTime queueing_delay_s() const { return admitted; }
-  sim::SimTime makespan_s() const { return finish; }
+  sim::SimTime queueing_delay_s() const { return admitted - arrival; }
+  sim::SimTime makespan_s() const { return finish - arrival; }
+};
+
+/// Nearest-rank latency percentiles of one SLA tier's queries. Computed
+/// for every scheduling policy (non-tiered schedules put every query in
+/// tier 0), so a tiered run is directly comparable to its untiered
+/// baseline on the same arrival trace.
+struct TierPercentiles {
+  int tier = 0;
+  uint64_t queries = 0;
+  double queue_p50 = 0;     ///< queueing delay (admitted - arrival)
+  double queue_p95 = 0;
+  double queue_p99 = 0;
+  double makespan_p50 = 0;  ///< end-to-end latency (finish - arrival)
+  double makespan_p95 = 0;
+  double makespan_p99 = 0;
 };
 
 /// Outcome of Engine::RunAll: the global makespan plus per-query makespan,
@@ -73,6 +101,8 @@ struct ScheduleStats {
   /// be admitted as soon as enough bytes have been freed.
   uint64_t peak_resident_bytes = 0;
   std::vector<QueryRunStats> queries;
+  /// Per-tier queueing/makespan percentiles, ascending by tier.
+  std::vector<TierPercentiles> tiers;
 };
 
 /// The multi-query scheduler behind Engine::RunAll. One Engine instance
@@ -102,6 +132,17 @@ struct ScheduleStats {
 ///     its admission pass routes packets on a relative timeline, which is
 ///     what makes per-query results byte-identical regardless of what else
 ///     shares the machine or in which order queries were submitted.
+///   - kSlaTiered: the serving policy. Queries carry an arrival time and
+///     an SLA tier; an open-loop admission clock replays the arrivals
+///     through an event queue, admits ready queries head-of-line in
+///     (tier, arrival, id) order — subject to the GPU-memory budget and
+///     ExecutionPolicy::serve.max_inflight — and picks the next pipeline
+///     strictly by tier before weighted virtual time, so a newly admitted
+///     high-tier query preempts lower tiers at pipeline granularity.
+///     Aging (serve.aging_boost_s) promotes long-waiting queries to tier
+///     0; together with head-of-line admission this makes the loop
+///     starvation-free. Per-query execution runs on the same substrate as
+///     kFairShare and stays byte-identical to a standalone run.
 class Scheduler {
  public:
   Scheduler(Engine* engine, const ExecutionPolicy& policy)
@@ -123,6 +164,8 @@ class Scheduler {
  private:
   Result<ScheduleStats> RunFifo(const std::vector<SubmittedQuery*>& queries);
   Result<ScheduleStats> RunFairShare(
+      const std::vector<SubmittedQuery*>& queries);
+  Result<ScheduleStats> RunSlaTiered(
       const std::vector<SubmittedQuery*>& queries);
 
   /// Smallest GPU memory budget under the policy (max uint64 when the

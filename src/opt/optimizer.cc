@@ -489,11 +489,10 @@ Result<OptimizeResult> Optimizer::OptimizePlan(
 
     if (node.is_build) {
       const bool declared =
-          node.declared_selectivity >= 0 && options_.respect_declared_overrides;
+          node.declared_build_rows > 0 && options_.respect_declared_overrides;
       if (options_.size_hash_tables && !declared) {
-        // Same sizing rule HashBuild applies to declared selectivities,
-        // fed by the estimate instead (the "one estimate source" the
-        // deprecated field is folded into).
+        // Same sizing rule HashBuild applies to declared cardinalities,
+        // fed by the estimate instead.
         node.built_state->ht.Rehash(
             static_cast<size_t>(est.nodes[idx].out_rows) + 16);
       }

@@ -81,9 +81,8 @@ struct OptimizeResult {
 /// The cost-based plan optimizer: statistics -> cardinality estimates ->
 /// join ordering / build sizing / heavy marks / device placement, applied
 /// in place to a QueryPlan before the Engine runs it. All decisions the
-/// deprecated BuildOptions annotations used to hand-declare are derived
-/// here (the paper's thesis: heterogeneity decisions belong to the engine,
-/// not the plans).
+/// BuildOptions annotations can hand-declare are derived here (the paper's
+/// thesis: heterogeneity decisions belong to the engine, not the plans).
 class Optimizer {
  public:
   /// `shared_stats` (optional) is a caller-owned catalog reused across

@@ -28,11 +28,11 @@ struct OptimizerOptions {
   /// graph up to `dp_max_joins` probes, greedy beyond).
   bool reorder_joins = true;
   /// Re-bucket build hash tables from the cardinality estimate (unless the
-  /// plan declared an explicit expected_selectivity override).
+  /// plan declared an explicit expected_rows override).
   bool size_hash_tables = true;
   /// Derive heavy-build marks from estimated nominal hash-table bytes.
   bool auto_heavy_marks = true;
-  /// Honor deprecated hand-declared BuildOptions overrides when present.
+  /// Honor hand-declared BuildOptions overrides when present.
   bool respect_declared_overrides = true;
   PlacementMode placement = PlacementMode::kPolicy;
   /// A build whose estimated nominal table exceeds this is "heavy": its GPU

@@ -1,0 +1,388 @@
+#include "queries/plan_fuzzer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "expr/expr.h"
+
+namespace hape::queries {
+
+using engine::AggDef;
+using engine::AggHandle;
+using engine::AggOp;
+using engine::PlanBuilder;
+using engine::QueryPlan;
+using expr::Expr;
+using expr::ExprPtr;
+
+const std::vector<TableInfo>& FuzzTables() {
+  static const std::vector<TableInfo> tables = {
+      {"region", {"r_regionkey", 0, 4}, {{"r_name", 0, 4}}, {}},
+      {"nation",
+       {"n_nationkey", 0, 24},
+       {{"n_regionkey", 0, 4}, {"n_name", 0, 24}},
+       {{"n_regionkey", "region", "r_regionkey"}}},
+      {"supplier",
+       {"s_suppkey", 1, 1 << 20},
+       {{"s_nationkey", 0, 24}},
+       {{"s_nationkey", "nation", "n_nationkey"}}},
+      {"customer",
+       {"c_custkey", 1, 1 << 24},
+       {{"c_nationkey", 0, 24}, {"c_mktsegment", 0, 4}},
+       {{"c_nationkey", "nation", "n_nationkey"}}},
+      {"orders",
+       {"o_orderkey", 1, 1 << 26},
+       {{"o_custkey", 1, 1 << 24}, {"o_orderdate", 19920101, 19981231}},
+       {{"o_custkey", "customer", "c_custkey"}}},
+  };
+  return tables;
+}
+
+const std::vector<RootInfo>& FuzzRoots() {
+  static const std::vector<RootInfo> roots = {
+      {"lineitem",
+       {{"l_orderkey", 1, 1 << 26},
+        {"l_suppkey", 1, 1 << 20},
+        {"l_shipdate", 19920101, 19981231},
+        {"l_returnflag", 0, 2},
+        {"l_linestatus", 0, 1}},
+       {{"l_orderkey", "orders", "o_orderkey"},
+        {"l_suppkey", "supplier", "s_suppkey"}}},
+      {"orders",
+       {{"o_orderkey", 1, 1 << 26},
+        {"o_custkey", 1, 1 << 24},
+        {"o_orderdate", 19920101, 19981231}},
+       {{"o_custkey", "customer", "c_custkey"}}},
+      {"partsupp",
+       {{"ps_partkey", 1, 1 << 22}, {"ps_suppkey", 1, 1 << 20}},
+       {{"ps_suppkey", "supplier", "s_suppkey"}}},
+  };
+  return roots;
+}
+
+namespace {
+
+const TableInfo& Lookup(const std::string& name) {
+  for (const TableInfo& t : FuzzTables()) {
+    if (t.name == name) return t;
+  }
+  HAPE_CHECK(false) << "unknown fuzz table " << name;
+  static TableInfo dummy{"?", {"?", 0, 0}, {}, {}};
+  return dummy;
+}
+
+int ColIndex(const std::vector<ColInfo>& cols, const char* name) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (std::strcmp(cols[i].name, name) == 0) return static_cast<int>(i);
+  }
+  HAPE_CHECK(false) << "unknown column " << name;
+  return 0;
+}
+
+int ColIndex2(const std::vector<std::string>& cols, const char* name) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == name) return static_cast<int>(i);
+  }
+  HAPE_CHECK(false) << "unknown column " << name;
+  return 0;
+}
+
+/// Final probe-pipeline layout width: scanned columns plus one appended
+/// payload column per probe.
+int LayoutWidth(const FuzzSpec& spec) {
+  int n = static_cast<int>(spec.probe_cols.size());
+  for (const FuzzOp& op : spec.chain) {
+    if (op.kind == FuzzOp::Kind::kProbe) ++n;
+  }
+  return n;
+}
+
+/// Integer view of a generated table column (i32 or i64).
+std::vector<int64_t> IntColumn(const storage::Table& t,
+                               const std::string& name) {
+  const storage::ColumnPtr& c = t.column(name);
+  std::vector<int64_t> out(t.num_rows());
+  if (c->type() == storage::DataType::kInt64) {
+    auto v = c->i64();
+    for (size_t i = 0; i < out.size(); ++i) out[i] = v[i];
+  } else {
+    auto v = c->i32();
+    for (size_t i = 0; i < out.size(); ++i) out[i] = v[i];
+  }
+  return out;
+}
+
+ExprPtr FilterExpr(const FuzzFilter& f) {
+  if (f.lo == f.hi) return Expr::Eq(Expr::Col(f.col), Expr::Int(f.lo));
+  return Expr::Between(Expr::Col(f.col), Expr::Int(f.lo), Expr::Int(f.hi));
+}
+
+}  // namespace
+
+FuzzSpec Fuzzer::Generate() {
+  FuzzSpec spec;
+  const RootInfo& root = FuzzRoots()[Pick(FuzzRoots().size())];
+  spec.probe_table = root.name;
+  for (const ColInfo& c : root.cols) spec.probe_cols.push_back(c.name);
+
+  // FK probes from the root (1..all of them, sampled without
+  // replacement), each into a freshly generated build.
+  std::vector<int> fk_order(root.fks.size());
+  for (size_t i = 0; i < fk_order.size(); ++i) fk_order[i] = i;
+  Shuffle(&fk_order);
+  const size_t n_probes = 1 + Pick(fk_order.size());
+  std::vector<FuzzOp> probes;
+  for (size_t i = 0; i < n_probes; ++i) {
+    const FkInfo& fk = root.fks[fk_order[i]];
+    FuzzOp op;
+    op.kind = FuzzOp::Kind::kProbe;
+    op.probe.build = MakeBuild(&spec, fk.target, /*depth=*/0);
+    op.probe.key_col = ColIndex(root.cols, fk.col);
+    probes.push_back(op);
+  }
+  // Root filters over the scanned columns.
+  std::vector<FuzzOp> filters;
+  const size_t n_filters = Pick(3);  // 0..2
+  for (size_t i = 0; i < n_filters; ++i) {
+    const size_t c = Pick(root.cols.size());
+    FuzzOp op;
+    op.kind = FuzzOp::Kind::kFilter;
+    op.filter = RandomFilter(static_cast<int>(c), root.cols[c]);
+    filters.push_back(op);
+  }
+  // Interleave: random merge of the probe and filter sequences. Filters
+  // only touch scanned columns, so any interleaving is valid.
+  spec.chain = Merge(probes, filters);
+
+  // Aggregation over the final layout (scanned + appended columns).
+  const int n_layout = LayoutWidth(spec);
+  spec.group_col = Chance(0.7) ? static_cast<int>(Pick(n_layout)) : -1;
+  const size_t n_aggs = 1 + Pick(3);  // 1..3
+  for (size_t i = 0; i < n_aggs; ++i) {
+    FuzzAgg a;
+    switch (Pick(4)) {
+      case 0:
+        a.op = AggOp::kCount;
+        a.col = 0;
+        break;
+      case 1:
+        a.op = AggOp::kSum;
+        a.col = static_cast<int>(Pick(n_layout));
+        break;
+      case 2:
+        a.op = AggOp::kMin;
+        a.col = static_cast<int>(Pick(n_layout));
+        break;
+      default:
+        a.op = AggOp::kMax;
+        a.col = static_cast<int>(Pick(n_layout));
+        break;
+    }
+    spec.aggs.push_back(a);
+  }
+  return spec;
+}
+
+void Fuzzer::Shuffle(std::vector<int>* v) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[Pick(i)]);
+  }
+}
+
+FuzzFilter Fuzzer::RandomFilter(int col, const ColInfo& info) {
+  // A random inclusive [lo, hi] window, occasionally a point lookup.
+  std::uniform_int_distribution<int64_t> d(info.lo, info.hi);
+  int64_t a = d(rng_);
+  int64_t b = Chance(0.2) ? a : d(rng_);
+  if (a > b) std::swap(a, b);
+  return FuzzFilter{col, a, b};
+}
+
+int Fuzzer::MakeBuild(FuzzSpec* spec, const std::string& table, int depth) {
+  const TableInfo& info = Lookup(table);
+  FuzzBuild b;
+  b.table = table;
+  b.cols.push_back(info.key.name);
+  for (const ColInfo& c : info.extra) b.cols.push_back(c.name);
+
+  const size_t n_filters = Pick(3);  // 0..2
+  for (size_t i = 0; i < n_filters; ++i) {
+    const size_t c = Pick(b.cols.size());
+    const ColInfo& ci = c == 0 ? info.key : info.extra[c - 1];
+    FuzzOp op;
+    op.kind = FuzzOp::Kind::kFilter;
+    op.filter = RandomFilter(static_cast<int>(c), ci);
+    b.chain.push_back(op);
+  }
+  if (depth < 2 && !info.fks.empty() && Chance(0.4)) {
+    const FkInfo& fk = info.fks[Pick(info.fks.size())];
+    FuzzOp op;
+    op.kind = FuzzOp::Kind::kProbe;
+    op.probe.build = MakeBuild(spec, fk.target, depth + 1);
+    op.probe.key_col = ColIndex2(b.cols, fk.col);
+    b.chain.push_back(op);
+  }
+  b.payload_col = static_cast<int>(Pick(b.cols.size()));
+  spec->builds.push_back(std::move(b));
+  return static_cast<int>(spec->builds.size() - 1);
+}
+
+std::vector<FuzzOp> Fuzzer::Merge(const std::vector<FuzzOp>& a,
+                                  const std::vector<FuzzOp>& b) {
+  std::vector<FuzzOp> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && Chance(0.5))) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  return out;
+}
+
+Groups Reference(const FuzzSpec& spec, const storage::Catalog& catalog) {
+  // Build maps in declaration order (nested builds were declared before
+  // the build probing them, so lookups always hit a finished map). Keys
+  // are PKs, so one payload value per key.
+  std::vector<std::unordered_map<int64_t, int64_t>> maps(spec.builds.size());
+  for (size_t bi = 0; bi < spec.builds.size(); ++bi) {
+    const FuzzBuild& b = spec.builds[bi];
+    const storage::Table& t = *catalog.Get(b.table).value();
+    std::vector<std::vector<int64_t>> cols;
+    for (const std::string& c : b.cols) cols.push_back(IntColumn(t, c));
+    for (size_t row = 0; row < t.num_rows(); ++row) {
+      bool alive = true;
+      for (const FuzzOp& op : b.chain) {
+        if (op.kind == FuzzOp::Kind::kFilter) {
+          const int64_t v = cols[op.filter.col][row];
+          if (v < op.filter.lo || v > op.filter.hi) {
+            alive = false;
+            break;
+          }
+        } else {
+          // Build-side probes are semi-join lookups here: their appended
+          // payload is never referenced by key/payload columns (both are
+          // scanned columns), so only the match test matters.
+          const auto& m = maps[op.probe.build];
+          if (m.find(cols[op.probe.key_col][row]) == m.end()) {
+            alive = false;
+            break;
+          }
+        }
+      }
+      if (alive) maps[bi][cols[0][row]] = cols[b.payload_col][row];
+    }
+  }
+
+  const storage::Table& root = *catalog.Get(spec.probe_table).value();
+  std::vector<std::vector<int64_t>> cols;
+  for (const std::string& c : spec.probe_cols) {
+    cols.push_back(IntColumn(root, c));
+  }
+  Groups groups;
+  std::vector<int64_t> layout;
+  for (size_t row = 0; row < root.num_rows(); ++row) {
+    layout.clear();
+    for (const auto& c : cols) layout.push_back(c[row]);
+    bool alive = true;
+    for (const FuzzOp& op : spec.chain) {
+      if (op.kind == FuzzOp::Kind::kFilter) {
+        const int64_t v = layout[op.filter.col];
+        if (v < op.filter.lo || v > op.filter.hi) {
+          alive = false;
+          break;
+        }
+      } else {
+        const auto& m = maps[op.probe.build];
+        auto it = m.find(layout[op.probe.key_col]);
+        if (it == m.end()) {
+          alive = false;
+          break;
+        }
+        layout.push_back(it->second);  // appended payload column
+      }
+    }
+    if (!alive) continue;
+    const int64_t key = spec.group_col < 0 ? 0 : layout[spec.group_col];
+    auto& g = groups[key];
+    if (g.empty()) {
+      // Match HashAggSink's accumulator identities exactly.
+      g.assign(spec.aggs.size(), 0.0);
+      for (size_t a = 0; a < spec.aggs.size(); ++a) {
+        if (spec.aggs[a].op == AggOp::kMin) {
+          g[a] = std::numeric_limits<double>::infinity();
+        } else if (spec.aggs[a].op == AggOp::kMax) {
+          g[a] = -std::numeric_limits<double>::infinity();
+        }
+      }
+    }
+    for (size_t a = 0; a < spec.aggs.size(); ++a) {
+      const FuzzAgg& agg = spec.aggs[a];
+      const double v = agg.op == AggOp::kCount
+                           ? 0.0
+                           : static_cast<double>(layout[agg.col]);
+      switch (agg.op) {
+        case AggOp::kCount:
+          g[a] += 1;
+          break;
+        case AggOp::kSum:
+          g[a] += v;
+          break;
+        case AggOp::kMin:
+          g[a] = std::min(g[a], v);
+          break;
+        case AggOp::kMax:
+          g[a] = std::max(g[a], v);
+          break;
+      }
+    }
+  }
+  return groups;
+}
+
+FuzzPlan BuildFuzzPlan(const FuzzSpec& spec, const storage::Catalog& catalog,
+                       size_t chunk_rows) {
+  PlanBuilder b("fuzz");
+  std::vector<engine::BuildHandle> handles(spec.builds.size());
+  for (size_t bi = 0; bi < spec.builds.size(); ++bi) {
+    const FuzzBuild& fb = spec.builds[bi];
+    auto pipe = b.Scan(catalog.Get(fb.table).value(), fb.cols, chunk_rows);
+    pipe.Named("build-" + fb.table + "-" + std::to_string(bi));
+    for (const FuzzOp& op : fb.chain) {
+      if (op.kind == FuzzOp::Kind::kFilter) {
+        pipe.Filter(FilterExpr(op.filter));
+      } else {
+        pipe.Probe(handles[op.probe.build], Expr::Col(op.probe.key_col));
+      }
+    }
+    handles[bi] = pipe.HashBuild(Expr::Col(0), {fb.payload_col});
+  }
+
+  auto probe =
+      b.Scan(catalog.Get(spec.probe_table).value(), spec.probe_cols,
+             chunk_rows);
+  probe.Named("fuzz-probe");
+  for (const FuzzOp& op : spec.chain) {
+    if (op.kind == FuzzOp::Kind::kFilter) {
+      probe.Filter(FilterExpr(op.filter));
+    } else {
+      probe.Probe(handles[op.probe.build], Expr::Col(op.probe.key_col));
+    }
+  }
+  std::vector<AggDef> aggs;
+  for (const FuzzAgg& a : spec.aggs) {
+    aggs.push_back(AggDef{
+        a.op, a.op == AggOp::kCount ? nullptr : Expr::Col(a.col)});
+  }
+  AggHandle agg = probe.Aggregate(
+      spec.group_col < 0 ? nullptr : Expr::Col(spec.group_col),
+      std::move(aggs));
+  return FuzzPlan(std::move(b).Build(), agg);
+}
+
+}  // namespace hape::queries

@@ -1,0 +1,162 @@
+#ifndef HAPE_QUERIES_PLAN_FUZZER_H_
+#define HAPE_QUERIES_PLAN_FUZZER_H_
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "engine/sinks.h"
+#include "storage/table.h"
+
+namespace hape::queries {
+
+/// Seeded random generation of valid PlanBuilder DAGs (fused filters, FK
+/// hash-join probes, build-probes-build chains) over the TPC-H generator
+/// tables, plus a trusted scalar reference evaluator. Grown out of the
+/// plan fuzz test so the serving-layer workload generator can draw from
+/// the same plan space: a pool of fuzzed plans with repeats is exactly
+/// the mix of novel and cached-plan traffic a query service sees.
+///
+/// Every generated aggregate is integer-valued (keys, dates, dictionary
+/// codes, counts), so IEEE double accumulation is exact below 2^53 and
+/// engine results can be required *byte-identical* to the reference.
+
+// ---- the fuzzed plan IR ----------------------------------------------------
+
+/// A range predicate on one column of the current packet layout
+/// (lo <= col <= hi, inclusive).
+struct FuzzFilter {
+  int col;
+  int64_t lo;
+  int64_t hi;
+};
+
+/// One probe into a previously declared build.
+struct FuzzProbe {
+  int build;    // index into FuzzSpec::builds
+  int key_col;  // column of the current layout carrying the FK
+};
+
+/// One step of a pipeline's fused chain.
+struct FuzzOp {
+  enum class Kind { kFilter, kProbe };
+  Kind kind;
+  FuzzFilter filter;  // kFilter
+  FuzzProbe probe;    // kProbe
+};
+
+/// A hash-build pipeline over one table: optional filters, optional probes
+/// into earlier builds (build-probes-build), then HashBuild on a unique
+/// (PK) key column carrying a payload column.
+struct FuzzBuild {
+  std::string table;
+  std::vector<std::string> cols;  // scanned columns; col 0 is the PK key
+  std::vector<FuzzOp> chain;      // filters/probes over the scanned layout
+  int payload_col;                // scanned column carried as payload
+};
+
+struct FuzzAgg {
+  engine::AggOp op;
+  int col;  // ignored for kCount
+};
+
+/// A full query: builds + one probe pipeline + aggregation.
+struct FuzzSpec {
+  std::vector<FuzzBuild> builds;
+  std::string probe_table;
+  std::vector<std::string> probe_cols;
+  std::vector<FuzzOp> chain;
+  int group_col;  // -1 = single global group
+  std::vector<FuzzAgg> aggs;
+};
+
+// ---- table metadata the generator draws from -------------------------------
+
+struct ColInfo {
+  const char* name;
+  int64_t lo, hi;  // value domain for random range predicates
+};
+
+struct FkInfo {
+  const char* col;         // FK column on this table
+  const char* target;      // referenced table
+  const char* target_key;  // its PK column
+};
+
+struct TableInfo {
+  const char* name;
+  ColInfo key;                 // PK column (build key)
+  std::vector<ColInfo> extra;  // additional int columns
+  std::vector<FkInfo> fks;
+};
+
+/// Build-side tables (integer columns only: exact aggregates regardless of
+/// merge order).
+const std::vector<TableInfo>& FuzzTables();
+
+/// Probe roots: fact-ish tables and their FK edges. lineitem has no PK
+/// build use, so it appears only here.
+struct RootInfo {
+  const char* name;
+  std::vector<ColInfo> cols;
+  std::vector<FkInfo> fks;
+};
+
+const std::vector<RootInfo>& FuzzRoots();
+
+// ---- spec generation -------------------------------------------------------
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(uint64_t seed) : rng_(seed) {}
+
+  FuzzSpec Generate();
+
+ private:
+  size_t Pick(size_t n) { return n == 0 ? 0 : rng_() % n; }
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+  }
+  void Shuffle(std::vector<int>* v);
+
+  FuzzFilter RandomFilter(int col, const ColInfo& info);
+
+  /// Declare a build over `table` and return its index. With some
+  /// probability the build side itself probes a build over its FK target —
+  /// the Q3-style build-probes-build multi-level DAG (bounded depth).
+  int MakeBuild(FuzzSpec* spec, const std::string& table, int depth);
+
+  std::vector<FuzzOp> Merge(const std::vector<FuzzOp>& a,
+                            const std::vector<FuzzOp>& b);
+
+  std::mt19937_64 rng_;
+};
+
+// ---- trusted scalar reference ----------------------------------------------
+
+/// Group key -> accumulator values, in HashAggSink's result shape.
+using Groups = std::map<int64_t, std::vector<double>>;
+
+/// Scalar evaluation of `spec` against the generated tables — the oracle
+/// engine runs must match byte for byte.
+Groups Reference(const FuzzSpec& spec, const storage::Catalog& catalog);
+
+// ---- engine plan construction ----------------------------------------------
+
+struct FuzzPlan {
+  FuzzPlan(engine::QueryPlan p, engine::AggHandle a)
+      : plan(std::move(p)), agg(a) {}
+  engine::QueryPlan plan;
+  engine::AggHandle agg;
+};
+
+/// Lower `spec` to a runnable QueryPlan (scans chunked at `chunk_rows`).
+FuzzPlan BuildFuzzPlan(const FuzzSpec& spec, const storage::Catalog& catalog,
+                       size_t chunk_rows);
+
+}  // namespace hape::queries
+
+#endif  // HAPE_QUERIES_PLAN_FUZZER_H_

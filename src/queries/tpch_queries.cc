@@ -261,7 +261,9 @@ Result<BuiltQuery> BuildQ5Plan(TpchContext* ctx) {
           .Filter(Expr::Eq(Expr::Col(1),
                            Expr::Int(storage::tpch::kRegionAsia)))
           .HashBuild(Expr::Col(0), {2},
-                     hand ? BuildOptions{/*expected_selectivity=*/0.3,
+                     hand ? BuildOptions{/*expected_rows=*/static_cast<
+                                             uint64_t>(
+                                             nation.value()->num_rows() * 0.3),
                                          /*heavy=*/false}
                           : BuildOptions{});
   // Build side 2: customer (custkey -> nationkey). ~15M build tuples at
@@ -269,7 +271,8 @@ Result<BuiltQuery> BuildQ5Plan(TpchContext* ctx) {
   auto cust = TpchScan(&b, *ctx, customer.value(),
                        {"c_custkey", "c_nationkey"})
                   .HashBuild(Expr::Col(0), {1},
-                             hand ? BuildOptions{/*expected_selectivity=*/1.0,
+                             hand ? BuildOptions{/*expected_rows=*/
+                                                 customer.value()->num_rows(),
                                                  /*heavy=*/true}
                                   : BuildOptions{});
   // Build side 3: orders restricted to 1994 (orderkey -> custkey).
@@ -279,7 +282,9 @@ Result<BuiltQuery> BuildQ5Plan(TpchContext* ctx) {
           .Filter(Expr::And(Expr::Ge(Expr::Col(2), Expr::Int(kY1994Lo)),
                             Expr::Lt(Expr::Col(2), Expr::Int(kY1995Lo))))
           .HashBuild(Expr::Col(0), {1},
-                     hand ? BuildOptions{/*expected_selectivity=*/0.2,
+                     hand ? BuildOptions{/*expected_rows=*/static_cast<
+                                             uint64_t>(
+                                             orders.value()->num_rows() * 0.2),
                                          /*heavy=*/true}
                           : BuildOptions{});
   // Build side 4: supplier (suppkey -> nationkey).
@@ -353,7 +358,8 @@ Result<BuiltQuery> BuildQ9Plan(TpchContext* ctx) {
   auto ords = TpchScan(&b, *ctx, orders.value(),
                        {"o_orderkey", "o_orderdate"})
                   .HashBuild(Expr::Col(0), {1},
-                             hand ? BuildOptions{/*expected_selectivity=*/1.0,
+                             hand ? BuildOptions{/*expected_rows=*/
+                                                 orders.value()->num_rows(),
                                                  /*heavy=*/true}
                                   : BuildOptions{});
   auto supp = TpchScan(&b, *ctx, supplier.value(),
@@ -365,7 +371,8 @@ Result<BuiltQuery> BuildQ9Plan(TpchContext* ctx) {
                                                Expr::Int(kPsKeyMul)),
                                      Expr::Col(1)),
                            {2},
-                           hand ? BuildOptions{/*expected_selectivity=*/1.0,
+                           hand ? BuildOptions{/*expected_rows=*/
+                                               partsupp.value()->num_rows(),
                                                /*heavy=*/true}
                                 : BuildOptions{});
 

@@ -1,0 +1,60 @@
+#ifndef HAPE_SERVE_PLAN_CACHE_H_
+#define HAPE_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace hape::serve {
+
+/// Optimized-plan cache of the serving layer. Keys are the byte-exact
+/// PlanJson dump of the *unoptimized* plan — PlanJson::Dump is canonical
+/// (declaration-ordered pipelines, fixed key order), so two submissions of
+/// the same declarative statement fingerprint identically and nothing
+/// weaker than byte equality is ever trusted. Values are the dump of the
+/// plan after Engine::Optimize under the owning service's policy; a cache
+/// belongs to exactly one QueryService (one policy), so placement-dependent
+/// optimizer decisions can never leak across policies.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  /// The optimized-plan dump cached under `fingerprint`, or nullptr.
+  /// Counts a hit or a miss; the pointer stays valid until Insert.
+  const std::string* Find(const std::string& fingerprint) {
+    auto it = cache_.find(fingerprint);
+    if (it == cache_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &it->second;
+  }
+
+  void Insert(std::string fingerprint, std::string optimized) {
+    cache_.emplace(std::move(fingerprint), std::move(optimized));
+    stats_.entries = cache_.size();
+  }
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::map<std::string, std::string> cache_;
+  Stats stats_;
+};
+
+}  // namespace hape::serve
+
+#endif  // HAPE_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,35 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+namespace hape::serve {
+
+Result<QueryService::Ticket> QueryService::Submit(
+    const engine::QueryPlan& plan, const engine::SubmitOptions& opts) {
+  HAPE_ASSIGN_OR_RETURN(std::string fingerprint, engine_->DumpPlan(plan));
+
+  Ticket t;
+  if (const std::string* cached = cache_.Find(fingerprint)) {
+    HAPE_ASSIGN_OR_RETURN(engine::LoadedPlan loaded,
+                          engine_->LoadPlan(*cached, *catalog_));
+    t.cache_hit = true;
+    if (!loaded.aggs.empty()) t.agg = loaded.agg();
+    t.id = engine_->Submit(std::move(loaded.plan), opts);
+    return t;
+  }
+
+  // Miss: load the fingerprint itself (so the cold path submits the same
+  // round-tripped plan shape the hit path will), optimize under the
+  // service policy, and cache the optimized dump.
+  HAPE_ASSIGN_OR_RETURN(engine::LoadedPlan loaded,
+                        engine_->LoadPlan(fingerprint, *catalog_));
+  HAPE_RETURN_NOT_OK(engine_->Optimize(&loaded.plan, policy_).status());
+  HAPE_ASSIGN_OR_RETURN(std::string optimized,
+                        engine_->DumpPlan(loaded.plan));
+  cache_.Insert(std::move(fingerprint), std::move(optimized));
+  if (!loaded.aggs.empty()) t.agg = loaded.agg();
+  t.id = engine_->Submit(std::move(loaded.plan), opts);
+  return t;
+}
+
+}  // namespace hape::serve

@@ -1,0 +1,74 @@
+#ifndef HAPE_SERVE_QUERY_SERVICE_H_
+#define HAPE_SERVE_QUERY_SERVICE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/plan_json.h"
+#include "engine/policy.h"
+#include "engine/scheduler.h"
+#include "serve/plan_cache.h"
+#include "storage/table.h"
+
+namespace hape::serve {
+
+/// The serving front end over one Engine: callers hand it declarative
+/// (unoptimized) QueryPlans with per-request SubmitOptions (SLA tier,
+/// arrival time, weight); the service fingerprints each plan by its
+/// canonical PlanJson bytes, serves the optimized plan from its cache when
+/// the same statement was optimized before (skipping the optimizer pass
+/// entirely), and admits the result into the engine's submission queue.
+/// Run() drains the queue under the service's policy — kSlaTiered for a
+/// real serving loop, but any scheduling policy works, which is how the
+/// untiered baseline of a tiered experiment is produced.
+///
+/// Both the hit and the miss path submit a plan that went through
+/// PlanJson::Load: the miss path loads the fingerprint itself before
+/// optimizing. Dump -> Load is a byte-exact fixed point (enforced by the
+/// plan fuzz suite), so a cache-hit run is byte-identical to the cold run
+/// of the same statement — the cache can change latency only, never a
+/// result bit.
+class QueryService {
+ public:
+  /// One admitted request: the engine query id plus the aggregate handle
+  /// its result is read through after Run() (valid for the engine's
+  /// lifetime), and whether the optimized plan came from the cache.
+  struct Ticket {
+    int id = -1;
+    engine::AggHandle agg;
+    bool cache_hit = false;
+  };
+
+  /// The service optimizes and runs everything under one fixed `policy`
+  /// (cache entries depend on it). `engine` and `catalog` must outlive
+  /// the service.
+  QueryService(engine::Engine* engine, const storage::Catalog* catalog,
+               engine::ExecutionPolicy policy)
+      : engine_(engine), catalog_(catalog), policy_(std::move(policy)) {}
+
+  /// Fingerprint, optimize (or fetch the cached optimization), and admit
+  /// `plan`. The plan itself is not consumed — the submitted plan is the
+  /// round-tripped copy.
+  Result<Ticket> Submit(const engine::QueryPlan& plan,
+                        const engine::SubmitOptions& opts);
+
+  /// Execute every admitted-but-not-yet-run request under the service
+  /// policy and report the schedule (per-tier percentiles included).
+  Result<engine::ScheduleStats> Run() { return engine_->RunAll(policy_); }
+
+  const PlanCache::Stats& cache_stats() const { return cache_.stats(); }
+  const engine::ExecutionPolicy& policy() const { return policy_; }
+  engine::Engine* engine() { return engine_; }
+
+ private:
+  engine::Engine* engine_;
+  const storage::Catalog* catalog_;
+  engine::ExecutionPolicy policy_;
+  PlanCache cache_;
+};
+
+}  // namespace hape::serve
+
+#endif  // HAPE_SERVE_QUERY_SERVICE_H_

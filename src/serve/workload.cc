@@ -1,0 +1,111 @@
+#include "serve/workload.h"
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <utility>
+
+#include "queries/plan_fuzzer.h"
+
+namespace hape::serve {
+
+namespace {
+
+/// Uniform double in [0, 1) from the top 53 bits of one rng draw — the
+/// exact construction, stable across standard libraries (the
+/// std::uniform_real_distribution wording leaves implementations room).
+double Uniform01(std::mt19937_64* rng) {
+  return static_cast<double>((*rng)() >> 11) * 0x1.0p-53;
+}
+
+/// Exponential inter-arrival gap with mean 1/rate. 1 - u is in (0, 1], so
+/// the log never sees zero.
+double ExpGap(std::mt19937_64* rng, double rate) {
+  return -std::log(1.0 - Uniform01(rng)) / rate;
+}
+
+int SampleTier(std::mt19937_64* rng, const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return 0;
+  double r = Uniform01(rng) * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace
+
+Result<std::vector<WorkloadQuery>> GenerateWorkload(
+    queries::TpchContext* ctx, const WorkloadOptions& opts) {
+  if (opts.num_queries < 0) {
+    return Status::InvalidArgument("num_queries must be >= 0");
+  }
+  if (opts.arrival_rate_qps <= 0) {
+    return Status::InvalidArgument("arrival_rate_qps must be > 0");
+  }
+  if (opts.burst && opts.burst_size < 1) {
+    return Status::InvalidArgument("burst_size must be >= 1");
+  }
+
+  // Fuzz pool: spec i is fully determined by (seed, i), independent of
+  // the draw order below, so traces with different lengths share pools.
+  std::vector<queries::FuzzSpec> pool;
+  pool.reserve(opts.fuzz_pool);
+  for (int i = 0; i < opts.fuzz_pool; ++i) {
+    queries::Fuzzer fuzzer(opts.seed ^
+                           (0x9e3779b97f4a7c15ULL * (i + 1)));
+    pool.push_back(fuzzer.Generate());
+  }
+
+  static constexpr queries::BuildFn kTpchSuite[] = {
+      queries::BuildQ1Plan, queries::BuildQ3Plan, queries::BuildQ5Plan,
+      queries::BuildQ6Plan, queries::BuildQ9Plan};
+  static constexpr const char* kTpchNames[] = {"q1", "q3", "q5", "q6",
+                                               "q9"};
+  constexpr size_t kTpchCount = 5;
+
+  std::mt19937_64 rng(opts.seed);
+  std::vector<WorkloadQuery> out;
+  out.reserve(opts.num_queries);
+  double clock = 0;
+  size_t tpch_next = 0;
+  for (int q = 0; q < opts.num_queries; ++q) {
+    // Arrival process first, so the trace timing is independent of the
+    // plan mix knobs.
+    if (opts.burst) {
+      // A group boundary every burst_size queries; the gap is scaled by
+      // the group size so the mean rate matches the Poisson trace.
+      if (q % opts.burst_size == 0 && q > 0) {
+        clock += ExpGap(&rng, opts.arrival_rate_qps /
+                                  static_cast<double>(opts.burst_size));
+      }
+    } else if (q > 0) {
+      clock += ExpGap(&rng, opts.arrival_rate_qps);
+    }
+
+    engine::SubmitOptions so;
+    so.arrival = clock;
+    so.tier = SampleTier(&rng, opts.tier_weights);
+
+    const bool fuzzed =
+        opts.fuzz_pool > 0 && Uniform01(&rng) < opts.fuzz_fraction;
+    if (fuzzed) {
+      const size_t pick = rng() % pool.size();
+      queries::FuzzPlan fp = queries::BuildFuzzPlan(
+          pool[pick], ctx->catalog, opts.fuzz_chunk_rows);
+      so.label = "fuzz" + std::to_string(pick) + "#" + std::to_string(q);
+      out.emplace_back(std::move(fp.plan), std::move(so));
+    } else {
+      const size_t pick = tpch_next++ % kTpchCount;
+      HAPE_ASSIGN_OR_RETURN(queries::BuiltQuery bq, kTpchSuite[pick](ctx));
+      so.label = std::string(kTpchNames[pick]) + "#" + std::to_string(q);
+      out.emplace_back(std::move(bq.plan), std::move(so));
+    }
+  }
+  return out;
+}
+
+}  // namespace hape::serve

@@ -1,0 +1,62 @@
+#ifndef HAPE_SERVE_WORKLOAD_H_
+#define HAPE_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "engine/scheduler.h"
+#include "queries/tpch_queries.h"
+
+namespace hape::serve {
+
+/// Knobs of the open-loop workload generator. Everything is derived from
+/// `seed` with an explicit generator, so the same options reproduce the
+/// same request trace byte for byte on any platform.
+struct WorkloadOptions {
+  int num_queries = 1000;
+  uint64_t seed = 1;
+  /// Mean arrival rate of the open-loop arrival process (simulated
+  /// queries per second). Inter-arrival gaps are exponential (Poisson
+  /// arrivals) unless `burst` is set.
+  double arrival_rate_qps = 4.0;
+  /// Bursty arrivals: queries arrive in back-to-back groups of
+  /// `burst_size` sharing one instant, groups spaced so the *mean* rate
+  /// stays arrival_rate_qps — the adversarial case for admission control.
+  bool burst = false;
+  int burst_size = 16;
+  /// P(tier = i) proportional to tier_weights[i]. The default makes high
+  /// tiers rare and best-effort traffic the bulk, the shape SLA tiering
+  /// is for.
+  std::vector<double> tier_weights{1.0, 2.0, 5.0};
+  /// Distinct fuzzed plan specs in the pool. Pool entries are drawn with
+  /// repetition, and repeated statements are what drive plan-cache hits.
+  int fuzz_pool = 16;
+  /// Fraction of requests drawn from the fuzz pool; the rest cycle the
+  /// TPC-H plan suite (Q1/Q3/Q5/Q6/Q9).
+  double fuzz_fraction = 0.5;
+  /// Scan chunk rows of the fuzzed plans.
+  size_t fuzz_chunk_rows = 2048;
+};
+
+/// One generated request: a declarative (unoptimized) plan plus the
+/// submit options (tier, arrival, label) the serving loop honors.
+struct WorkloadQuery {
+  WorkloadQuery(engine::QueryPlan plan, engine::SubmitOptions opts)
+      : plan(std::move(plan)), opts(std::move(opts)) {}
+  engine::QueryPlan plan;
+  engine::SubmitOptions opts;
+};
+
+/// Expand `opts` into a replayable request trace against `ctx`'s catalog:
+/// arrival times from the seeded arrival process (nondecreasing), tiers
+/// from the seeded tier distribution, plans alternating between the
+/// fuzzer pool and the TPC-H suite. Deterministic: same options, same
+/// trace.
+Result<std::vector<WorkloadQuery>> GenerateWorkload(
+    queries::TpchContext* ctx, const WorkloadOptions& opts);
+
+}  // namespace hape::serve
+
+#endif  // HAPE_SERVE_WORKLOAD_H_

@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <random>
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/executor.h"
 #include "engine/stages.h"
 #include "queries/tpch_queries.h"
 #include "sim/copy_engine.h"
@@ -131,6 +135,107 @@ TEST(DmaTransfer, UsesLinkIdleTimeBeforeTailReservations) {
   EXPECT_GT(sync_done, 1.0);
 }
 
+// ---- the O(log n) event-queue / O(1) clock primitives -----------------------
+
+// EventQueue must pop in (time, push-order) order — the exact semantics of
+// a linear next-event scan that breaks time ties by arrival, pinned here
+// against a stable-sort reference over random event sets with many ties.
+TEST(EventQueueTest, PopsInTimeThenFifoOrder) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    engine::EventQueue<int> q;
+    struct Ref {
+      sim::SimTime t;
+      int payload;
+    };
+    std::vector<Ref> ref;
+    const int n = 1 + static_cast<int>(rng() % 200);
+    for (int i = 0; i < n; ++i) {
+      // Draw from a small set of distinct times so ties are common.
+      const sim::SimTime t = static_cast<double>(rng() % 8) * 0.25;
+      q.Push(t, i);
+      ref.push_back(Ref{t, i});
+    }
+    // Stable sort keeps push order among equal times — the FIFO tie-break.
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const Ref& a, const Ref& b) { return a.t < b.t; });
+    ASSERT_EQ(q.size(), ref.size());
+    for (const Ref& r : ref) {
+      ASSERT_FALSE(q.empty());
+      EXPECT_DOUBLE_EQ(q.next_time(), r.t);
+      const auto [t, payload] = q.Pop();
+      EXPECT_DOUBLE_EQ(t, r.t);
+      EXPECT_EQ(payload, r.payload);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// Interleaved pushes and pops (the staging loop's actual access pattern):
+// a popped event may enqueue a later one; ordering must still hold.
+TEST(EventQueueTest, InterleavedPushPopStaysOrdered) {
+  engine::EventQueue<int> q;
+  q.Push(1.0, 0);
+  q.Push(1.0, 1);
+  q.Push(0.5, 2);
+  EXPECT_EQ(q.Pop().second, 2);
+  q.Push(0.75, 3);  // earlier than the remaining t=1.0 pair
+  EXPECT_EQ(q.Pop().second, 3);
+  EXPECT_EQ(q.Pop().second, 0);  // FIFO among the t=1.0 tie
+  q.Push(1.0, 4);                // same time, pushed later: after payload 1
+  EXPECT_EQ(q.Pop().second, 1);
+  EXPECT_EQ(q.Pop().second, 4);
+  EXPECT_TRUE(q.empty());
+}
+
+// The top-2 summary behind WorkerClocks::OthersGate must agree with the
+// per-stream-map linear scan it replaced, on every (stream, dev, inst)
+// probe after every update — including streams that never updated and
+// slots that do not exist. Updates are monotone per stream (Update takes
+// the max), which is the property the summary's exactness rests on.
+TEST(WorkerClocksTest, TopTwoGateMatchesLinearScanReference) {
+  std::mt19937_64 rng(13);
+  for (int round = 0; round < 10; ++round) {
+    engine::WorkerClocks clocks;
+    // The replaced representation: stream -> dev -> per-instance clocks.
+    std::map<int, std::map<int, std::vector<sim::SimTime>>> ref;
+    const auto ref_gate = [&ref](int stream, int dev, int inst) {
+      sim::SimTime t = 0;
+      for (const auto& [s, devices] : ref) {
+        if (s == stream) continue;
+        auto it = devices.find(dev);
+        if (it == devices.end()) continue;
+        if (inst < static_cast<int>(it->second.size())) {
+          t = std::max(t, it->second[inst]);
+        }
+      }
+      return t;
+    };
+    for (int step = 0; step < 400; ++step) {
+      const int stream = static_cast<int>(rng() % 6);
+      const int dev = static_cast<int>(rng() % 3);
+      const int inst = static_cast<int>(rng() % 4);
+      const sim::SimTime t = static_cast<double>(rng() % 1000) / 16.0;
+      clocks.Update(stream, dev, inst, t);
+      auto& clock = ref[stream][dev];
+      if (clock.size() <= static_cast<size_t>(inst)) {
+        clock.resize(inst + 1, 0);
+      }
+      clock[inst] = std::max(clock[inst], t);
+      // Probe stream 6 (never updates) and dev 3 (never exists) too.
+      for (int s = 0; s <= 6; ++s) {
+        for (int d = 0; d <= 3; ++d) {
+          for (int i = 0; i <= 4; ++i) {
+            ASSERT_DOUBLE_EQ(clocks.OthersGate(s, d, i), ref_gate(s, d, i))
+                << "stream " << s << " dev " << d << " inst " << i
+                << " at step " << step;
+          }
+        }
+      }
+    }
+  }
+}
+
 // ---- depth 0 == the synchronous legacy model, bit-exactly -------------------
 
 TEST_F(AsyncExec, DepthZeroReproducesSyncCostsExactly) {
@@ -177,6 +282,33 @@ TEST_F(AsyncExec, SyncCostGoldens) {
     ASSERT_FALSE(r.DidNotFinish()) << g.name;
     EXPECT_NEAR(r.seconds, g.hybrid_seconds, 1e-12 * g.hybrid_seconds)
         << g.name;
+  }
+}
+
+// The async-depth companion of SyncCostGoldens: absolute event-driven
+// costs of the transfer-bound hybrid joins at depths 1 and 4, captured
+// before the staging loop moved from an ad-hoc priority queue onto the
+// shared EventQueue and WorkerClocks gained its top-2 gate. Any drift
+// here means the O(log n)/O(1) structures changed *timing*, not just
+// complexity. Re-baseline only with an intentional cost-model change.
+TEST_F(AsyncExec, AsyncDepthGoldens) {
+  struct Golden {
+    const char* name;
+    QueryFn run;
+    int depth;
+    double hybrid_seconds;
+  } goldens[] = {
+      {"q5", RunQ5, 1, 0.65846500000000008},
+      {"q5", RunQ5, 4, 0.65846500000000008},
+      {"q9", RunQ9, 1, 1.3615867100415129},
+      {"q9", RunQ9, 4, 1.3073745299145298},
+  };
+  for (const auto& g : goldens) {
+    const QueryResult r =
+        RunAtDepth(g.run, EngineConfig::kProteusHybrid, g.depth);
+    ASSERT_FALSE(r.DidNotFinish()) << g.name << " depth " << g.depth;
+    EXPECT_NEAR(r.seconds, g.hybrid_seconds, 1e-12 * g.hybrid_seconds)
+        << g.name << " depth " << g.depth;
   }
 }
 

@@ -265,17 +265,31 @@ TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
   ASSERT_TRUE(doc.Has("schedule"));
   const JsonValue& s = *doc.Find("schedule");
   ExpectKeys(s, {"policy", "num_queries", "makespan_s",
-                 "peak_resident_bytes", "device_busy", "queries"},
+                 "peak_resident_bytes", "device_busy", "tiers", "queries"},
              "schedule");
   EXPECT_EQ(s.Find("policy")->str(), "fair-share");
+  // Per-tier percentile rows partition the queries (everything lands in
+  // tier 0 under the legacy policies).
+  ASSERT_TRUE(s.Find("tiers")->is_array());
+  uint64_t tiered_queries = 0;
+  for (const JsonValue& t : s.Find("tiers")->items()) {
+    ExpectKeys(t,
+               {"tier", "queries", "queue_p50_s", "queue_p95_s",
+                "queue_p99_s", "makespan_p50_s", "makespan_p95_s",
+                "makespan_p99_s"},
+               "schedule tier");
+    tiered_queries += static_cast<uint64_t>(t.Find("queries")->number());
+  }
+  EXPECT_EQ(tiered_queries,
+            static_cast<uint64_t>(s.Find("num_queries")->number()));
   const auto& queries = s.Find("queries")->items();
   ASSERT_EQ(queries.size(),
             static_cast<size_t>(s.Find("num_queries")->number()));
   for (const JsonValue& q : queries) {
     ExpectKeys(q,
-               {"id", "label", "weight", "admitted_s", "queueing_delay_s",
-                "finish_s", "makespan_s", "copy_engine_bytes",
-                "device_share", "run"},
+               {"id", "label", "weight", "tier", "arrival_s", "admitted_s",
+                "queueing_delay_s", "finish_s", "makespan_s",
+                "copy_engine_bytes", "device_share", "run"},
                "schedule query");
     ExpectRunObject(*q.Find("run"), "schedule query run");
     // Shares are fractions of the schedule totals.

@@ -169,7 +169,9 @@ TEST_F(PlanJsonTest, PolicyRoundTripsEveryField) {
   p.async = engine::AsyncOptions::Depth(3);
   p.async.broadcast_chunk_bytes = 32 * sim::kMiB;
   p.async.max_staged_bytes = 96 * sim::kMiB;
-  p.scheduling = engine::SchedulingPolicy::kFairShare;
+  p.scheduling = engine::SchedulingPolicy::kSlaTiered;
+  p.serve.max_inflight = 3;
+  p.serve.aging_boost_s = 2.5;
   p.expected_device_share = 0.25;
   p.optimizer.reorder_joins = false;
   p.optimizer.placement = opt::PlacementMode::kCostBased;
@@ -196,6 +198,8 @@ TEST_F(PlanJsonTest, PolicyRoundTripsEveryField) {
   EXPECT_EQ(r.async.broadcast_chunk_bytes, p.async.broadcast_chunk_bytes);
   EXPECT_EQ(r.async.max_staged_bytes, p.async.max_staged_bytes);
   EXPECT_EQ(r.scheduling, p.scheduling);
+  EXPECT_EQ(r.serve.max_inflight, p.serve.max_inflight);
+  EXPECT_DOUBLE_EQ(r.serve.aging_boost_s, p.serve.aging_boost_s);
   EXPECT_DOUBLE_EQ(r.expected_device_share, p.expected_device_share);
   EXPECT_EQ(r.optimizer.enable, p.optimizer.enable);
   EXPECT_EQ(r.optimizer.reorder_joins, p.optimizer.reorder_joins);
@@ -330,6 +334,14 @@ TEST_F(PlanJsonTest, MalformedManifestsReturnStatusErrors) {
       {"not a plan document", R"({"format":"hape-plan-v1"})"},
       {"wrong format tag",
        R"({"format":"hape-plan-v999","plan":{"name":"t","pipelines":[]}})"},
+      {"stale schema version",
+       std::string(R"({"format":"hape-plan-v1","version":1,)"
+                   R"("plan":{"name":"t","pipelines":[)") +
+           kNationBuild + "]}}"},
+      {"future schema version",
+       std::string(R"({"format":"hape-plan-v1","version":3,)"
+                   R"("plan":{"name":"t","pipelines":[)") +
+           kNationBuild + "]}}"},
       {"empty pipelines", Manifest("")},
       {"unknown table",
        Manifest(R"({"id":0,"name":"p","source":{"table":"no_such_table",)"
