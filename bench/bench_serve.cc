@@ -7,9 +7,17 @@
 // serving. The tiering claim is that the high-SLA tier's p95 queueing
 // delay drops strictly below the untiered p95 without starving the rest.
 //
-// Besides the stdout table, results go to BENCH_serve.json. CI enforces:
+// Besides the stdout table, results go to BENCH_serve.json, and the
+// tiered replay's full run trace (every DMA packet, compute slice, and
+// scheduling decision) to TRACE_serve.json. CI enforces:
 //   - the replay is deterministic (a second run of the tiered schedule is
-//     bit-identical, per-tier percentiles included),
+//     bit-identical, per-tier percentiles included — and since the second
+//     run records a trace while the first does not, this doubles as proof
+//     that tracing never perturbs the simulation),
+//   - the trace is deterministic (two traced runs dump identical bytes)
+//     and internally consistent (monotone timestamps, arrival <= admit <=
+//     complete per query, tier queue percentiles reconciling with the
+//     schedule's),
 //   - tier 0's p95 queueing delay is strictly below the untiered
 //     baseline's overall p95 on the same trace,
 //   - the plan cache hit rate is > 0 (repeated statements actually hit),
@@ -73,15 +81,21 @@ WorkloadOptions BenchWorkload(int num_queries) {
 struct Replay {
   engine::ScheduleStats stats;
   PlanCache::Stats cache;
+  std::string trace_json;    // empty unless the replay was traced
+  std::string metrics_json;  // engine MetricsRegistry snapshot
+  size_t trace_events = 0;
 };
 
 /// Replay the trace through a fresh engine + service. `untiered` forces
 /// every request to tier 0 — the baseline of the tiering comparison —
-/// without touching arrivals, plans, or anything else.
-Replay Run(const WorkloadOptions& wo, bool untiered) {
+/// without touching arrivals, plans, or anything else. `traced` records
+/// the full run trace; it must never change the schedule (CI compares a
+/// traced replay against an untraced one bit-for-bit).
+Replay Run(const WorkloadOptions& wo, bool untiered, bool traced = false) {
   queries::TpchContext* ctx = Context();
   ctx->topo->Reset();
   engine::Engine eng(ctx->topo);
+  if (traced) eng.SetTraceOptions(obs::TraceOptions{true});
   QueryService service(&eng, &ctx->catalog, ServingPolicy());
   auto trace = GenerateWorkload(ctx, wo);
   HAPE_CHECK(trace.ok()) << trace.status().ToString();
@@ -93,7 +107,13 @@ Replay Run(const WorkloadOptions& wo, bool untiered) {
   }
   auto stats = service.Run();
   HAPE_CHECK(stats.ok()) << stats.status().ToString();
-  return Replay{std::move(stats.value()), service.cache_stats()};
+  Replay r{std::move(stats.value()), service.cache_stats(), {}, {}, 0};
+  r.metrics_json = eng.metrics().ToJson();
+  if (traced) {
+    r.trace_json = eng.DumpTrace();
+    r.trace_events = eng.tracer().num_events();
+  }
+  return r;
 }
 
 void WriteTiers(JsonWriter* w, const engine::ScheduleStats& s) {
@@ -154,10 +174,15 @@ void ReplayTableAndJson() {
               "==\n",
               kQueries);
   const Replay tiered = Run(wo, /*untiered=*/false);
-  const Replay again = Run(wo, /*untiered=*/false);
+  const Replay again = Run(wo, /*untiered=*/false, /*traced=*/true);
+  const Replay traced2 = Run(wo, /*untiered=*/false, /*traced=*/true);
   const Replay untiered = Run(wo, /*untiered=*/true);
 
+  // `again` traced while `tiered` did not, so schedule equality here also
+  // proves tracing is invisible to the simulation.
   const bool deterministic = SchedulesIdentical(tiered.stats, again.stats);
+  const bool deterministic_trace = !again.trace_json.empty() &&
+                                   again.trace_json == traced2.trace_json;
   HAPE_CHECK(!untiered.stats.tiers.empty());
   const engine::TierPercentiles& base = untiered.stats.tiers[0];
 
@@ -173,12 +198,15 @@ void ReplayTableAndJson() {
               base.queue_p50, base.queue_p95, base.makespan_p95);
   std::printf(
       "\ncompleted %zu/%d queries, makespan %.2f s, deterministic replay: "
-      "%s\ncache: %llu hits / %llu misses (%llu entries, hit rate %.3f)\n",
+      "%s, deterministic trace: %s (%zu events)\ncache: %llu hits / %llu "
+      "misses (%llu entries, %llu evictions, hit rate %.3f)\n",
       tiered.stats.queries.size(), kQueries, tiered.stats.makespan,
-      deterministic ? "yes" : "NO",
+      deterministic ? "yes" : "NO", deterministic_trace ? "yes" : "NO",
+      again.trace_events,
       static_cast<unsigned long long>(tiered.cache.hits),
       static_cast<unsigned long long>(tiered.cache.misses),
       static_cast<unsigned long long>(tiered.cache.entries),
+      static_cast<unsigned long long>(tiered.cache.evictions),
       tiered.cache.hit_rate());
 
   JsonWriter w;
@@ -195,6 +223,10 @@ void ReplayTableAndJson() {
   w.Double(wo.arrival_rate_qps);
   w.Key("deterministic_replay");
   w.Bool(deterministic);
+  w.Key("deterministic_trace");
+  w.Bool(deterministic_trace);
+  w.Key("trace_events");
+  w.Uint(again.trace_events);
   w.Key("makespan_s");
   w.Double(tiered.stats.makespan);
   w.Key("peak_resident_bytes");
@@ -207,9 +239,15 @@ void ReplayTableAndJson() {
   w.Uint(tiered.cache.misses);
   w.Key("entries");
   w.Uint(tiered.cache.entries);
+  w.Key("evictions");
+  w.Uint(tiered.cache.evictions);
   w.Key("hit_rate");
   w.Double(tiered.cache.hit_rate());
   w.EndObject();
+  // Engine-wide instrument snapshot of the tiered replay (per-link bytes,
+  // transfer overlap seconds, scheduler queue-depth histograms, ...).
+  w.Key("metrics");
+  w.Raw(tiered.metrics_json);
   w.Key("tiered");
   w.BeginObject();
   WriteTiers(&w, tiered.stats);
@@ -228,7 +266,9 @@ void ReplayTableAndJson() {
   w.EndObject();
   std::ofstream out("BENCH_serve.json");
   out << w.str() << "\n";
-  std::printf("\nwrote BENCH_serve.json\n\n");
+  std::ofstream tout("TRACE_serve.json");
+  tout << again.trace_json << "\n";
+  std::printf("\nwrote BENCH_serve.json and TRACE_serve.json\n\n");
 }
 
 void BM_Replay(benchmark::State& state, bool untiered) {

@@ -4,6 +4,7 @@
 // run reproducible from a file instead of C++ that rebuilds the plans.
 //
 //   $ ./example_manifest_run examples/manifests/mix_q3_q5_q9.json
+//   $ ./example_manifest_run --trace t.json examples/manifests/mix.json
 //   $ ./example_manifest_run --write examples/manifests/mix_q3_q5_q9.json
 //
 // --write regenerates the built-in manifest (hybrid fair-share mix of
@@ -117,7 +118,7 @@ int WriteManifest(const char* path) {
   return 0;
 }
 
-int RunManifest(const char* path) {
+int RunManifest(const char* path, const char* trace_path) {
   std::ifstream in(path);
   if (!in) return Fail(std::string("cannot read ") + path);
   std::stringstream buf;
@@ -185,6 +186,7 @@ int RunManifest(const char* path) {
   }
 
   engine::Engine eng(&topo);
+  if (trace_path != nullptr) eng.SetTraceOptions(obs::TraceOptions{true});
   std::vector<engine::AggHandle> handles;
   std::vector<char> has_agg;  // collect-terminal plans have no agg handle
   std::vector<std::string> labels;
@@ -238,6 +240,12 @@ int RunManifest(const char* path) {
   std::ofstream out("MANIFEST_schedule.json");
   out << eng.Explain(s) << "\n";
   std::printf("\nschedule record written to MANIFEST_schedule.json\n");
+  if (trace_path != nullptr) {
+    std::ofstream tout(trace_path);
+    tout << eng.DumpTrace() << "\n";
+    std::printf("trace (%zu events) written to %s\n",
+                eng.tracer().num_events(), trace_path);
+  }
   return 0;
 }
 
@@ -247,9 +255,12 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--write") == 0) {
     return WriteManifest(argv[2]);
   }
-  if (argc == 2) return RunManifest(argv[1]);
+  if (argc == 4 && std::strcmp(argv[1], "--trace") == 0) {
+    return RunManifest(argv[3], argv[2]);
+  }
+  if (argc == 2) return RunManifest(argv[1], nullptr);
   std::fprintf(stderr,
-               "usage: %s <manifest.json>\n"
+               "usage: %s [--trace out.json] <manifest.json>\n"
                "       %s --write <manifest.json>\n",
                argv[0], argv[0]);
   return 1;

@@ -7,11 +7,15 @@
 // budget, preempting at pipeline boundaries so a high-tier arrival never
 // waits for a whole best-effort query.
 //
-//   $ ./example_serve_replay            # 120-query Poisson trace
-//   $ ./example_serve_replay --burst    # same load in groups of 16
+//   $ ./example_serve_replay                    # 120-query Poisson trace
+//   $ ./example_serve_replay --burst            # same load in groups of 16
+//   $ ./example_serve_replay --trace out.json   # + Chrome trace of the run
 //
 // Both runs are deterministic: same binary, same table, every time. The
-// full schedule record lands in SERVE_schedule.json.
+// full schedule record lands in SERVE_schedule.json; --trace additionally
+// records every simulated DMA packet, compute slice, and scheduling
+// decision as a chrome://tracing / Perfetto-loadable trace (tracing never
+// changes the schedule — the simulation is byte-identical either way).
 
 #include <cstdio>
 #include <cstring>
@@ -28,7 +32,19 @@ using namespace hape;         // NOLINT — example code
 using namespace hape::serve;  // NOLINT
 
 int main(int argc, char** argv) {
-  const bool burst = argc > 1 && std::strcmp(argv[1], "--burst") == 0;
+  bool burst = false;
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--burst") == 0) {
+      burst = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--burst] [--trace out.json]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
 
   sim::Topology topo = sim::Topology::PaperServer();
   queries::TpchContext ctx;
@@ -53,6 +69,7 @@ int main(int argc, char** argv) {
   wo.burst = burst;
 
   engine::Engine eng(&topo);
+  if (trace_path != nullptr) eng.SetTraceOptions(obs::TraceOptions{true});
   QueryService service(&eng, &ctx.catalog, policy);
   auto trace = GenerateWorkload(&ctx, wo);
   if (!trace.ok()) {
@@ -95,5 +112,12 @@ int main(int argc, char** argv) {
   std::ofstream out("SERVE_schedule.json");
   out << eng.Explain(s) << "\n";
   std::printf("\nschedule record written to SERVE_schedule.json\n");
+  if (trace_path != nullptr) {
+    std::ofstream tout(trace_path);
+    tout << eng.DumpTrace() << "\n";
+    std::printf("trace (%zu events) written to %s — load it in "
+                "chrome://tracing or ui.perfetto.dev\n",
+                eng.tracer().num_events(), trace_path);
+  }
   return 0;
 }

@@ -1,14 +1,29 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <iostream>
 
 namespace hape {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<LogSink*> g_sink{nullptr};
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+LogSink* SetLogSink(LogSink* sink) { return g_sink.exchange(sink); }
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const std::string& line) {
+  if (LogSink* sink = g_sink.load()) {
+    sink->Write(level, line);
+    return;
+  }
+  std::cerr << line << std::endl;
+}
+
+}  // namespace internal_logging
 }  // namespace hape

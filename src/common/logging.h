@@ -2,8 +2,8 @@
 #define HAPE_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
+#include <string>
 
 namespace hape {
 
@@ -14,7 +14,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Destination for emitted log lines. The default sink writes to
+/// std::cerr; tests install their own to capture or silence output
+/// (e.g. to assert a WARN fires without polluting ctest logs).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `line` is the fully formatted message, without a trailing newline.
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Swap the process-wide sink; returns the previous one (nullptr means
+/// the built-in stderr sink was active). Pass nullptr to restore the
+/// default. The caller keeps ownership of the installed sink and must
+/// keep it alive until swapped back out.
+LogSink* SetLogSink(LogSink* sink);
+
 namespace internal_logging {
+
+/// Routes one formatted line through the installed sink (or stderr).
+void Emit(LogLevel level, const std::string& line);
 
 class LogMessage {
  public:
@@ -24,7 +43,7 @@ class LogMessage {
   }
   ~LogMessage() {
     if (fatal_ || level_ >= GetLogLevel()) {
-      std::cerr << ss_.str() << std::endl;
+      Emit(level_, ss_.str());
     }
     if (fatal_) std::abort();
   }
@@ -75,6 +94,18 @@ class LogMessage {
                                        __FILE__, __LINE__, /*fatal=*/true) \
       << "Check failed: " #cond " "
 
+/// Debug-only check: same semantics as HAPE_CHECK in debug builds,
+/// compiled out (condition unevaluated, streamed operands dead) under
+/// NDEBUG. The dead-branch form keeps `cond` and the stream expression
+/// syntactically checked in every build.
+#ifdef NDEBUG
+#define HAPE_DCHECK(cond)                                                  \
+  while (false && !(cond))                                                 \
+  ::hape::internal_logging::LogMessage(::hape::LogLevel::kError,           \
+                                       __FILE__, __LINE__, /*fatal=*/true) \
+      << "Check failed: " #cond " "
+#else
 #define HAPE_DCHECK(cond) HAPE_CHECK(cond)
+#endif
 
 #endif  // HAPE_COMMON_LOGGING_H_

@@ -24,9 +24,37 @@ std::string GiBString(uint64_t bytes) {
 
 }  // namespace
 
-Engine::Engine(sim::Topology* topo) : topo_(topo), executor_(topo) {}
+Engine::Engine(sim::Topology* topo) : topo_(topo), executor_(topo) {
+  executor_.set_tracer(&tracer_);
+}
 
 Engine::~Engine() = default;
+
+void Engine::SetTraceOptions(const obs::TraceOptions& opts) {
+  tracer_.Configure(opts);
+  if (!opts.enabled) return;
+  // Name the process/track grid up front so the viewer shows hardware
+  // names even for tracks that never record an event.
+  for (int n = 0; n < topo_->num_mem_nodes(); ++n) {
+    tracer_.NameProcess(n, topo_->mem_node(n).name());
+    for (int l = 0; l < topo_->copy_engine(n).channels(); ++l) {
+      tracer_.NameThread(n, obs::LaneTid(l), "dma-lane" + std::to_string(l));
+    }
+    tracer_.NameThread(n, obs::kBroadcastTid, "broadcast");
+    tracer_.NameThread(n, obs::kSyncTransferTid, "sync-transfer");
+  }
+  for (const sim::Device& d : topo_->devices()) {
+    const int instances =
+        d.type == sim::DeviceType::kCpu ? d.cpu.cores : 1;
+    for (int i = 0; i < instances; ++i) {
+      tracer_.NameThread(
+          d.mem_node, obs::WorkerTid(d.id, i),
+          instances > 1 ? d.name + "-w" + std::to_string(i) : d.name);
+    }
+  }
+  tracer_.NameProcess(obs::kSchedulerPid, "scheduler");
+  tracer_.NameThread(obs::kSchedulerPid, obs::kServiceTid, "service");
+}
 
 Status Engine::PlaceJoinStates(PlanExec* ex, sim::SimTime* t) {
   QueryPlan* plan = ex->plan;
@@ -116,7 +144,14 @@ Status Engine::PlaceJoinStates(PlanExec* ex, sim::SimTime* t) {
       }
     }
     if (!policy.async.enabled()) {
+      const sim::SimTime bstart = *t;
       *t = executor_.Broadcast(total, from_node, gpu_nodes, *t);
+      if (tracer_.enabled()) {
+        tracer_.Span(from_node, obs::kBroadcastTid, bstart, *t, "broadcast",
+                     "broadcast",
+                     obs::TraceAttr{ex->trace_query, -1, -1, -1, -1, total,
+                                    {}});
+      }
     } else {
       // Async: each table's chunked broadcast starts when *its* build
       // finishes (not at the round barrier), double-buffered across the
@@ -125,12 +160,13 @@ Status Engine::PlaceJoinStates(PlanExec* ex, sim::SimTime* t) {
         const JoinStatePtr& s = plan->node(b).built_state;
         const sim::SimTime ready = executor_.BroadcastAsync(
             s->NominalBytes(), s->location_node, gpu_nodes, ex->finished[b],
-            policy.async.broadcast_chunk_bytes);
+            policy.async.broadcast_chunk_bytes, ex->trace_query);
         placement->ready[s.get()] = ready;
         *t = std::max(*t, ready);
       }
     }
     out->broadcast_bytes += total;
+    metrics_.GetCounter("engine.broadcast_bytes")->Add(total);
     for (int b : build_nodes) {
       placement->placed.insert(plan->node(b).built_state.get());
     }
@@ -196,7 +232,7 @@ Status Engine::PlaceJoinStates(PlanExec* ex, sim::SimTime* t) {
         const JoinStatePtr& s = plan->node(b).built_state;
         const sim::SimTime ready = executor_.BroadcastAsync(
             s->NominalBytes(), s->location_node, gpu_nodes, ex->finished[b],
-            policy.async.broadcast_chunk_bytes);
+            policy.async.broadcast_chunk_bytes, ex->trace_query);
         placement->ready[s.get()] = ready;
         round = std::max(round, ready);
       }
@@ -215,6 +251,8 @@ Status Engine::PlaceJoinStates(PlanExec* ex, sim::SimTime* t) {
     placement->resident_bytes += rest;
     out->broadcast_bytes += rest;
     out->co_processed = true;
+    metrics_.GetCounter("engine.broadcast_bytes")->Add(rest);
+    metrics_.GetCounter("engine.co_partitions")->Increment();
     return Status::OK();
   }
 
@@ -319,6 +357,7 @@ Status Engine::StepPlan(PlanExec* ex) {
   run_opts.clocks = ex->clocks;
   run_opts.dma_stream = ex->dma_stream;
   run_opts.dma_lane_quota = ex->dma_lane_quota;
+  run_opts.trace_query = ex->trace_query;
   if (!policy.async.enabled()) {
     // Synchronous: staging and compute both wait for the full placement
     // round and every dependency (the legacy barrier).
@@ -393,6 +432,34 @@ Status Engine::StepPlan(PlanExec* ex) {
   out.peak_staged_bytes = std::max(out.peak_staged_bytes,
                                    st.peak_staged_bytes);
   out.pipelines.push_back(PipelineRunStats{node.pipeline.name, st});
+
+  // Pipeline-granular observability: one counter bump per pipeline (never
+  // per packet — the executor hot loop stays untouched) plus a span on
+  // the owning query's scheduler track.
+  metrics_.GetCounter("engine.pipelines")->Increment();
+  metrics_.GetCounter("engine.packets")->Add(static_cast<double>(st.packets));
+  metrics_.GetCounter("engine.mem_moves")
+      ->Add(static_cast<double>(st.mem_moves));
+  metrics_.GetCounter("engine.moved_bytes")
+      ->Add(static_cast<double>(st.moved_bytes));
+  metrics_.GetCounter("engine.transfer_busy_s")->Add(st.transfer_busy_s);
+  metrics_.GetCounter("engine.transfer_exposed_s")->Add(st.transfer_exposed_s);
+  metrics_.GetGauge("engine.peak_staged_bytes")
+      ->Set(static_cast<double>(st.peak_staged_bytes));
+  for (int l = 0; l < topo_->num_links(); ++l) {
+    metrics_.GetGauge("interconnect.link" + std::to_string(l) + ".bytes")
+        ->Set(static_cast<double>(topo_->link(l).total_bytes()));
+  }
+  for (int n = 0; n < topo_->num_mem_nodes(); ++n) {
+    metrics_.GetGauge("copy_engine.node" + std::to_string(n) + ".bytes")
+        ->Set(static_cast<double>(topo_->copy_engine(n).total_bytes()));
+  }
+  if (tracer_.enabled()) {
+    tracer_.Span(obs::kSchedulerPid, obs::QueryTid(ex->trace_query), st.start,
+                 st.finish, node.pipeline.name, "pipeline",
+                 obs::TraceAttr{ex->trace_query, ex->dma_stream, -1, -1, -1,
+                                st.moved_bytes, node.pipeline.name});
+  }
 
   if (node.is_build) {
     node.built_state->nominal_rows = static_cast<uint64_t>(

@@ -11,6 +11,8 @@
 #include "engine/plan.h"
 #include "engine/plan_json.h"
 #include "engine/policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/optimizer.h"
 
 namespace hape::engine {
@@ -148,6 +150,21 @@ class Engine {
   Executor& executor() { return executor_; }
   sim::Topology* topology() { return topo_; }
 
+  /// Turn the engine-wide tracer on or off. Enabling names the trace's
+  /// process/track grid from the topology (one "process" per mem node,
+  /// lanes and workers as tracks, plus a synthetic scheduler process).
+  /// Disabled (the default) costs one dead branch per emission site:
+  /// every run is byte-identical to an engine without the tracer.
+  void SetTraceOptions(const obs::TraceOptions& opts);
+  /// The accumulated trace as Chrome trace-event JSON (chrome://tracing /
+  /// Perfetto loadable). Deterministic: same seed, same bytes.
+  std::string DumpTrace() const { return tracer_.ToChromeJson(); }
+  obs::Tracer& tracer() { return tracer_; }
+  /// Engine-wide metric instruments, embedded in Explain documents and
+  /// snapshotted by benches; shared with the scheduler and serving layer.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   friend class Scheduler;
 
@@ -196,6 +213,9 @@ class Engine {
     /// Copy-engine stream tag / channel quota of this plan's transfers.
     int dma_stream = 0;
     int dma_lane_quota = 0;
+    /// Query id stamped onto this plan's trace events (schedulers set it;
+    /// a solo Engine::Run leaves it 0).
+    int trace_query = 0;
 
     bool done() const { return pos >= order.size(); }
   };
@@ -212,6 +232,8 @@ class Engine {
   Status PlaceJoinStates(PlanExec* ex, sim::SimTime* t);
 
   sim::Topology* topo_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
   Executor executor_;
   /// Table statistics cached across Optimize calls (tables are immutable;
   /// entries re-collect if a table's scale or row count changes).

@@ -59,6 +59,17 @@ sim::SimTime ProcessPacket(Pipeline* p, memory::Batch* b, int worker_index,
   return worker.backend->PacketTime(scaled);
 }
 
+/// Worker-instance index within its device (MakeWorkers order) for each
+/// worker — the tid key of the trace's compute tracks.
+std::vector<int> WorkerInstances(const std::vector<Worker>& workers) {
+  std::vector<int> instance(workers.size(), 0);
+  std::map<int, int> seen;
+  for (size_t w = 0; w < workers.size(); ++w) {
+    instance[w] = seen[workers[w].device_id]++;
+  }
+  return instance;
+}
+
 /// Per-device compute-time accounting (the scheduler's fairness currency).
 void AccountDeviceBusy(const std::vector<Worker>& workers, ExecStats* stats) {
   for (const Worker& w : workers) {
@@ -202,6 +213,9 @@ ExecStats Executor::RunSync(Pipeline* p, std::vector<Worker>* workers_ptr,
   const LinkAvailFn live_links = [this](int l) {
     return topo_->link(l).available_at();
   };
+  const bool trace = tracing();
+  const std::vector<int> instance =
+      trace ? WorkerInstances(workers) : std::vector<int>{};
 
   for (size_t i = 0; i < p->inputs.size(); ++i) {
     memory::Batch b = std::move(p->inputs[i]);
@@ -216,6 +230,7 @@ ExecStats Executor::RunSync(Pipeline* p, std::vector<Worker>* workers_ptr,
     // synchronous model serializes this with the worker below.
     sim::SimTime ready = start;
     uint64_t wire_bytes = 0;
+    const int from_node = b.mem_node;
     if (b.mem_node != worker.mem_node) {
       wire_bytes = static_cast<uint64_t>(
           b.byte_size() * p->scale * p->wire_amplification);
@@ -231,10 +246,25 @@ ExecStats Executor::RunSync(Pipeline* p, std::vector<Worker>* workers_ptr,
       stats.transfer_busy_s += ready - start;
       stats.transfer_exposed_s += std::max(0.0, ready - worker.free_at);
     }
-    worker.free_at = std::max(worker.free_at, ready) + cost;
+    const sim::SimTime begin = std::max(worker.free_at, ready);
+    worker.free_at = begin + cost;
     worker.busy += cost;
     ++worker.packets;
     stats.finish = std::max(stats.finish, worker.free_at);
+    if (trace) {
+      if (wire_bytes > 0) {
+        tracer_->Span(from_node, obs::kSyncTransferTid, start, ready,
+                      "transfer", "transfer",
+                      obs::TraceAttr{opts.trace_query, opts.dma_stream,
+                                     worker.device_id, -1, -1, wire_bytes,
+                                     p->name});
+      }
+      tracer_->Span(worker.mem_node,
+                    obs::WorkerTid(worker.device_id, instance[w]), begin,
+                    worker.free_at, p->name, "compute",
+                    obs::TraceAttr{opts.trace_query, opts.dma_stream,
+                                   worker.device_id, -1, -1, 0, p->name});
+    }
   }
 
   AccountDeviceBusy(workers, &stats);
@@ -356,6 +386,7 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
   std::vector<std::deque<std::pair<sim::SimTime, uint64_t>>> inflight(
       n_workers);
   std::vector<uint64_t> staged(n_workers, 0);
+  const bool trace = tracing();
   while (!events.empty()) {
     const auto [ev_t, ev] = events.Pop();
     const int w = ev.worker;
@@ -378,13 +409,32 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
           q.pop_front();
         }
       }
+      sim::CopyEngine::IssueInfo dma;
       ready = topo_->DmaTransferFinish(r.from_node, workers[w].mem_node,
                                        issue_t, r.wire_bytes,
-                                       opts.dma_stream, opts.dma_lane_quota);
+                                       opts.dma_stream, opts.dma_lane_quota,
+                                       trace ? &dma : nullptr);
+      if (trace) {
+        // The lane track shows the copy engine's first-hop occupancy; the
+        // span's `dur` covers the reserved lane window, while `ready`
+        // (all hops landed) gates the compute span below.
+        tracer_->Span(r.from_node, obs::LaneTid(dma.lane), dma.start,
+                      dma.finish, "dma", "transfer",
+                      obs::TraceAttr{opts.trace_query, opts.dma_stream,
+                                     workers[w].device_id, dma.lane, -1,
+                                     r.wire_bytes, p->name});
+      }
     }
     const sim::SimTime prev = k == 0 ? gate[w] : fin[w][k - 1];
     const sim::SimTime begin = std::max(std::max(gate[w], prev), ready);
     fin[w][k] = begin + r.cost;
+    if (trace) {
+      tracer_->Span(workers[w].mem_node,
+                    obs::WorkerTid(workers[w].device_id, instance[w]), begin,
+                    fin[w][k], p->name, "compute",
+                    obs::TraceAttr{opts.trace_query, opts.dma_stream,
+                                   workers[w].device_id, -1, -1, 0, p->name});
+    }
     workers[w].free_at = fin[w][k];
     workers[w].busy += r.cost;
     ++workers[w].packets;
@@ -441,7 +491,7 @@ sim::SimTime Executor::Broadcast(uint64_t bytes, int from_node,
 sim::SimTime Executor::BroadcastAsync(uint64_t bytes, int from_node,
                                       const std::vector<int>& to_nodes,
                                       sim::SimTime start,
-                                      uint64_t chunk_bytes) {
+                                      uint64_t chunk_bytes, int trace_query) {
   std::vector<int> dsts;
   for (int d : to_nodes) {
     if (d != from_node) dsts.push_back(d);
@@ -466,6 +516,7 @@ sim::SimTime Executor::BroadcastAsync(uint64_t bytes, int from_node,
     // rides the second — the double-buffering that lets probing-side
     // staging begin before the last chunk lands.
     std::map<int, sim::SimTime> done;  // link -> this chunk's finish there
+    sim::SimTime chunk_finish = issued;
     for (int dst : dsts) {
       sim::SimTime t = issued;
       for (int l : topo_->Route(from_node, dst)) {
@@ -477,7 +528,13 @@ sim::SimTime Executor::BroadcastAsync(uint64_t bytes, int from_node,
         t = topo_->link(l).TransferInGap(t, csize).finish;
         done[l] = t;
       }
-      finish = std::max(finish, t);
+      chunk_finish = std::max(chunk_finish, t);
+    }
+    finish = std::max(finish, chunk_finish);
+    if (tracing()) {
+      tracer_->Span(from_node, obs::kBroadcastTid, issued, chunk_finish,
+                    "broadcast_chunk", "broadcast",
+                    obs::TraceAttr{trace_query, -1, -1, -1, -1, csize, {}});
     }
   }
   return finish;

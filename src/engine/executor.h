@@ -12,6 +12,7 @@
 
 #include "engine/pipeline.h"
 #include "engine/policy.h"
+#include "obs/trace.h"
 #include "sim/topology.h"
 
 namespace hape::engine {
@@ -159,6 +160,9 @@ struct RunOptions {
   /// transfers (0/0 = untagged, all channels — every single-query path).
   int dma_stream = 0;
   int dma_lane_quota = 0;
+  /// Query id stamped onto trace events emitted during this run
+  /// (observability only — never read by any scheduling decision).
+  int trace_query = 0;
 };
 
 /// Deterministic discrete-event pipeline executor. Packets are routed to
@@ -212,7 +216,12 @@ class Executor {
   /// time the last chunk reaches the last destination.
   sim::SimTime BroadcastAsync(uint64_t bytes, int from_node,
                               const std::vector<int>& to_nodes,
-                              sim::SimTime start, uint64_t chunk_bytes);
+                              sim::SimTime start, uint64_t chunk_bytes,
+                              int trace_query = 0);
+
+  /// Observation-only span recorder (owned by the Engine); null or
+  /// disabled tracers make every emission site a dead branch.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   sim::Topology* topology() { return topo_; }
   const codegen::Backend& backend_for(int device_id) const {
@@ -243,8 +252,12 @@ class Executor {
   sim::SimTime RouteDuration(int from_node, int to_node,
                              uint64_t bytes) const;
 
+  /// True when trace events should be recorded this run.
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+
   sim::Topology* topo_;
   std::map<int, std::unique_ptr<codegen::Backend>> backends_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hape::engine

@@ -125,6 +125,10 @@ std::string Engine::Explain(const QueryPlan& plan,
   w.String(plan.name());
   w.Key("run");
   RunObject(&w, run);
+  // Engine-wide instrument snapshot at explain time (counters cover every
+  // run this Engine executed, not just `run`).
+  w.Key("metrics");
+  metrics_.WriteJson(&w);
   w.Key("explain");
   w.Raw(Explain(plan));
   w.EndObject();
@@ -209,6 +213,8 @@ std::string Engine::Explain(const ScheduleStats& schedule) const {
   }
   w.EndArray();
   w.EndObject();
+  w.Key("metrics");
+  metrics_.WriteJson(&w);
   w.EndObject();
   return w.str();
 }

@@ -165,11 +165,23 @@ Result<ScheduleStats> Scheduler::RunFifo(
   // — FIFO is the compat baseline, and its makespan is the serial sum.
   ScheduleStats out;
   out.policy = SchedulingPolicy::kFifo;
+  obs::Tracer& tracer = engine_->tracer_;
   sim::SimTime clock = 0;
   for (SubmittedQuery* q : queries) {
     engine_->topo_->Reset();
     Engine::PlanExec ex;
     HAPE_RETURN_NOT_OK(engine_->BeginPlan(&q->plan, policy_, &ex));
+    ex.trace_query = q->id;
+    if (tracer.enabled()) {
+      tracer.NameThread(obs::kSchedulerPid, obs::QueryTid(q->id),
+                        q->opts.label);
+      tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id),
+                     q->opts.arrival, "arrival", "query",
+                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}});
+      tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id), clock, "admit",
+                     "query",
+                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}});
+    }
     while (!ex.done()) {
       HAPE_RETURN_NOT_OK(engine_->StepPlan(&ex));
     }
@@ -179,6 +191,12 @@ Result<ScheduleStats> Scheduler::RunFifo(
     // window is [clock, clock + finish).
     qs.finish = clock + qs.run.finish;
     clock = qs.finish;
+    engine_->metrics_.GetCounter("scheduler.queries")->Increment();
+    if (tracer.enabled()) {
+      tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id), qs.finish,
+                     "complete", "query",
+                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}});
+    }
     for (const auto& [dev, busy] : qs.run.device_busy_s) {
       out.device_busy_s[dev] += busy;
     }
@@ -274,6 +292,13 @@ Result<ScheduleStats> Scheduler::RunFairShare(
                           ? std::max(1, channels / 2)
                           : 0;
     std::vector<Engine::PlanExec> exs(wave.size());
+    obs::Tracer& tracer = engine_->tracer_;
+    engine_->metrics_.GetCounter("scheduler.admission_waves")->Increment();
+    if (tracer.enabled()) {
+      tracer.Instant(obs::kSchedulerPid, obs::kServiceTid, wave_gate,
+                     "admission_wave", "scheduler",
+                     obs::TraceAttr{-1, -1, -1, -1, -1, wave_fp[w], {}});
+    }
     for (size_t i = 0; i < wave.size(); ++i) {
       HAPE_RETURN_NOT_OK(
           engine_->BeginPlan(&wave[i]->plan, policy_, &exs[i]));
@@ -282,6 +307,19 @@ Result<ScheduleStats> Scheduler::RunFairShare(
       exs[i].shared_resident = &shared_resident;
       exs[i].dma_stream = wave[i]->id;
       exs[i].dma_lane_quota = quota;
+      exs[i].trace_query = wave[i]->id;
+      if (tracer.enabled()) {
+        tracer.NameThread(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
+                          wave[i]->opts.label);
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
+                       wave[i]->opts.arrival, "arrival", "query",
+                       obs::TraceAttr{wave[i]->id, -1, -1, -1,
+                                      wave[i]->opts.tier, 0, {}});
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
+                       wave_gate, "admit", "query",
+                       obs::TraceAttr{wave[i]->id, -1, -1, -1,
+                                      wave[i]->opts.tier, 0, {}});
+      }
     }
 
     // ---- weighted fair queueing at pipeline granularity: the next
@@ -344,6 +382,8 @@ Result<ScheduleStats> Scheduler::RunFairShare(
       contrib[pick] += shared_resident - resident_before;
       out.peak_resident_bytes =
           std::max(out.peak_resident_bytes, shared_resident);
+      engine_->metrics_.GetGauge("scheduler.resident_bytes")
+          ->Set(static_cast<double>(shared_resident));
       vtime[pick] += TotalBusy(exs[pick].out.pipelines.back().stats) /
                      wave[pick]->opts.weight;
       if (!exs[pick].done()) {
@@ -365,6 +405,13 @@ Result<ScheduleStats> Scheduler::RunFairShare(
                                      std::move(exs[i].out), wave[i]->id);
       qs.finish = qs.run.finish;
       wave_finish = std::max(wave_finish, qs.finish);
+      engine_->metrics_.GetCounter("scheduler.queries")->Increment();
+      if (tracer.enabled()) {
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
+                       qs.finish, "complete", "query",
+                       obs::TraceAttr{wave[i]->id, -1, -1, -1,
+                                      wave[i]->opts.tier, 0, {}});
+      }
       // The query's tables are released the moment it completes.
       if (contrib[i] > 0) residency.emplace_back(qs.finish, contrib[i]);
       for (const auto& [dev, busy] : qs.run.device_busy_s) {
@@ -496,6 +543,26 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
     return o.tier;
   };
 
+  obs::Tracer& tracer = engine_->tracer_;
+  obs::MetricsRegistry& metrics = engine_->metrics_;
+  // Ready-queue depth distribution per SLA tier, observed at every
+  // scheduling decision point (pipeline boundaries — the preemption
+  // granularity, so the histogram samples exactly where waiting is felt).
+  const std::vector<double> kDepthBounds{0, 1, 2, 4, 8, 16, 32, 64, 128,
+                                         256};
+  std::vector<int> tiers_present;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::find(tiers_present.begin(), tiers_present.end(),
+                  queries[i]->opts.tier) == tiers_present.end()) {
+      tiers_present.push_back(queries[i]->opts.tier);
+    }
+  }
+  std::sort(tiers_present.begin(), tiers_present.end());
+  // One-shot aging promotions (observability; eff_tier stays the source
+  // of truth for scheduling).
+  std::vector<char> promoted(n, 0);
+  int prev_pick = -1;
+
   sim::SimTime clock = 0;
   size_t done_count = 0;
   while (done_count < n) {
@@ -505,7 +572,41 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
       clock = std::max(clock, arrivals.next_time());
     }
     while (!arrivals.empty() && arrivals.next_time() <= clock) {
-      ready.push_back(arrivals.Pop().second);
+      const int i = arrivals.Pop().second;
+      ready.push_back(i);
+      if (tracer.enabled()) {
+        tracer.NameThread(obs::kSchedulerPid, obs::QueryTid(queries[i]->id),
+                          queries[i]->opts.label);
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[i]->id),
+                       queries[i]->opts.arrival, "arrival", "query",
+                       obs::TraceAttr{queries[i]->id, -1, -1, -1,
+                                      queries[i]->opts.tier, 0, {}});
+      }
+    }
+    // A ready query crossing the aging window is promoted to tier 0 from
+    // then on; record the first crossing.
+    for (int i : ready) {
+      if (promoted[i] == 0 && queries[i]->opts.tier > 0 &&
+          eff_tier(i, clock) == 0) {
+        promoted[i] = 1;
+        metrics.GetCounter("scheduler.aging_promotions")->Increment();
+        if (tracer.enabled()) {
+          tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[i]->id),
+                         clock, "aging_promotion", "scheduler",
+                         obs::TraceAttr{queries[i]->id, -1, -1, -1,
+                                        queries[i]->opts.tier, 0, {}});
+        }
+      }
+    }
+    for (int t : tiers_present) {
+      int depth = 0;
+      for (int i : ready) {
+        if (queries[i]->opts.tier == t) ++depth;
+      }
+      metrics
+          .GetHistogram("scheduler.ready_depth.tier" + std::to_string(t),
+                        kDepthBounds)
+          ->Observe(static_cast<double>(depth));
     }
 
     // ---- admission: strict head-of-line in (effective tier, arrival,
@@ -539,10 +640,20 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
       exs[i].shared_resident = &shared_resident;
       exs[i].dma_stream = queries[i]->id;
       exs[i].dma_lane_quota = quota;
+      exs[i].trace_query = queries[i]->id;
       admitted[i] = clock;
       running.push_back(i);
       ready.erase(ready.begin());
+      metrics.GetCounter("scheduler.admissions")->Increment();
+      if (tracer.enabled()) {
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[i]->id),
+                       clock, "admit", "query",
+                       obs::TraceAttr{queries[i]->id, -1, -1, -1,
+                                      queries[i]->opts.tier, 0, {}});
+      }
     }
+    metrics.GetGauge("scheduler.inflight")
+        ->Set(static_cast<double>(running.size()));
     if (running.empty()) continue;  // clock jumps to the next arrival
 
     // ---- pipeline pick: strictly by effective tier, then the fair-share
@@ -561,6 +672,22 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
     for (int i : running) {
       if (key(i) < key(pick)) pick = i;
     }
+    // Preemption at the pipeline boundary: a strictly higher-tier query
+    // takes the next pick away from the one that was running.
+    if (prev_pick >= 0 && pick != prev_pick &&
+        std::find(running.begin(), running.end(), prev_pick) !=
+            running.end() &&
+        eff_tier(pick, clock) < eff_tier(prev_pick, clock)) {
+      metrics.GetCounter("scheduler.preemptions")->Increment();
+      if (tracer.enabled()) {
+        tracer.Instant(obs::kSchedulerPid,
+                       obs::QueryTid(queries[prev_pick]->id), clock,
+                       "preempt", "scheduler",
+                       obs::TraceAttr{queries[prev_pick]->id, -1, -1, -1,
+                                      queries[prev_pick]->opts.tier, 0, {}});
+      }
+    }
+    prev_pick = pick;
 
     const uint64_t seed = held_for(clock, pick);
     shared_resident = seed;
@@ -570,6 +697,8 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
     contrib[pick] += shared_resident - seed;
     out.peak_resident_bytes =
         std::max(out.peak_resident_bytes, shared_resident);
+    metrics.GetGauge("scheduler.resident_bytes")
+        ->Set(static_cast<double>(shared_resident));
     const ExecStats& last = exs[pick].out.pipelines.back().stats;
     vtime[pick] += TotalBusy(last) / queries[pick]->opts.weight;
     // The decision clock advances to the stepped pipeline's finish: the
@@ -584,6 +713,13 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
                       std::move(exs[pick].out), queries[pick]->id);
       qs.arrival = queries[pick]->opts.arrival;
       qs.finish = qs.run.finish;
+      metrics.GetCounter("scheduler.queries")->Increment();
+      if (tracer.enabled()) {
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[pick]->id),
+                       qs.finish, "complete", "query",
+                       obs::TraceAttr{queries[pick]->id, -1, -1, -1,
+                                      queries[pick]->opts.tier, 0, {}});
+      }
       if (contrib[pick] > 0) residency.emplace_back(qs.finish, contrib[pick]);
       for (const auto& [dev, busy] : qs.run.device_busy_s) {
         out.device_busy_s[dev] += busy;

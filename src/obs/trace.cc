@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace hape {
+namespace obs {
+
+void Tracer::NameProcess(int pid, std::string name) {
+  if (!enabled()) return;
+  process_names_[pid] = std::move(name);
+}
+
+void Tracer::NameThread(int pid, int tid, std::string name) {
+  if (!enabled()) return;
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+void Tracer::Span(int pid, int tid, sim::SimTime start, sim::SimTime finish,
+                  std::string_view name, std::string_view category,
+                  TraceAttr attr) {
+  if (!enabled()) return;
+  events_.push_back(Event{'X', pid, tid, start, finish - start,
+                          std::string(name), std::string(category),
+                          std::move(attr)});
+}
+
+void Tracer::Instant(int pid, int tid, sim::SimTime at, std::string_view name,
+                     std::string_view category, TraceAttr attr) {
+  if (!enabled()) return;
+  events_.push_back(Event{'i', pid, tid, at, 0.0, std::string(name),
+                          std::string(category), std::move(attr)});
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  process_names_.clear();
+  thread_names_.clear();
+}
+
+namespace {
+
+void WriteArgs(JsonWriter* w, const TraceAttr& a) {
+  w->Key("args");
+  w->BeginObject();
+  if (a.query >= 0) {
+    w->Key("query");
+    w->Int(a.query);
+  }
+  if (a.stream >= 0) {
+    w->Key("stream");
+    w->Int(a.stream);
+  }
+  if (a.device >= 0) {
+    w->Key("device");
+    w->Int(a.device);
+  }
+  if (a.lane >= 0) {
+    w->Key("lane");
+    w->Int(a.lane);
+  }
+  if (a.tier >= 0) {
+    w->Key("tier");
+    w->Int(a.tier);
+  }
+  if (a.bytes > 0) {
+    w->Key("bytes");
+    w->Uint(a.bytes);
+  }
+  if (!a.pipeline.empty()) {
+    w->Key("pipeline");
+    w->String(a.pipeline);
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson() const {
+  // Sort by timestamp; std::stable_sort keeps insertion order for ties,
+  // which makes the document deterministic AND lets consumers assert
+  // monotone `ts` without a tolerance.
+  std::vector<const Event*> order;
+  order.reserve(events_.size());
+  for (const Event& e : events_) order.push_back(&e);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Metadata first: process and track names. std::map iteration keeps
+  // these in a deterministic order.
+  for (const auto& [pid, name] : process_names_) {
+    w.BeginObject();
+    w.Key("ph");
+    w.String("M");
+    w.Key("name");
+    w.String("process_name");
+    w.Key("pid");
+    w.Int(pid);
+    w.Key("tid");
+    w.Int(0);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const auto& [key, name] : thread_names_) {
+    w.BeginObject();
+    w.Key("ph");
+    w.String("M");
+    w.Key("name");
+    w.String("thread_name");
+    w.Key("pid");
+    w.Int(key.first);
+    w.Key("tid");
+    w.Int(key.second);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.EndObject();
+    w.EndObject();
+  }
+  // Simulated seconds -> trace microseconds.
+  constexpr double kUsPerSecond = 1e6;
+  for (const Event* e : order) {
+    w.BeginObject();
+    w.Key("ph");
+    w.String(std::string_view(&e->phase, 1));
+    w.Key("name");
+    w.String(e->name);
+    w.Key("cat");
+    w.String(e->category);
+    w.Key("pid");
+    w.Int(e->pid);
+    w.Key("tid");
+    w.Int(e->tid);
+    w.Key("ts");
+    w.Double(e->ts * kUsPerSecond);
+    if (e->phase == 'X') {
+      w.Key("dur");
+      w.Double(e->dur * kUsPerSecond);
+    } else {
+      w.Key("s");
+      w.String("t");  // instant scoped to its thread/track
+    }
+    WriteArgs(&w, e->attr);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace obs
+}  // namespace hape

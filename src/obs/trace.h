@@ -1,0 +1,117 @@
+#ifndef HAPE_OBS_TRACE_H_
+#define HAPE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/spec.h"
+
+namespace hape {
+namespace obs {
+
+/// Tracing knobs. Default-constructed options keep tracing OFF: the
+/// tracer never allocates, and every guarded emission site reduces to a
+/// single branch on a bool, so a disabled run is byte-identical to a
+/// build without the tracer at all.
+struct TraceOptions {
+  bool enabled = false;
+};
+
+/// Track layout for the Chrome trace-event export. Simulated hardware
+/// maps onto the trace viewer's process/thread grid:
+///   - one "process" per mem node (pid == mem-node id), whose "threads"
+///     are the node's DMA lanes plus per-device worker slots;
+///   - one synthetic "scheduler" process holding a per-query track for
+///     lifecycle instants (arrival/admit/complete, cache hit/miss,
+///     preemption, aging) and pipeline spans.
+/// kSchedulerPid sits far above any real mem-node id (PaperServer has
+/// four nodes) so the groups never collide.
+inline constexpr int kSchedulerPid = 9000;
+/// Service-level track inside the scheduler process (admission waves,
+/// plan-cache events that predate query admission).
+inline constexpr int kServiceTid = 0;
+/// DMA lane tracks live at tid 1..: lane L of a node's copy engine.
+inline constexpr int LaneTid(int lane) { return 1 + lane; }
+/// Chunked broadcast track (one per source node).
+inline constexpr int kBroadcastTid = 60;
+/// Synchronous (non-copy-engine) transfer track.
+inline constexpr int kSyncTransferTid = 61;
+/// Compute tracks: one per (device, worker-instance) pair.
+inline constexpr int WorkerTid(int device, int instance) {
+  return 100 + 64 * device + instance;
+}
+/// Per-query lifecycle track inside the scheduler process.
+inline constexpr int QueryTid(int query) { return 1 + query; }
+
+/// Optional attribution attached to a trace event; fields left at their
+/// defaults are omitted from the exported JSON. Keeping this a plain
+/// aggregate lets emission sites write `{.query = q, .bytes = b}` without
+/// a builder.
+struct TraceAttr {
+  int query = -1;
+  int stream = -1;
+  int device = -1;
+  int lane = -1;
+  int tier = -1;
+  uint64_t bytes = 0;
+  std::string pipeline;
+};
+
+/// Structured span/event recorder over the *simulated* clock. Because
+/// every timestamp is a deterministic simulation value (never wall
+/// clock), the same seed produces a byte-identical trace. The recorder
+/// is observation-only: it is fed already-computed times and never
+/// participates in any scheduling decision.
+class Tracer {
+ public:
+  void Configure(const TraceOptions& opts) { opts_ = opts; }
+  bool enabled() const { return opts_.enabled; }
+
+  /// Display names for the process/track grid (Chrome "M" metadata
+  /// events). Renaming is idempotent; last writer wins.
+  void NameProcess(int pid, std::string name);
+  void NameThread(int pid, int tid, std::string name);
+
+  /// Complete span [start, finish] on a track. No-op while disabled.
+  void Span(int pid, int tid, sim::SimTime start, sim::SimTime finish,
+            std::string_view name, std::string_view category,
+            TraceAttr attr = {});
+  /// Point-in-time event on a track. No-op while disabled.
+  void Instant(int pid, int tid, sim::SimTime at, std::string_view name,
+               std::string_view category, TraceAttr attr = {});
+
+  void Clear();
+  size_t num_events() const { return events_.size(); }
+
+  /// Serialize to the Chrome trace-event JSON format (loadable in
+  /// chrome://tracing and Perfetto). Events are emitted in timestamp
+  /// order with insertion order breaking ties, so the document is both
+  /// deterministic and monotone in `ts`.
+  std::string ToChromeJson() const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete span, 'i' instant
+    int pid;
+    int tid;
+    sim::SimTime ts;
+    sim::SimTime dur;  // spans only
+    std::string name;
+    std::string category;
+    TraceAttr attr;
+  };
+
+  TraceOptions opts_;
+  std::vector<Event> events_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> thread_names_;
+};
+
+}  // namespace obs
+}  // namespace hape
+
+#endif  // HAPE_OBS_TRACE_H_

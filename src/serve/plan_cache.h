@@ -2,9 +2,12 @@
 #define HAPE_SERVE_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <string>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace hape::serve {
 
@@ -16,11 +19,23 @@ namespace hape::serve {
 /// plan after Engine::Optimize under the owning service's policy; a cache
 /// belongs to exactly one QueryService (one policy), so placement-dependent
 /// optimizer decisions can never leak across policies.
+///
+/// Bounded: entries beyond `capacity` evict least-recently-used (a Find
+/// hit refreshes recency). Capacity 0 disables the bound. Eviction only
+/// costs a re-optimization on the next submission of the evicted
+/// statement — it can never change a result (the cache stores optimizer
+/// output, not results).
 class PlanCache {
  public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
     uint64_t entries = 0;
 
     double hit_rate() const {
@@ -31,28 +46,66 @@ class PlanCache {
   };
 
   /// The optimized-plan dump cached under `fingerprint`, or nullptr.
-  /// Counts a hit or a miss; the pointer stays valid until Insert.
+  /// Counts a hit or a miss and refreshes the entry's recency; the
+  /// pointer stays valid until Insert.
   const std::string* Find(const std::string& fingerprint) {
-    auto it = cache_.find(fingerprint);
-    if (it == cache_.end()) {
+    auto it = index_.find(fingerprint);
+    if (it == index_.end()) {
       ++stats_.misses;
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("plan_cache.misses")->Increment();
+      }
       return nullptr;
     }
     ++stats_.hits;
-    return &it->second;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("plan_cache.hits")->Increment();
+    }
+    // Move to the MRU position; splice never invalidates the value.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
   }
 
   void Insert(std::string fingerprint, std::string optimized) {
-    cache_.emplace(std::move(fingerprint), std::move(optimized));
-    stats_.entries = cache_.size();
+    auto it = index_.find(fingerprint);
+    if (it != index_.end()) {
+      it->second->second = std::move(optimized);
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.emplace_front(fingerprint, std::move(optimized));
+      index_.emplace(std::move(fingerprint), lru_.begin());
+      while (capacity_ > 0 && lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+        if (metrics_ != nullptr) {
+          metrics_->GetCounter("plan_cache.evictions")->Increment();
+        }
+      }
+    }
+    stats_.entries = lru_.size();
+    if (metrics_ != nullptr) {
+      metrics_->GetGauge("plan_cache.entries")
+          ->Set(static_cast<double>(lru_.size()));
+    }
   }
 
+  /// Mirror hit/miss/eviction counts and the entry count into `metrics`
+  /// (typically the owning engine's registry). Null detaches.
+  void BindMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   const Stats& stats() const { return stats_; }
-  size_t size() const { return cache_.size(); }
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
 
  private:
-  std::map<std::string, std::string> cache_;
+  size_t capacity_;
+  /// MRU-first (fingerprint, optimized dump) entries.
+  std::list<std::pair<std::string, std::string>> lru_;
+  std::map<std::string, std::list<std::pair<std::string, std::string>>::
+                            iterator> index_;
   Stats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace hape::serve

@@ -7,6 +7,7 @@ namespace hape::serve {
 Result<QueryService::Ticket> QueryService::Submit(
     const engine::QueryPlan& plan, const engine::SubmitOptions& opts) {
   HAPE_ASSIGN_OR_RETURN(std::string fingerprint, engine_->DumpPlan(plan));
+  obs::Tracer& tracer = engine_->tracer();
 
   Ticket t;
   if (const std::string* cached = cache_.Find(fingerprint)) {
@@ -15,6 +16,13 @@ Result<QueryService::Ticket> QueryService::Submit(
     t.cache_hit = true;
     if (!loaded.aggs.empty()) t.agg = loaded.agg();
     t.id = engine_->Submit(std::move(loaded.plan), opts);
+    if (tracer.enabled()) {
+      // Stamped at the request's arrival: cache lookups happen at submit
+      // time, before the scheduler replays the arrival trace.
+      tracer.Instant(obs::kSchedulerPid, obs::kServiceTid, opts.arrival,
+                     "plan_cache_hit", "service",
+                     obs::TraceAttr{t.id, -1, -1, -1, opts.tier, 0, {}});
+    }
     return t;
   }
 
@@ -29,6 +37,11 @@ Result<QueryService::Ticket> QueryService::Submit(
   cache_.Insert(std::move(fingerprint), std::move(optimized));
   if (!loaded.aggs.empty()) t.agg = loaded.agg();
   t.id = engine_->Submit(std::move(loaded.plan), opts);
+  if (tracer.enabled()) {
+    tracer.Instant(obs::kSchedulerPid, obs::kServiceTid, opts.arrival,
+                   "plan_cache_miss", "service",
+                   obs::TraceAttr{t.id, -1, -1, -1, opts.tier, 0, {}});
+  }
   return t;
 }
 

@@ -43,10 +43,18 @@ class QueryService {
 
   /// The service optimizes and runs everything under one fixed `policy`
   /// (cache entries depend on it). `engine` and `catalog` must outlive
-  /// the service.
+  /// the service. `cache_capacity` bounds the plan cache (LRU eviction;
+  /// 0 = unbounded); cache hit/miss/eviction counts are mirrored into the
+  /// engine's MetricsRegistry.
   QueryService(engine::Engine* engine, const storage::Catalog* catalog,
-               engine::ExecutionPolicy policy)
-      : engine_(engine), catalog_(catalog), policy_(std::move(policy)) {}
+               engine::ExecutionPolicy policy,
+               size_t cache_capacity = PlanCache::kDefaultCapacity)
+      : engine_(engine),
+        catalog_(catalog),
+        policy_(std::move(policy)),
+        cache_(cache_capacity) {
+    cache_.BindMetrics(&engine_->metrics());
+  }
 
   /// Fingerprint, optimize (or fetch the cached optimization), and admit
   /// `plan`. The plan itself is not consumed — the submitted plan is the

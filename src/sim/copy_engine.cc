@@ -57,7 +57,7 @@ void Timeline::Reset() {
 }
 
 SimTime CopyEngine::Issue(SimTime earliest, SimTime dur, uint64_t bytes,
-                          int stream, int max_lanes) {
+                          int stream, int max_lanes, IssueInfo* info) {
   HAPE_CHECK(channels_ > 0);
   if (lanes_.empty()) lanes_.resize(channels_);
   // The allowed lanes: all of them without a quota, otherwise the stream's
@@ -79,7 +79,8 @@ SimTime CopyEngine::Issue(SimTime earliest, SimTime dur, uint64_t bytes,
       best = c;
     }
   }
-  lanes_[best].Reserve(earliest, dur);
+  const Timeline::Window w = lanes_[best].Reserve(earliest, dur);
+  if (info != nullptr) *info = IssueInfo{best, w.start, w.finish};
   total_bytes_ += bytes;
   ++copies_;
   StreamStats& ss = streams_[stream];

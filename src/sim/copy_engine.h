@@ -82,13 +82,24 @@ class CopyEngine {
     SimTime busy = 0;
   };
 
+  /// Which lane an Issue landed on and the exact window it reserved —
+  /// observability only (trace attribution); no scheduling decision may
+  /// read it back.
+  struct IssueInfo {
+    int lane = -1;
+    SimTime start = 0;
+    SimTime finish = 0;
+  };
+
   /// Earliest time a copy of first-hop duration `dur` may issue at or
   /// after `earliest`, and reserve the chosen channel for it. The channel
   /// is picked gap-filling among the lanes `stream` may use under
   /// `max_lanes` (0 = all of them); earliest start wins, lowest lane
-  /// breaks ties, so the schedule is deterministic.
+  /// breaks ties, so the schedule is deterministic. `info`, when
+  /// non-null, receives the chosen lane and reserved window.
   SimTime Issue(SimTime earliest, SimTime dur, uint64_t bytes,
-                int stream = 0, int max_lanes = 0);
+                int stream = 0, int max_lanes = 0,
+                IssueInfo* info = nullptr);
 
   int channels() const { return channels_; }
   uint64_t total_bytes() const { return total_bytes_; }

@@ -136,7 +136,8 @@ SimTime Topology::TransferFinish(int from_node, int to_node, SimTime earliest,
 
 SimTime Topology::DmaTransferFinish(int from_node, int to_node,
                                     SimTime earliest, uint64_t bytes,
-                                    int stream, int lane_quota) {
+                                    int stream, int lane_quota,
+                                    CopyEngine::IssueInfo* info) {
   if (from_node == to_node) return earliest;
   const std::vector<int>& route = Route(from_node, to_node);
   HAPE_CHECK(!route.empty()) << "no route between memory nodes";
@@ -144,7 +145,7 @@ SimTime Topology::DmaTransferFinish(int from_node, int to_node,
   // in-flight copies for the first hop's duration (draining the source).
   const SimTime first_dur = links_[route.front()]->Duration(bytes);
   SimTime t = copy_engines_[from_node]->Issue(earliest, first_dur, bytes,
-                                              stream, lane_quota);
+                                              stream, lane_quota, info);
   for (int l : route) {
     t = links_[l]->TransferInGap(t, bytes).finish;
   }

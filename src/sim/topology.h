@@ -103,9 +103,12 @@ class Topology {
   /// `stream` / `lane_quota` forward to CopyEngine::Issue: the multi-query
   /// scheduler tags each query's transfers and caps the copy-engine
   /// channels one query may occupy at once.
+  /// `info`, when non-null, receives the copy-engine lane attribution for
+  /// tracing; it never feeds back into any timing decision.
   SimTime DmaTransferFinish(int from_node, int to_node, SimTime earliest,
                             uint64_t bytes, int stream = 0,
-                            int lane_quota = 0);
+                            int lane_quota = 0,
+                            CopyEngine::IssueInfo* info = nullptr);
 
   /// Reset all link reservations and memory usage statistics.
   void Reset();

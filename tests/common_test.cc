@@ -1,13 +1,64 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace hape {
 namespace {
+
+// ---- logging ----------------------------------------------------------------
+
+struct CaptureSink : LogSink {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  void Write(LogLevel level, const std::string& line) override {
+    lines.emplace_back(level, line);
+  }
+};
+
+TEST(Logging, SinkCapturesFormattedLinesAndRestores) {
+  CaptureSink sink;
+  LogSink* prev = SetLogSink(&sink);
+  EXPECT_EQ(prev, nullptr);  // default stderr sink was active
+  HAPE_LOG(Warn) << "captured " << 42;
+  EXPECT_EQ(SetLogSink(nullptr), &sink);  // restore the default
+
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.lines[0].first, LogLevel::kWarn);
+  EXPECT_NE(sink.lines[0].second.find("captured 42"), std::string::npos);
+  EXPECT_NE(sink.lines[0].second.find("common_test.cc"), std::string::npos);
+  // After restore, nothing else lands in the detached sink.
+  HAPE_LOG(Warn) << "not captured";
+  EXPECT_EQ(sink.lines.size(), 1u);
+}
+
+TEST(Logging, CheckIsFatalInEveryBuild) {
+  EXPECT_DEATH(HAPE_CHECK(1 + 1 == 3) << "arithmetic broke", "Check failed");
+}
+
+TEST(Logging, DcheckCompilesOutUnderNDebug) {
+  // A true condition is always fine.
+  HAPE_DCHECK(true) << "never printed";
+#ifdef NDEBUG
+  // Release builds must not evaluate the condition at all: HAPE_DCHECK
+  // used to alias HAPE_CHECK, making "debug-only" checks fatal (and their
+  // operands costed) in release binaries.
+  int evaluations = 0;
+  HAPE_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }()) << "unreachable in release";
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(HAPE_DCHECK(false) << "debug check", "Check failed");
+#endif
+}
 
 // ---- Status / Result --------------------------------------------------------
 

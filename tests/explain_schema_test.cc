@@ -226,6 +226,30 @@ TEST_F(ExplainSchema, PlanDocumentHasRequiredStructure) {
   EXPECT_TRUE(saw_probe_op);
 }
 
+void ExpectMetricsObject(const JsonValue& m, const std::string& where) {
+  ASSERT_TRUE(m.is_object()) << where;
+  for (const char* k : {"counters", "gauges", "histograms"}) {
+    ASSERT_TRUE(m.Has(k)) << where << " missing '" << k << "'";
+    ASSERT_TRUE(m.Find(k)->is_object()) << where << " '" << k << "'";
+  }
+  for (const auto& [name, g] : m.Find("gauges")->members()) {
+    for (const char* k : {"value", "high_water"}) {
+      EXPECT_TRUE(g.Has(k)) << where << " gauge " << name << " missing '"
+                            << k << "'";
+    }
+  }
+  for (const auto& [name, h] : m.Find("histograms")->members()) {
+    for (const char* k : {"count", "sum", "min", "max", "bounds", "buckets"}) {
+      EXPECT_TRUE(h.Has(k)) << where << " histogram " << name
+                            << " missing '" << k << "'";
+    }
+    // One bucket per bound plus the +inf overflow bucket.
+    EXPECT_EQ(h.Find("buckets")->items().size(),
+              h.Find("bounds")->items().size() + 1)
+        << where << " histogram " << name;
+  }
+}
+
 TEST_F(ExplainSchema, RunDocumentCarriesOverlapAccounting) {
   ctx_->async = engine::AsyncOptions::Depth(2);
   const QueryResult r = RunQ5(ctx_, EngineConfig::kProteusHybrid);
@@ -236,8 +260,9 @@ TEST_F(ExplainSchema, RunDocumentCarriesOverlapAccounting) {
   auto parsed = JsonParser::Parse(eng.Explain(bq.value().plan, r.exec));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const JsonValue& doc = parsed.value();
-  ExpectKeys(doc, {"plan", "run", "explain"}, "run doc");
+  ExpectKeys(doc, {"plan", "run", "metrics", "explain"}, "run doc");
   ExpectRunObject(*doc.Find("run"), "run");
+  ExpectMetricsObject(*doc.Find("metrics"), "run doc metrics");
   EXPECT_TRUE(doc.Find("run")->Find("async")->bool_value());
   // The nested explain is itself a full plan document.
   ExpectKeys(*doc.Find("explain"), {"plan", "num_pipelines", "pipelines"},
@@ -263,6 +288,12 @@ TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const JsonValue& doc = parsed.value();
   ASSERT_TRUE(doc.Has("schedule"));
+  ASSERT_TRUE(doc.Has("metrics"));
+  ExpectMetricsObject(*doc.Find("metrics"), "schedule doc metrics");
+  // Instruments the scheduler always feeds under any policy.
+  const JsonValue& counters = *doc.Find("metrics")->Find("counters");
+  EXPECT_TRUE(counters.Has("scheduler.queries"));
+  EXPECT_TRUE(counters.Has("engine.pipelines"));
   const JsonValue& s = *doc.Find("schedule");
   ExpectKeys(s, {"policy", "num_queries", "makespan_s",
                  "peak_resident_bytes", "device_busy", "tiers", "queries"},
@@ -302,6 +333,65 @@ TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
     EXPECT_LE(q.Find("makespan_s")->number(),
               s.Find("makespan_s")->number() + 1e-12);
   }
+}
+
+// The DumpTrace document follows the Chrome trace-event format: metadata
+// records up front, and every event record fully keyed with monotone
+// timestamps — the structural contract CI's trace-validation step and any
+// external viewer (chrome://tracing, Perfetto) both rely on.
+TEST_F(ExplainSchema, TraceDocumentFollowsChromeEventSchema) {
+  ExecutionPolicy policy =
+      ExecutionPolicy::ForConfig(*topo_, EngineConfig::kProteusHybrid);
+  policy.async = engine::AsyncOptions::Depth(1);
+  policy.scheduling = SchedulingPolicy::kFairShare;
+  Engine eng(topo_);
+  eng.SetTraceOptions(obs::TraceOptions{true});
+  for (BuildFn build : {BuildQ3Plan, BuildQ5Plan}) {
+    auto bq = build(ctx_);
+    ASSERT_TRUE(bq.ok());
+    ASSERT_TRUE(eng.Optimize(&bq.value().plan, policy).ok());
+    eng.Submit(std::move(bq.value().plan));
+  }
+  ASSERT_TRUE(eng.RunAll(policy).ok());
+  ASSERT_GT(eng.tracer().num_events(), 0u);
+
+  auto parsed = JsonParser::Parse(eng.DumpTrace());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.Find("displayTimeUnit")->str(), "ms");
+  ASSERT_TRUE(doc.Find("traceEvents")->is_array());
+  bool saw_metadata = false, saw_span = false, saw_instant = false;
+  bool in_metadata_prefix = true;
+  double prev_ts = -1;
+  for (const JsonValue& e : doc.Find("traceEvents")->items()) {
+    ASSERT_TRUE(e.Has("ph"));
+    const std::string& ph = e.Find("ph")->str();
+    if (ph == "M") {
+      EXPECT_TRUE(in_metadata_prefix) << "metadata after event records";
+      saw_metadata = true;
+      EXPECT_TRUE(e.Find("name")->str() == "process_name" ||
+                  e.Find("name")->str() == "thread_name");
+      ASSERT_TRUE(e.Find("args")->Has("name"));
+      continue;
+    }
+    in_metadata_prefix = false;
+    ExpectKeys(e, {"name", "cat", "pid", "tid", "ts", "args"}, "trace event");
+    const double ts = e.Find("ts")->number();
+    EXPECT_GE(ts, prev_ts) << "trace timestamps must be monotone";
+    prev_ts = ts;
+    if (ph == "X") {
+      saw_span = true;
+      ASSERT_TRUE(e.Has("dur"));
+      EXPECT_GE(e.Find("dur")->number(), 0.0);
+    } else {
+      ASSERT_EQ(ph, "i");
+      saw_instant = true;
+      EXPECT_EQ(e.Find("s")->str(), "t");
+    }
+  }
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
 }
 
 }  // namespace

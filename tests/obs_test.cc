@@ -1,0 +1,346 @@
+// Observability tests. The contract under test is two-sided:
+//   - the tracer/metrics must faithfully record what the simulation did
+//     (spans sorted, lifecycle ordering arrival <= admit <= complete,
+//     counts reconciling with the schedule's own bookkeeping), and
+//   - observation must be free: a run with tracing disabled is
+//     byte-identical — result bits AND cost sequences — to a run on an
+//     engine that never heard of the tracer, in every system
+//     configuration, and enabling tracing must not move a single
+//     simulated timestamp either.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "engine/engine.h"
+#include "engine/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "queries/plan_fuzzer.h"
+#include "queries/tpch_queries.h"
+#include "serve/query_service.h"
+#include "serve/workload.h"
+
+namespace hape::obs {
+namespace {
+
+using engine::EngineConfig;
+using engine::ExecutionPolicy;
+using engine::ScheduleStats;
+using queries::Groups;
+using queries::TpchContext;
+
+// ---- tracer units -----------------------------------------------------------
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t;  // default options: off
+  EXPECT_FALSE(t.enabled());
+  t.NameProcess(0, "node0");
+  t.Span(0, 1, 0.5, 1.5, "dma", "transfer");
+  t.Instant(0, 1, 2.0, "arrival", "query");
+  EXPECT_EQ(t.num_events(), 0u);
+
+  // The export is still a valid, empty trace document.
+  auto doc = JsonParser::Parse(t.ToChromeJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->items().empty());
+}
+
+TEST(Tracer, ExportSortsByTimestampAndOmitsDefaultArgs) {
+  Tracer t;
+  t.Configure(TraceOptions{true});
+  t.NameProcess(0, "node0");
+  t.NameThread(0, LaneTid(2), "dma-lane2");
+  // Emitted out of order on purpose; the export must sort.
+  t.Instant(0, 1, 3.0, "late", "test");
+  t.Span(0, LaneTid(2), 1.0, 2.0, "dma", "transfer",
+         TraceAttr{7, 3, 1, 2, -1, 4096, "pipe"});
+  ASSERT_EQ(t.num_events(), 2u);
+
+  auto doc = JsonParser::Parse(t.ToChromeJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Two metadata records, then the span (ts=1s), then the instant (ts=3s).
+  ASSERT_EQ(events->items().size(), 4u);
+  EXPECT_EQ(events->items()[0].Find("ph")->str(), "M");
+  EXPECT_EQ(events->items()[1].Find("ph")->str(), "M");
+  const JsonValue& span = events->items()[2];
+  EXPECT_EQ(span.Find("ph")->str(), "X");
+  EXPECT_EQ(span.Find("name")->str(), "dma");
+  EXPECT_EQ(span.Find("ts")->number(), 1e6);   // seconds -> microseconds
+  EXPECT_EQ(span.Find("dur")->number(), 1e6);
+  const JsonValue* args = span.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("query")->number(), 7);
+  EXPECT_EQ(args->Find("lane")->number(), 2);
+  EXPECT_EQ(args->Find("bytes")->number(), 4096);
+  EXPECT_EQ(args->Find("pipeline")->str(), "pipe");
+  EXPECT_FALSE(args->Has("tier"));  // left at default, omitted
+  const JsonValue& instant = events->items()[3];
+  EXPECT_EQ(instant.Find("ph")->str(), "i");
+  EXPECT_EQ(instant.Find("ts")->number(), 3e6);
+  EXPECT_TRUE(instant.Find("args")->members().empty());
+}
+
+// ---- metrics units ----------------------------------------------------------
+
+TEST(Metrics, InstrumentsAccumulate) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.GetCounter("a.count")->Increment();
+  m.GetCounter("a.count")->Add(2.5);
+  EXPECT_EQ(m.FindCounter("a.count")->value, 3.5);
+  EXPECT_EQ(m.FindCounter("missing"), nullptr);
+
+  m.GetGauge("g")->Set(5.0);
+  m.GetGauge("g")->Set(3.0);
+  EXPECT_EQ(m.FindGauge("g")->value, 3.0);
+  EXPECT_EQ(m.FindGauge("g")->high_water, 5.0);
+
+  Histogram* h = m.GetHistogram("h", {1.0, 2.0, 4.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+  h->Observe(100.0);
+  ASSERT_EQ(h->counts.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(h->counts[0], 1u);
+  EXPECT_EQ(h->counts[2], 1u);
+  EXPECT_EQ(h->counts[3], 1u);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->min, 0.5);
+  EXPECT_EQ(h->max, 100.0);
+  // Re-fetching with different bounds returns the existing instrument.
+  EXPECT_EQ(m.GetHistogram("h", {9.0}), h);
+
+  auto doc = JsonParser::Parse(m.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().Find("counters")->Find("a.count")->number(), 3.5);
+  EXPECT_EQ(doc.value().Find("gauges")->Find("g")->Find("high_water")
+                ->number(),
+            5.0);
+  const JsonValue* hist = doc.value().Find("histograms")->Find("h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number(), 3);
+  EXPECT_EQ(hist->Find("buckets")->items().size(), 4u);
+
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+}
+
+// ---- zero-cost when disabled ------------------------------------------------
+
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new sim::Topology(sim::Topology::PaperServer());
+    ctx_ = new TpchContext();
+    ctx_->topo = topo_;
+    ctx_->sf_actual = 0.003;
+    ctx_->sf_nominal = 100.0;
+    ASSERT_TRUE(PrepareTpch(ctx_).ok());
+  }
+
+  static sim::Topology* topo_;
+  static TpchContext* ctx_;
+};
+sim::Topology* ObsEngineTest::topo_ = nullptr;
+TpchContext* ObsEngineTest::ctx_ = nullptr;
+
+constexpr EngineConfig kAllConfigs[] = {
+    EngineConfig::kDbmsC, EngineConfig::kProteusCpu,
+    EngineConfig::kProteusHybrid, EngineConfig::kProteusGpu,
+    EngineConfig::kDbmsG};
+
+struct RunRecord {
+  Groups groups;
+  engine::RunStats stats;
+};
+
+// Three tracer modes: an engine that never touched the tracer, one with
+// tracing explicitly disabled, and one with tracing on.
+enum class TracerMode { kNever, kDisabled, kEnabled };
+
+void ExpectRunsIdentical(const RunRecord& a, const RunRecord& b,
+                         const std::string& what) {
+  // Result bits.
+  ASSERT_EQ(a.groups.size(), b.groups.size()) << what;
+  auto itb = b.groups.begin();
+  for (auto ita = a.groups.begin(); ita != a.groups.end(); ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first) << what;
+    ASSERT_EQ(0, std::memcmp(ita->second.data(), itb->second.data(),
+                             ita->second.size() * sizeof(double)))
+        << what;
+  }
+  // Cost sequences: every simulated time and byte count, per pipeline.
+  EXPECT_EQ(a.stats.finish, b.stats.finish) << what;
+  EXPECT_EQ(a.stats.placement_finish, b.stats.placement_finish) << what;
+  EXPECT_EQ(a.stats.moved_bytes, b.stats.moved_bytes) << what;
+  EXPECT_EQ(a.stats.transfer_busy_s, b.stats.transfer_busy_s) << what;
+  EXPECT_EQ(a.stats.transfer_exposed_s, b.stats.transfer_exposed_s) << what;
+  EXPECT_EQ(a.stats.peak_staged_bytes, b.stats.peak_staged_bytes) << what;
+  ASSERT_EQ(a.stats.pipelines.size(), b.stats.pipelines.size()) << what;
+  for (size_t i = 0; i < a.stats.pipelines.size(); ++i) {
+    EXPECT_EQ(a.stats.pipelines[i].stats.start,
+              b.stats.pipelines[i].stats.start)
+        << what << " pipeline " << i;
+    EXPECT_EQ(a.stats.pipelines[i].stats.finish,
+              b.stats.pipelines[i].stats.finish)
+        << what << " pipeline " << i;
+    EXPECT_EQ(a.stats.pipelines[i].stats.packets,
+              b.stats.pipelines[i].stats.packets)
+        << what << " pipeline " << i;
+    EXPECT_EQ(a.stats.pipelines[i].stats.moved_bytes,
+              b.stats.pipelines[i].stats.moved_bytes)
+        << what << " pipeline " << i;
+  }
+}
+
+// A run on an engine with tracing disabled — or enabled — must be
+// byte-identical (results and every simulated cost) to a run on an engine
+// that never configured the tracer, in every system configuration.
+TEST_F(ObsEngineTest, TracingNeverPerturbsTheSimulation) {
+  queries::Fuzzer fuzzer(/*seed=*/29);
+  const queries::FuzzSpec spec = fuzzer.Generate();
+
+  auto run_one = [&](EngineConfig config, TracerMode mode) {
+    topo_->Reset();
+    engine::Engine eng(topo_);
+    if (mode == TracerMode::kDisabled) {
+      eng.SetTraceOptions(TraceOptions{false});
+    } else if (mode == TracerMode::kEnabled) {
+      eng.SetTraceOptions(TraceOptions{true});
+    }
+    ExecutionPolicy policy = ExecutionPolicy::ForConfig(*topo_, config);
+    policy.async = engine::AsyncOptions::Depth(1);
+    queries::FuzzPlan fp =
+        queries::BuildFuzzPlan(spec, ctx_->catalog, /*chunk_rows=*/2048);
+    HAPE_CHECK(eng.Optimize(&fp.plan, policy).ok());
+    auto run = eng.Run(&fp.plan, policy);
+    HAPE_CHECK(run.ok()) << run.status().ToString();
+    if (mode == TracerMode::kEnabled) {
+      EXPECT_GT(eng.tracer().num_events(), 0u);
+    } else {
+      EXPECT_EQ(eng.tracer().num_events(), 0u);
+    }
+    return RunRecord{fp.agg.result(), std::move(run.value())};
+  };
+
+  for (EngineConfig config : kAllConfigs) {
+    const std::string what = std::string("config ") + ConfigName(config);
+    const RunRecord never = run_one(config, TracerMode::kNever);
+    const RunRecord off = run_one(config, TracerMode::kDisabled);
+    const RunRecord on = run_one(config, TracerMode::kEnabled);
+    ExpectRunsIdentical(never, off, what + " disabled-vs-never");
+    ExpectRunsIdentical(never, on, what + " enabled-vs-never");
+  }
+}
+
+// ---- end-to-end serve trace -------------------------------------------------
+
+struct TracedReplay {
+  ScheduleStats stats;
+  serve::PlanCache::Stats cache;
+  std::string trace;
+  std::string metrics;
+};
+
+TracedReplay TracedServeReplay(TpchContext* ctx) {
+  serve::WorkloadOptions wo;
+  wo.num_queries = 24;
+  wo.seed = 7;
+  wo.arrival_rate_qps = 8.0;
+
+  ExecutionPolicy policy = ExecutionPolicy::ForConfig(
+      *ctx->topo, EngineConfig::kProteusHybrid);
+  policy.async = engine::AsyncOptions::Depth(1);
+  policy.scheduling = engine::SchedulingPolicy::kSlaTiered;
+
+  ctx->topo->Reset();
+  engine::Engine eng(ctx->topo);
+  eng.SetTraceOptions(TraceOptions{true});
+  serve::QueryService service(&eng, &ctx->catalog, policy);
+  auto trace = GenerateWorkload(ctx, wo);
+  HAPE_CHECK(trace.ok()) << trace.status().ToString();
+  for (const serve::WorkloadQuery& q : trace.value()) {
+    auto t = service.Submit(q.plan, q.opts);
+    HAPE_CHECK(t.ok()) << t.status().ToString();
+  }
+  auto stats = service.Run();
+  HAPE_CHECK(stats.ok()) << stats.status().ToString();
+  return TracedReplay{std::move(stats.value()), service.cache_stats(),
+                      eng.DumpTrace(), eng.metrics().ToJson()};
+}
+
+// The same seed must dump the same trace, byte for byte; and the trace
+// must be internally consistent: monotone timestamps, and per query
+// arrival <= admit <= complete matching the schedule's own record.
+TEST_F(ObsEngineTest, ServeReplayTraceIsDeterministicAndConsistent) {
+  const TracedReplay a = TracedServeReplay(ctx_);
+  const TracedReplay b = TracedServeReplay(ctx_);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+
+  auto doc = JsonParser::Parse(a.trace);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->items().empty());
+
+  struct Lifecycle {
+    double arrival = -1, admit = -1, complete = -1;
+  };
+  std::map<int, Lifecycle> queries;
+  double prev_ts = -1;
+  uint64_t cache_instants = 0;
+  for (const JsonValue& e : events->items()) {
+    if (e.Find("ph")->str() == "M") continue;  // metadata carries no ts
+    const double ts = e.Find("ts")->number();
+    EXPECT_GE(ts, prev_ts) << "timestamps must be monotone";
+    prev_ts = ts;
+    const std::string& name = e.Find("name")->str();
+    if (name == "plan_cache_hit" || name == "plan_cache_miss") {
+      ++cache_instants;
+    }
+    const JsonValue* args = e.Find("args");
+    const JsonValue* q = args != nullptr ? args->Find("query") : nullptr;
+    if (q == nullptr) continue;
+    Lifecycle& lc = queries[static_cast<int>(q->number())];
+    if (name == "arrival") lc.arrival = ts;
+    if (name == "admit") lc.admit = ts;
+    if (name == "complete") lc.complete = ts;
+  }
+  EXPECT_EQ(cache_instants, a.cache.hits + a.cache.misses);
+
+  // Every scheduled query appears with a full, ordered lifecycle.
+  ASSERT_EQ(queries.size(), a.stats.queries.size());
+  for (const auto& [id, lc] : queries) {
+    EXPECT_GE(lc.arrival, 0.0) << "query " << id;
+    EXPECT_GE(lc.admit, lc.arrival) << "query " << id;
+    EXPECT_GE(lc.complete, lc.admit) << "query " << id;
+  }
+
+  // Metrics reconcile with the schedule and the cache.
+  auto m = JsonParser::Parse(a.metrics);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const JsonValue* counters = m.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("scheduler.queries")->number(),
+            static_cast<double>(a.stats.queries.size()));
+  EXPECT_EQ(counters->Find("plan_cache.hits")->number(),
+            static_cast<double>(a.cache.hits));
+  EXPECT_EQ(counters->Find("plan_cache.misses")->number(),
+            static_cast<double>(a.cache.misses));
+  EXPECT_NE(counters->Find("engine.pipelines"), nullptr);
+  EXPECT_NE(m.value().Find("histograms")->Find("scheduler.ready_depth.tier0"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace hape::obs

@@ -108,6 +108,83 @@ TEST_F(ServeTest, CacheHitIsByteIdenticalToColdRunEverywhere) {
   }
 }
 
+// LRU bound: at capacity the least-recently-used entry is evicted (a Find
+// refreshes recency), updates of a resident key never evict, and the
+// hit/miss/eviction bookkeeping lands both in Stats and in a bound
+// MetricsRegistry.
+TEST(PlanCacheLru, EvictsLeastRecentlyUsedAtCapacity) {
+  PlanCache cache(/*capacity=*/2);
+  obs::MetricsRegistry metrics;
+  cache.BindMetrics(&metrics);
+
+  cache.Insert("a", "A");
+  cache.Insert("b", "B");
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.Find("a"), nullptr);  // "b" becomes least recent
+  cache.Insert("c", "C");               // evicts "b"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Find("b"), nullptr);
+  ASSERT_NE(cache.Find("a"), nullptr);
+  EXPECT_EQ(*cache.Find("a"), "A");
+  ASSERT_NE(cache.Find("c"), nullptr);
+
+  // Updating a resident key replaces in place, no eviction.
+  cache.Insert("a", "A2");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Find("a"), "A2");
+  EXPECT_NE(cache.Find("c"), nullptr);
+
+  const PlanCache::Stats& s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.misses, 1u);  // the evicted "b"
+  EXPECT_EQ(s.hits, 6u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(metrics.FindCounter("plan_cache.evictions")->value, 1.0);
+  EXPECT_EQ(metrics.FindCounter("plan_cache.misses")->value, 1.0);
+  EXPECT_EQ(metrics.FindCounter("plan_cache.hits")->value, 6.0);
+  EXPECT_EQ(metrics.FindGauge("plan_cache.entries")->value, 2.0);
+}
+
+// Through the service: with capacity 1, a second distinct statement
+// evicts the first, so resubmitting the first misses again — and the
+// eviction shows up in the engine's metrics registry. Correctness is
+// untouched either way (the cache stores optimizer output, not results).
+TEST_F(ServeTest, ServiceEvictsBeyondCacheCapacity) {
+  topo_->Reset();
+  engine::Engine eng(topo_);
+  ExecutionPolicy policy =
+      ExecutionPolicy::ForConfig(*topo_, EngineConfig::kProteusHybrid);
+  QueryService service(&eng, &ctx_->catalog, policy, /*cache_capacity=*/1);
+
+  queries::Fuzzer f1(31), f2(32);
+  const queries::FuzzSpec spec1 = f1.Generate();
+  const queries::FuzzSpec spec2 = f2.Generate();
+  auto submit = [&](const queries::FuzzSpec& spec) {
+    queries::FuzzPlan fp =
+        queries::BuildFuzzPlan(spec, ctx_->catalog, /*chunk_rows=*/2048);
+    auto t = service.Submit(fp.plan, SubmitOptions{});
+    HAPE_CHECK(t.ok()) << t.status().ToString();
+    return t.value().cache_hit;
+  };
+
+  EXPECT_FALSE(submit(spec1));  // miss: cold
+  EXPECT_TRUE(submit(spec1));   // hit: resident
+  EXPECT_FALSE(submit(spec2));  // miss: evicts spec1
+  EXPECT_FALSE(submit(spec1));  // miss again: was evicted
+  EXPECT_TRUE(submit(spec1));   // hit: resident again
+
+  const PlanCache::Stats& s = service.cache_stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(eng.metrics().FindCounter("plan_cache.evictions")->value, 2.0);
+
+  auto stats = service.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().queries.size(), 5u);
+}
+
 ExecutionPolicy ServingPolicy(const sim::Topology& topo) {
   ExecutionPolicy p =
       ExecutionPolicy::ForConfig(topo, EngineConfig::kProteusHybrid);
