@@ -1,0 +1,81 @@
+#ifndef HAPE_CODEGEN_CALIBRATION_H_
+#define HAPE_CODEGEN_CALIBRATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+/// Measured per-kernel-class throughput on the host, and the harness that
+/// produces it. This is the loop that closes simulated time back onto real
+/// time: the optimizer's CostModel can load a Calibration and report
+/// per-pipeline costs derived from *measured* kernel rates next to the
+/// nominal paper-spec rates (opt/optimizer.h, Engine::Explain).
+///
+/// Calibration numbers are machine-dependent by construction. They are
+/// never serialized into plan manifests and never drive placement
+/// decisions — placement stays on the nominal model so plans (and their
+/// byte-exact manifest round-trips) are machine-independent.
+
+namespace hape::codegen {
+
+/// One kernel class: scalar reference vs dispatched (SIMD) throughput in
+/// GB/s of input column bytes.
+struct KernelRate {
+  double scalar_gbps = 0;
+  double simd_gbps = 0;
+  double speedup() const {
+    return scalar_gbps > 0 ? simd_gbps / scalar_gbps : 0;
+  }
+};
+
+struct Calibration {
+  bool avx2 = false;    ///< dispatched kernels used AVX2 paths
+  int threads = 1;      ///< packet_threads the harness ran with
+  KernelRate filter;    ///< fused compare+select over f64 columns
+  KernelRate hash;      ///< HashMurmur64 over i64 keys
+  KernelRate probe;     ///< chained-table probe (prefetched bulk vs per-row)
+  KernelRate build;     ///< chained-table build (reserved bulk vs per-row)
+  KernelRate agg;       ///< grouped accumulate (GroupIndex vs std::map)
+
+  bool loaded() const { return filter.simd_gbps > 0; }
+
+  /// Streaming-bytes rate the calibrated cost model charges for a
+  /// pipeline's byte volume: the measured filter rate (the most
+  /// bandwidth-like kernel class).
+  double stream_bytes_per_s() const { return filter.simd_gbps * 1e9; }
+
+  /// Tuple-ops rate for the calibrated model's compute term. The cost
+  /// model counts abstract per-tuple ops (expr nodes, probe steps); we map
+  /// them onto the measured hash rate via ~6 abstract ops per hashed key
+  /// (the murmur finalizer's op count) — a documented proxy, not a claim
+  /// that every op costs the same.
+  double tuple_ops_per_s() const {
+    constexpr double kOpsPerHashedKey = 6.0;
+    return hash.simd_gbps * 1e9 / 8.0 * kOpsPerHashedKey;
+  }
+
+  std::string ToJson() const;
+  static Result<Calibration> FromJson(const std::string& json);
+
+  Status SaveFile(const std::string& path) const;
+  static Result<Calibration> LoadFile(const std::string& path);
+};
+
+/// Times each kernel class on synthetic data (deterministic LCG inputs,
+/// best-of-`reps` wall-clock) and returns the measured rates. Wall-clock
+/// only — nothing here touches simulated time.
+class CalibrationHarness {
+ public:
+  struct Options {
+    size_t rows = 1u << 20;  ///< rows per timed batch
+    int reps = 5;            ///< best-of repetitions per measurement
+  };
+
+  static Calibration Measure();
+  static Calibration Measure(const Options& options);
+};
+
+}  // namespace hape::codegen
+
+#endif  // HAPE_CODEGEN_CALIBRATION_H_

@@ -1,0 +1,223 @@
+#include "codegen/kernels_internal.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+/// AVX2 kernel implementations. This is the only translation unit built
+/// with -mavx2 (see CMakeLists.txt); every entry point is reached solely
+/// through the runtime dispatch in kernels.cc, which checks
+/// __builtin_cpu_supports("avx2") first. When the toolchain can't target
+/// AVX2 the fallback block at the bottom forwards to the portable kernels.
+
+namespace hape::codegen::kernels::avx2 {
+
+#if defined(__AVX2__)
+
+const bool kCompiled = true;
+
+namespace {
+
+/// Append the selected lanes of a 4-bit movemask for rows [i, i+4) to out.
+inline size_t AppendMask(uint32_t mask, uint32_t i, uint32_t* out,
+                         size_t m) {
+  while (mask != 0) {
+    const uint32_t lane = static_cast<uint32_t>(__builtin_ctz(mask));
+    out[m++] = i + lane;
+    mask &= mask - 1;
+  }
+  return m;
+}
+
+/// 4x64-bit lane-wise multiply low (no _mm256_mullo_epi64 below AVX-512):
+/// lo*lo as a 64-bit product plus the two 32-bit cross terms shifted up.
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i bswap = _mm256_shuffle_epi32(b, 0xB1);
+  const __m256i cross = _mm256_mullo_epi32(a, bswap);
+  const __m256i cross_sum = _mm256_hadd_epi32(cross, _mm256_setzero_si256());
+  const __m256i cross_hi = _mm256_shuffle_epi32(cross_sum, 0x73);
+  const __m256i lolo = _mm256_mul_epu32(a, b);
+  return _mm256_add_epi64(lolo, cross_hi);
+}
+
+inline __m256i ShiftXor33(__m256i k) {
+  return _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+}
+
+template <int Pred>
+size_t SelectCmpPd(const double* v, double lit, size_t n, uint32_t* out) {
+  const __m256d vlit = _mm256_set1_pd(lit);
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(x, vlit, Pred));
+    m = AppendMask(static_cast<uint32_t>(mask), static_cast<uint32_t>(i),
+                   out, m);
+  }
+  for (; i < n; ++i) {
+    // Scalar tail must match the vector predicate exactly (incl. NaN).
+    bool keep = false;
+    switch (Pred) {
+      case _CMP_EQ_OQ:
+        keep = v[i] == lit;
+        break;
+      case _CMP_NEQ_UQ:
+        keep = v[i] != lit;
+        break;
+      case _CMP_LT_OQ:
+        keep = v[i] < lit;
+        break;
+      case _CMP_LE_OQ:
+        keep = v[i] <= lit;
+        break;
+      case _CMP_GT_OQ:
+        keep = v[i] > lit;
+        break;
+      case _CMP_GE_OQ:
+        keep = v[i] >= lit;
+        break;
+    }
+    if (keep) out[m++] = static_cast<uint32_t>(i);
+  }
+  return m;
+}
+
+template <int Pred>
+size_t SelectCmpEpi32(const int32_t* v, double lit, size_t n, uint32_t* out) {
+  // Widen 4 lanes of i32 to f64 (exact) and compare in double, preserving
+  // the scalar reference's widening semantics.
+  const __m256d vlit = _mm256_set1_pd(lit);
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_cvtepi32_pd(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i)));
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(x, vlit, Pred));
+    m = AppendMask(static_cast<uint32_t>(mask), static_cast<uint32_t>(i),
+                   out, m);
+  }
+  for (; i < n; ++i) {
+    const double x = static_cast<double>(v[i]);
+    bool keep = false;
+    switch (Pred) {
+      case _CMP_EQ_OQ:
+        keep = x == lit;
+        break;
+      case _CMP_NEQ_UQ:
+        keep = x != lit;
+        break;
+      case _CMP_LT_OQ:
+        keep = x < lit;
+        break;
+      case _CMP_LE_OQ:
+        keep = x <= lit;
+        break;
+      case _CMP_GT_OQ:
+        keep = x > lit;
+        break;
+      case _CMP_GE_OQ:
+        keep = x >= lit;
+        break;
+    }
+    if (keep) out[m++] = static_cast<uint32_t>(i);
+  }
+  return m;
+}
+
+}  // namespace
+
+size_t SelectNonZero(const double* v, size_t n, uint32_t* out) {
+  // v != 0, with NaN selected — _CMP_NEQ_UQ matches the scalar `v != 0`.
+  return SelectCmpPd<_CMP_NEQ_UQ>(v, 0.0, n, out);
+}
+
+size_t SelectCmpF64(const double* v, BinOp op, double lit, size_t n,
+                    uint32_t* out) {
+  switch (op) {
+    case BinOp::kEq:
+      return SelectCmpPd<_CMP_EQ_OQ>(v, lit, n, out);
+    case BinOp::kNe:
+      return SelectCmpPd<_CMP_NEQ_UQ>(v, lit, n, out);
+    case BinOp::kLt:
+      return SelectCmpPd<_CMP_LT_OQ>(v, lit, n, out);
+    case BinOp::kLe:
+      return SelectCmpPd<_CMP_LE_OQ>(v, lit, n, out);
+    case BinOp::kGt:
+      return SelectCmpPd<_CMP_GT_OQ>(v, lit, n, out);
+    case BinOp::kGe:
+      return SelectCmpPd<_CMP_GE_OQ>(v, lit, n, out);
+    default:
+      HAPE_CHECK(false) << "SelectCmp requires a comparison op";
+      return 0;
+  }
+}
+
+size_t SelectCmpI32(const int32_t* v, BinOp op, double lit, size_t n,
+                    uint32_t* out) {
+  switch (op) {
+    case BinOp::kEq:
+      return SelectCmpEpi32<_CMP_EQ_OQ>(v, lit, n, out);
+    case BinOp::kNe:
+      return SelectCmpEpi32<_CMP_NEQ_UQ>(v, lit, n, out);
+    case BinOp::kLt:
+      return SelectCmpEpi32<_CMP_LT_OQ>(v, lit, n, out);
+    case BinOp::kLe:
+      return SelectCmpEpi32<_CMP_LE_OQ>(v, lit, n, out);
+    case BinOp::kGt:
+      return SelectCmpEpi32<_CMP_GT_OQ>(v, lit, n, out);
+    case BinOp::kGe:
+      return SelectCmpEpi32<_CMP_GE_OQ>(v, lit, n, out);
+    default:
+      HAPE_CHECK(false) << "SelectCmp requires a comparison op";
+      return 0;
+  }
+}
+
+void HashKeys(const int64_t* keys, size_t n, uint64_t* out) {
+  // 4-lane MurmurHash3 finalizer: xorshift steps vectorize directly, the
+  // two 64-bit multiplies go through the MulLo64 emulation. Bit-identical
+  // to HashMurmur64 by construction (pure integer ops).
+  const __m256i c1 = _mm256_set1_epi64x(
+      static_cast<int64_t>(0xff51afd7ed558ccdULL));
+  const __m256i c2 = _mm256_set1_epi64x(
+      static_cast<int64_t>(0xc4ceb9fe1a85ec53ULL));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i k = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    k = ShiftXor33(k);
+    k = MulLo64(k, c1);
+    k = ShiftXor33(k);
+    k = MulLo64(k, c2);
+    k = ShiftXor33(k);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), k);
+  }
+  for (; i < n; ++i) out[i] = HashMurmur64(static_cast<uint64_t>(keys[i]));
+}
+
+#else  // !defined(__AVX2__): toolchain can't target AVX2 — forward to the
+       // portable kernels; kCompiled=false keeps dispatch off this path.
+
+const bool kCompiled = false;
+
+size_t SelectNonZero(const double* v, size_t n, uint32_t* out) {
+  return portable::SelectNonZero(v, n, out);
+}
+size_t SelectCmpF64(const double* v, BinOp op, double lit, size_t n,
+                    uint32_t* out) {
+  return portable::SelectCmpF64(v, op, lit, n, out);
+}
+size_t SelectCmpI32(const int32_t* v, BinOp op, double lit, size_t n,
+                    uint32_t* out) {
+  return portable::SelectCmpI32(v, op, lit, n, out);
+}
+void HashKeys(const int64_t* keys, size_t n, uint64_t* out) {
+  portable::HashKeys(keys, n, out);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace hape::codegen::kernels::avx2

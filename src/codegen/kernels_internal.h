@@ -1,0 +1,35 @@
+#ifndef HAPE_CODEGEN_KERNELS_INTERNAL_H_
+#define HAPE_CODEGEN_KERNELS_INTERNAL_H_
+
+#include "codegen/kernels.h"
+
+/// Implementation-sharing declarations between kernels.cc (portable
+/// baseline + runtime dispatch) and kernels_avx2.cc (the only translation
+/// unit built with -mavx2). Not part of the public kernel API.
+
+namespace hape::codegen::kernels {
+
+namespace portable {
+size_t SelectNonZero(const double* v, size_t n, uint32_t* out);
+size_t SelectCmpF64(const double* v, BinOp op, double lit, size_t n,
+                    uint32_t* out);
+size_t SelectCmpI32(const int32_t* v, BinOp op, double lit, size_t n,
+                    uint32_t* out);
+void HashKeys(const int64_t* keys, size_t n, uint64_t* out);
+}  // namespace portable
+
+namespace avx2 {
+/// False when kernels_avx2.cc was built without AVX2 support (non-x86 or a
+/// compiler lacking -mavx2); the functions then forward to portable::.
+extern const bool kCompiled;
+size_t SelectNonZero(const double* v, size_t n, uint32_t* out);
+size_t SelectCmpF64(const double* v, BinOp op, double lit, size_t n,
+                    uint32_t* out);
+size_t SelectCmpI32(const int32_t* v, BinOp op, double lit, size_t n,
+                    uint32_t* out);
+void HashKeys(const int64_t* keys, size_t n, uint64_t* out);
+}  // namespace avx2
+
+}  // namespace hape::codegen::kernels
+
+#endif  // HAPE_CODEGEN_KERNELS_INTERNAL_H_

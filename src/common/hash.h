@@ -26,12 +26,19 @@ constexpr uint32_t RadixOf(uint64_t key, uint32_t shift, uint32_t bits) {
                                ((1ULL << bits) - 1));
 }
 
+/// Bucket index from an already-computed HashMurmur64 value, for callers
+/// that hash whole key vectors up front (the batch kernels) or carry the
+/// hash through a packet. Must stay bit-identical to BucketOf below.
+constexpr uint32_t BucketOfHash(uint64_t hash, uint32_t log_buckets) {
+  return static_cast<uint32_t>(hash >>
+                               (64 - (log_buckets == 0 ? 1 : log_buckets))) &
+         ((1u << log_buckets) - 1);
+}
+
 /// Bucket index for a hash table with pow2 `buckets`, taken from the *high*
 /// bits so it stays independent of the radix bits consumed by partitioning.
 constexpr uint32_t BucketOf(uint64_t key, uint32_t log_buckets) {
-  return static_cast<uint32_t>(HashMurmur64(key) >>
-                               (64 - (log_buckets == 0 ? 1 : log_buckets))) &
-         ((1u << log_buckets) - 1);
+  return BucketOfHash(HashMurmur64(key), log_buckets);
 }
 
 /// Combine two hash values (boost::hash_combine style, 64-bit).

@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "codegen/kernels.h"
 #include "common/logging.h"
 
 namespace hape::engine {
@@ -25,38 +26,107 @@ const char* RoutingPolicyName(RoutingPolicy p) {
 
 namespace {
 
-/// The shared data path of both timing models: run the fused stage chain
-/// over the packet, feed the sink, and return the packet's processing cost
-/// on `worker`'s backend. Byte-for-byte the historical synchronous order
-/// of operations, so both models produce identical results and traffic.
-sim::SimTime ProcessPacket(Pipeline* p, memory::Batch* b, int worker_index,
-                           const Worker& worker, ExecStats* stats) {
-  sim::TrafficStats t;
+/// The *transform* half of the data path: run the fused stage chain over
+/// the packet, accumulating its traffic. Pure with respect to engine state
+/// — it touches only the packet, read-only shared structures (hash tables,
+/// payload columns) and `t` — and its only worker-dependence is the
+/// backend's device type (probe traffic taxonomy), so independent packets
+/// can transform on worker threads when the pipeline's workers are
+/// device-type homogeneous.
+void TransformPacket(Pipeline* p, memory::Batch* b,
+                     const codegen::Backend& backend, sim::TrafficStats* t) {
   if (p->charge_source_read) {
     // ScanStage charges this; nothing extra here. (Kept explicit so
     // pipelines over intermediates can skip it.)
   }
   for (auto& stage : p->stages) {
-    stage(b, &t, *worker.backend);
+    stage(b, t, backend);
     if (p->vector_at_a_time) {
       // Materialize one vector per live column per stage: a load+store
       // through the cache hierarchy plus interpretation dispatch — the
       // "multiple in-L1 passes" §6.4 credits for DBMS C's Q1 overhead.
-      t.tuple_ops += b->rows * 4 * b->num_columns();
+      t->tuple_ops += b->rows * 4 * b->num_columns();
     }
     if (p->operator_at_a_time) {
-      t.dram_seq_write_bytes += b->byte_size();
-      t.dram_seq_read_bytes += b->byte_size();
+      t->dram_seq_write_bytes += b->byte_size();
+      t->dram_seq_read_bytes += b->byte_size();
     }
     if (b->rows == 0) break;
   }
-  stats->rows_out += b->rows;
-  if (p->sink != nullptr) {
-    p->sink->Consume(worker_index, std::move(*b), &t, *worker.backend);
+}
+
+/// One admitted packet: the (possibly pre-transformed) batch, its stage
+/// traffic so far, and the routing metadata captured before any transform.
+struct PreparedPacket {
+  memory::Batch batch;
+  sim::TrafficStats traffic;
+  PacketMeta meta;
+  uint64_t rows_in = 0;
+  bool transformed = false;
+};
+
+/// The *commit* half: always sequential, in admission order. Finishes the
+/// transform inline when the packet was not pre-transformed, feeds the
+/// sink, and returns the packet's processing cost on `worker`'s backend.
+/// Transform + commit is byte-for-byte the historical ProcessPacket order
+/// of operations, so both timing models — and both the sequential and the
+/// parallel transform paths — produce identical results and traffic.
+sim::SimTime CommitPacket(Pipeline* p, PreparedPacket* pp, int worker_index,
+                          const Worker& worker, ExecStats* stats) {
+  if (!pp->transformed) {
+    TransformPacket(p, &pp->batch, *worker.backend, &pp->traffic);
   }
-  const sim::TrafficStats scaled = codegen::Scaled(t, p->scale);
+  stats->rows_out += pp->batch.rows;
+  if (p->sink != nullptr) {
+    p->sink->Consume(worker_index, std::move(pp->batch), &pp->traffic,
+                     *worker.backend);
+  }
+  const sim::TrafficStats scaled = codegen::Scaled(pp->traffic, p->scale);
   stats->traffic += scaled;
   return worker.backend->PacketTime(scaled);
+}
+
+/// Parallel transforms require every worker to charge the same traffic for
+/// the same packet; the only backend-dependence in the stages is the
+/// device type, so homogeneity of that is the gate. Hybrid (CPU+GPU)
+/// pipelines fall back to sequential transform-at-commit.
+bool HomogeneousDeviceType(const std::vector<Worker>& workers) {
+  for (size_t w = 1; w < workers.size(); ++w) {
+    if (workers[w].backend->device_type() !=
+        workers[0].backend->device_type()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Drain `p->inputs` into PreparedPackets, capturing each packet's routing
+/// metadata first. When the data plane asks for packet threads and the
+/// worker set is device-type homogeneous, transform every packet up front
+/// across the thread pool — commit order (and with it every result byte
+/// and every simulated cost sequence) is unchanged because routing reads
+/// only the captured metadata and commits stay sequential in admission
+/// order.
+std::vector<PreparedPacket> PrepareInputs(Pipeline* p,
+                                          const std::vector<Worker>& workers) {
+  std::vector<PreparedPacket> prep(p->inputs.size());
+  for (size_t i = 0; i < p->inputs.size(); ++i) {
+    PreparedPacket& pp = prep[i];
+    pp.batch = std::move(p->inputs[i]);
+    pp.rows_in = pp.batch.rows;
+    pp.meta = PacketMeta{pp.batch.byte_size(), pp.batch.mem_node,
+                         pp.batch.partition_id};
+  }
+  const int threads = codegen::DataPlane().packet_threads;
+  if (threads > 1 && prep.size() > 1 && HomogeneousDeviceType(workers)) {
+    const codegen::Backend& backend = *workers[0].backend;
+    codegen::kernels::ParallelFor(prep.size(), threads, [&](size_t i) {
+      TransformPacket(p, &prep[i].batch, backend, &prep[i].traffic);
+      prep[i].transformed = true;
+    });
+    codegen::BumpParallelPackets(prep.size());
+  }
+  return prep;
 }
 
 /// Worker-instance index within its device (MakeWorkers order) for each
@@ -125,15 +195,15 @@ sim::SimTime Executor::RouteDuration(int from_node, int to_node,
   return d;
 }
 
-int Executor::Route(const Pipeline& p, const memory::Batch& b,
+int Executor::Route(const Pipeline& p, const PacketMeta& m,
                     const std::vector<Worker>& workers, size_t packet_index,
                     const LinkAvailFn& link_avail) const {
   switch (p.policy) {
     case RoutingPolicy::kHashBased: {
       // Route on the packet's partition id without touching its contents
       // (the data-packing trait): all tuples of the packet share it.
-      const uint64_t h = b.partition_id >= 0
-                             ? static_cast<uint64_t>(b.partition_id)
+      const uint64_t h = m.partition_id >= 0
+                             ? static_cast<uint64_t>(m.partition_id)
                              : packet_index;
       return static_cast<int>(h % workers.size());
     }
@@ -147,18 +217,18 @@ int Executor::Route(const Pipeline& p, const memory::Batch& b,
       int best_local = -1, best_any = 0;
       for (int w = 0; w < static_cast<int>(workers.size()); ++w) {
         if (workers[w].free_at < workers[best_any].free_at) best_any = w;
-        if (workers[w].mem_node == b.mem_node &&
+        if (workers[w].mem_node == m.mem_node &&
             (best_local < 0 ||
              workers[w].free_at < workers[best_local].free_at)) {
           best_local = w;
         }
       }
       if (best_local < 0) return best_any;
-      if (workers[best_any].mem_node == b.mem_node) return best_local;
+      if (workers[best_any].mem_node == m.mem_node) return best_local;
       const uint64_t wire_bytes = static_cast<uint64_t>(
-          b.byte_size() * p.scale * p.wire_amplification);
+          m.bytes * p.scale * p.wire_amplification);
       const sim::SimTime ship =
-          RouteDuration(b.mem_node, workers[best_any].mem_node, wire_bytes);
+          RouteDuration(m.mem_node, workers[best_any].mem_node, wire_bytes);
       return workers[best_local].free_at <= workers[best_any].free_at + ship
                  ? best_local
                  : best_any;
@@ -172,9 +242,9 @@ int Executor::Route(const Pipeline& p, const memory::Batch& b,
       sim::SimTime best_t = -1;
       for (int w = 0; w < static_cast<int>(workers.size()); ++w) {
         sim::SimTime est = workers[w].free_at;
-        if (workers[w].mem_node != b.mem_node) {
+        if (workers[w].mem_node != m.mem_node) {
           sim::SimTime link_free = 0;
-          for (int l : topo_->Route(b.mem_node, workers[w].mem_node)) {
+          for (int l : topo_->Route(m.mem_node, workers[w].mem_node)) {
             link_free = std::max(link_free, link_avail(l));
           }
           est = std::max(est, link_free);
@@ -217,29 +287,32 @@ ExecStats Executor::RunSync(Pipeline* p, std::vector<Worker>* workers_ptr,
   const std::vector<int> instance =
       trace ? WorkerInstances(workers) : std::vector<int>{};
 
-  for (size_t i = 0; i < p->inputs.size(); ++i) {
-    memory::Batch b = std::move(p->inputs[i]);
-    stats.rows_in += b.rows;
+  std::vector<PreparedPacket> prep = PrepareInputs(p, workers);
+  for (size_t i = 0; i < prep.size(); ++i) {
+    PreparedPacket& pp = prep[i];
+    stats.rows_in += pp.rows_in;
     ++stats.packets;
 
-    const int w = Route(*p, b, workers, i, live_links);
+    const int w = Route(*p, pp.meta, workers, i, live_links);
     Worker& worker = workers[w];
 
     // mem-move: ship the packet to the consumer's memory node, reserving
     // every link on the route (device crossing for CPU->GPU hops). The
-    // synchronous model serializes this with the worker below.
+    // synchronous model serializes this with the worker below. Wire size
+    // is the packet's *admission* size (pp.meta), never the transformed
+    // body's — the transform is a host-side artifact.
     sim::SimTime ready = start;
     uint64_t wire_bytes = 0;
-    const int from_node = b.mem_node;
-    if (b.mem_node != worker.mem_node) {
+    const int from_node = pp.meta.mem_node;
+    if (pp.meta.mem_node != worker.mem_node) {
       wire_bytes = static_cast<uint64_t>(
-          b.byte_size() * p->scale * p->wire_amplification);
-      ready = topo_->TransferFinish(b.mem_node, worker.mem_node, start,
+          pp.meta.bytes * p->scale * p->wire_amplification);
+      ready = topo_->TransferFinish(pp.meta.mem_node, worker.mem_node, start,
                                     wire_bytes);
-      b.mem_node = worker.mem_node;
     }
+    pp.batch.mem_node = worker.mem_node;
 
-    const sim::SimTime cost = ProcessPacket(p, &b, w, worker, &stats);
+    const sim::SimTime cost = CommitPacket(p, &pp, w, worker, &stats);
     if (wire_bytes > 0) {
       ++stats.mem_moves;
       stats.moved_bytes += wire_bytes;
@@ -293,18 +366,19 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
   const LinkAvailFn shadow_links = [&shadow_link](int l) {
     return shadow_link[l];
   };
-  for (size_t i = 0; i < p->inputs.size(); ++i) {
-    memory::Batch b = std::move(p->inputs[i]);
-    stats.rows_in += b.rows;
+  std::vector<PreparedPacket> prep = PrepareInputs(p, workers);
+  for (size_t i = 0; i < prep.size(); ++i) {
+    PreparedPacket& pp = prep[i];
+    stats.rows_in += pp.rows_in;
     ++stats.packets;
-    const int w = Route(*p, b, workers, i, shadow_links);
+    const int w = Route(*p, pp.meta, workers, i, shadow_links);
     Worker& worker = workers[w];
     uint64_t wire_bytes = 0;
-    const int from_node = b.mem_node;
+    const int from_node = pp.meta.mem_node;
     sim::SimTime est_ready = 0;
-    if (b.mem_node != worker.mem_node) {
+    if (pp.meta.mem_node != worker.mem_node) {
       wire_bytes = static_cast<uint64_t>(
-          b.byte_size() * p->scale * p->wire_amplification);
+          pp.meta.bytes * p->scale * p->wire_amplification);
       // Shadow reservation mirroring TransferFinish, so the router sees
       // the same projected contention the synchronous model would.
       sim::SimTime t = 0;
@@ -314,9 +388,9 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
         shadow_link[l] = t;
       }
       est_ready = t;
-      b.mem_node = worker.mem_node;
     }
-    const sim::SimTime cost = ProcessPacket(p, &b, w, worker, &stats);
+    pp.batch.mem_node = worker.mem_node;
+    const sim::SimTime cost = CommitPacket(p, &pp, w, worker, &stats);
     worker.free_at = std::max(worker.free_at, est_ready) + cost;
     recs.push_back(Rec{w, cost, wire_bytes, from_node});
   }

@@ -57,6 +57,17 @@ class EventQueue {
   uint64_t seq_ = 0;
 };
 
+/// Routing-visible packet metadata, captured from the input batch *before*
+/// any stage transform runs. The router only ever sees size and location —
+/// never contents — so routing (and with it every downstream timing
+/// decision) is identical whether the packet body was already transformed
+/// by a worker thread or is still raw.
+struct PacketMeta {
+  uint64_t bytes = 0;       ///< byte_size() of the untransformed packet
+  int mem_node = 0;         ///< node holding the packet at admission
+  int32_t partition_id = -1;
+};
+
 /// One logical consumer instance of a pipeline: a CPU core or a whole GPU.
 /// Instantiated per pipeline run by the executor from the device list —
 /// this is HetExchange's producer/consumer instantiation (§4.2).
@@ -236,8 +247,10 @@ class Executor {
 
   std::vector<Worker> MakeWorkers(const std::vector<int>& devices,
                                   sim::SimTime start) const;
-  /// Router: choose the worker for `b` under `policy`; returns worker index.
-  int Route(const Pipeline& p, const memory::Batch& b,
+  /// Router: choose the worker for the packet described by `m` under
+  /// `policy`; returns worker index. Takes metadata rather than the batch
+  /// so pre-transformed packets route exactly like raw ones.
+  int Route(const Pipeline& p, const PacketMeta& m,
             const std::vector<Worker>& workers, size_t packet_index,
             const LinkAvailFn& link_avail) const;
 

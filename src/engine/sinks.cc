@@ -31,6 +31,7 @@ BuildSink::BuildSink(JoinStatePtr state, expr::ExprPtr key_expr,
                      std::vector<int> payload_cols)
     : state_(std::move(state)),
       key_expr_(std::move(key_expr)),
+      key_signature_(key_expr_->ToString()),
       payload_cols_(std::move(payload_cols)) {}
 
 void BuildSink::Consume(int worker, memory::Batch&& batch,
@@ -48,19 +49,47 @@ void BuildSink::Consume(int worker, memory::Batch&& batch,
     }
     payload_initialized_ = true;
   }
-  const std::vector<int64_t> keys = expr::Eval::Ints(*key_expr_, batch);
   const uint32_t base = static_cast<uint32_t>(state_->payload.rows);
-  for (size_t i = 0; i < batch.rows; ++i) {
-    state_->ht.Insert(keys[i], base + static_cast<uint32_t>(i));
-  }
-  for (size_t c = 0; c < payload_cols_.size(); ++c) {
-    const storage::Column& src = *batch.columns[payload_cols_[c]];
-    storage::Column& dst = *state_->payload.columns[c];
+  if (codegen::VectorizedPlane()) {
+    // Bulk build: keys + hashes from the packet's key cache when an
+    // upstream probe already evaluated this expression, else hashed here
+    // in one pass; the table reserves once and never reallocates
+    // mid-insert.
+    std::shared_ptr<const std::vector<int64_t>> keys;
+    std::shared_ptr<const std::vector<uint64_t>> hashes;
+    if (batch.key_cache.valid() &&
+        batch.key_cache.signature == key_signature_) {
+      keys = batch.key_cache.keys;
+      hashes = batch.key_cache.hashes;
+      codegen::BumpHashCacheHits(batch.rows);
+    } else {
+      keys = std::make_shared<const std::vector<int64_t>>(
+          expr::Eval::Ints(*key_expr_, batch));
+      auto h = std::make_shared<std::vector<uint64_t>>(batch.rows);
+      codegen::kernels::HashKeys(keys->data(), batch.rows, h->data());
+      hashes = std::move(h);
+      codegen::BumpHashCacheMisses(batch.rows);
+    }
+    codegen::kernels::BuildBulk(&state_->ht, keys->data(), hashes->data(),
+                                batch.rows, base);
+    for (size_t c = 0; c < payload_cols_.size(); ++c) {
+      state_->payload.columns[c]->AppendColumn(
+          *batch.columns[payload_cols_[c]]);
+    }
+  } else {
+    const std::vector<int64_t> keys = expr::Eval::Ints(*key_expr_, batch);
     for (size_t i = 0; i < batch.rows; ++i) {
-      if (src.type() == storage::DataType::kFloat64) {
-        dst.AppendDouble(src.GetDouble(i));
-      } else {
-        dst.AppendInt(src.GetInt(i));
+      state_->ht.Insert(keys[i], base + static_cast<uint32_t>(i));
+    }
+    for (size_t c = 0; c < payload_cols_.size(); ++c) {
+      const storage::Column& src = *batch.columns[payload_cols_[c]];
+      storage::Column& dst = *state_->payload.columns[c];
+      for (size_t i = 0; i < batch.rows; ++i) {
+        if (src.type() == storage::DataType::kFloat64) {
+          dst.AppendDouble(src.GetDouble(i));
+        } else {
+          dst.AppendInt(src.GetInt(i));
+        }
       }
     }
   }
@@ -80,6 +109,7 @@ void BuildSink::Finish(sim::TrafficStats* traffic) { (void)traffic; }
 
 void BuildSink::RemapColumns(const std::vector<int>& old_to_new) {
   key_expr_ = expr::Expr::RemapColumns(key_expr_, old_to_new);
+  key_signature_ = key_expr_->ToString();
   for (int& c : payload_cols_) {
     HAPE_CHECK(c >= 0 && c < static_cast<int>(old_to_new.size()) &&
                old_to_new[c] >= 0);
@@ -90,7 +120,9 @@ void BuildSink::RemapColumns(const std::vector<int>& old_to_new) {
 // ---- HashAggSink ------------------------------------------------------------
 
 HashAggSink::HashAggSink(expr::ExprPtr key_expr, std::vector<AggDef> aggs)
-    : key_expr_(std::move(key_expr)), aggs_(std::move(aggs)) {
+    : key_expr_(std::move(key_expr)),
+      key_signature_(key_expr_ != nullptr ? key_expr_->ToString() : ""),
+      aggs_(std::move(aggs)) {
   HAPE_CHECK(!aggs_.empty());
 }
 
@@ -98,9 +130,23 @@ void HashAggSink::Consume(int worker, memory::Batch&& batch,
                           sim::TrafficStats* traffic,
                           const codegen::Backend& backend) {
   (void)backend;
+  const bool vectorized = codegen::VectorizedPlane();
   std::vector<int64_t> keys;
-  if (key_expr_ != nullptr) {
-    keys = expr::Eval::Ints(*key_expr_, batch);
+  const std::vector<int64_t>* key_ptr = nullptr;
+  const std::vector<uint64_t>* hash_ptr = nullptr;
+  if (key_expr_ != nullptr && batch.rows > 0) {
+    if (vectorized && batch.key_cache.valid() &&
+        batch.key_cache.signature == key_signature_) {
+      // Packet-carried keys+hashes from the probe stage: skip both the key
+      // evaluation and the per-row rehash in the group index.
+      key_ptr = batch.key_cache.keys.get();
+      hash_ptr = batch.key_cache.hashes.get();
+      codegen::BumpHashCacheHits(batch.rows);
+    } else {
+      keys = expr::Eval::Ints(*key_expr_, batch);
+      key_ptr = &keys;
+      if (vectorized) codegen::BumpHashCacheMisses(batch.rows);
+    }
   }
   // Evaluate aggregate arguments vectorized once per packet.
   std::vector<std::vector<double>> args(aggs_.size());
@@ -115,9 +161,17 @@ void HashAggSink::Consume(int worker, memory::Batch&& batch,
   }
   traffic->tuple_ops += batch.rows * ops;
 
+  if (vectorized) {
+    AccumulateVectorized(worker, batch.rows,
+                         key_ptr != nullptr ? key_ptr->data() : nullptr,
+                         hash_ptr != nullptr ? hash_ptr->data() : nullptr,
+                         args);
+    return;
+  }
+
   auto& local = partials_[worker];
   for (size_t i = 0; i < batch.rows; ++i) {
-    const int64_t k = key_expr_ ? keys[i] : 0;
+    const int64_t k = key_ptr != nullptr ? (*key_ptr)[i] : 0;
     auto [it, inserted] = local.try_emplace(k);
     if (inserted) {
       it->second.assign(aggs_.size(), 0.0);
@@ -149,9 +203,81 @@ void HashAggSink::Consume(int worker, memory::Batch&& batch,
   }
 }
 
+void HashAggSink::AccumulateVectorized(
+    int worker, size_t rows, const int64_t* keys, const uint64_t* hashes,
+    const std::vector<std::vector<double>>& args) {
+  if (rows == 0) return;
+  const size_t stride = aggs_.size();
+  auto it = vec_partials_.find(worker);
+  if (it == vec_partials_.end()) {
+    it = vec_partials_.try_emplace(worker).first;
+  }
+  VecPartial& p = it->second;
+
+  // Pass 1: resolve every row to a dense group slot (first-seen order),
+  // appending initialized accumulator cells for fresh groups.
+  std::vector<uint32_t> slots(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t k = keys != nullptr ? keys[i] : 0;
+    const uint32_t slot = hashes != nullptr
+                              ? p.index.SlotOfHashed(k, hashes[i])
+                              : p.index.SlotOf(k);
+    if (static_cast<size_t>(slot) * stride == p.accs.size()) {
+      for (size_t a = 0; a < stride; ++a) {
+        double init = 0.0;
+        if (aggs_[a].op == AggOp::kMin) {
+          init = std::numeric_limits<double>::infinity();
+        } else if (aggs_[a].op == AggOp::kMax) {
+          init = -std::numeric_limits<double>::infinity();
+        }
+        p.accs.push_back(init);
+      }
+    }
+    slots[i] = slot;
+  }
+
+  // Pass 2: one tight loop per aggregate. For a fixed (group, agg) cell
+  // updates arrive in ascending row order — exactly the order the scalar
+  // per-row loop applies them — so the resulting doubles are bit-identical.
+  for (size_t a = 0; a < stride; ++a) {
+    double* accs = p.accs.data();
+    switch (aggs_[a].op) {
+      case AggOp::kSum: {
+        const double* v = args[a].data();
+        for (size_t i = 0; i < rows; ++i) {
+          accs[slots[i] * stride + a] += v[i];
+        }
+        break;
+      }
+      case AggOp::kCount:
+        for (size_t i = 0; i < rows; ++i) {
+          accs[slots[i] * stride + a] += 1;
+        }
+        break;
+      case AggOp::kMin: {
+        const double* v = args[a].data();
+        for (size_t i = 0; i < rows; ++i) {
+          double& acc = accs[slots[i] * stride + a];
+          acc = std::min(acc, v[i]);
+        }
+        break;
+      }
+      case AggOp::kMax: {
+        const double* v = args[a].data();
+        for (size_t i = 0; i < rows; ++i) {
+          double& acc = accs[slots[i] * stride + a];
+          acc = std::max(acc, v[i]);
+        }
+        break;
+      }
+    }
+  }
+}
+
 void HashAggSink::RemapColumns(const std::vector<int>& old_to_new) {
   if (key_expr_ != nullptr) {
     key_expr_ = expr::Expr::RemapColumns(key_expr_, old_to_new);
+    key_signature_ = key_expr_->ToString();
   }
   for (AggDef& a : aggs_) {
     if (a.arg != nullptr) a.arg = expr::Expr::RemapColumns(a.arg, old_to_new);
@@ -160,32 +286,46 @@ void HashAggSink::RemapColumns(const std::vector<int>& old_to_new) {
 
 void HashAggSink::Finish(sim::TrafficStats* traffic) {
   uint64_t merged = 0;
+  // Merge one worker's partial group into result_. Each worker contributes
+  // a key at most once, so per-(key, agg) the merge applies one update per
+  // worker in ascending-worker order on both planes — the iteration order
+  // of groups *within* a worker cannot affect any merged double.
+  auto merge_group = [&](int64_t k, const double* acc) {
+    ++merged;
+    auto [it, inserted] = result_.try_emplace(k);
+    if (inserted) {
+      it->second.assign(acc, acc + aggs_.size());
+      return;
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      switch (aggs_[a].op) {
+        case AggOp::kSum:
+        case AggOp::kCount:
+          it->second[a] += acc[a];
+          break;
+        case AggOp::kMin:
+          it->second[a] = std::min(it->second[a], acc[a]);
+          break;
+        case AggOp::kMax:
+          it->second[a] = std::max(it->second[a], acc[a]);
+          break;
+      }
+    }
+  };
   for (auto& [worker, local] : partials_) {
-    for (auto& [k, acc] : local) {
-      ++merged;
-      auto [it, inserted] = result_.try_emplace(k);
-      if (inserted) {
-        it->second = acc;
-        continue;
-      }
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        switch (aggs_[a].op) {
-          case AggOp::kSum:
-          case AggOp::kCount:
-            it->second[a] += acc[a];
-            break;
-          case AggOp::kMin:
-            it->second[a] = std::min(it->second[a], acc[a]);
-            break;
-          case AggOp::kMax:
-            it->second[a] = std::max(it->second[a], acc[a]);
-            break;
-        }
-      }
+    (void)worker;
+    for (auto& [k, acc] : local) merge_group(k, acc.data());
+  }
+  for (auto& [worker, p] : vec_partials_) {
+    (void)worker;
+    const std::vector<int64_t>& group_keys = p.index.keys();
+    for (size_t s = 0; s < group_keys.size(); ++s) {
+      merge_group(group_keys[s], p.accs.data() + s * aggs_.size());
     }
   }
   traffic->tuple_ops += merged * aggs_.size() * 2;
   partials_.clear();
+  vec_partials_.clear();
 }
 
 }  // namespace hape::engine

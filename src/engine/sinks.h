@@ -3,8 +3,10 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "codegen/kernels.h"
 #include "engine/join_state.h"
 #include "engine/pipeline.h"
 #include "expr/expr.h"
@@ -44,6 +46,7 @@ class BuildSink final : public Sink {
  private:
   JoinStatePtr state_;
   expr::ExprPtr key_expr_;
+  std::string key_signature_;  // key_expr_->ToString(), for KeyCache matches
   std::vector<int> payload_cols_;
   bool payload_initialized_ = false;
 };
@@ -83,9 +86,26 @@ class HashAggSink final : public Sink {
   const std::vector<AggDef>& aggs() const { return aggs_; }
 
  private:
+  /// Vectorized-plane partial: open-addressing group index plus a flat
+  /// slot-major accumulator array (aggs_.size() doubles per group). Merged
+  /// values are bit-identical to the ordered-map partials because each
+  /// (group, agg) cell sees the same updates in the same row order.
+  struct VecPartial {
+    codegen::kernels::GroupIndex index;
+    std::vector<double> accs;
+  };
+
+  /// Grouped accumulate on the vectorized plane. `keys`/`hashes` may be
+  /// null (single group / no packet-carried hashes respectively).
+  void AccumulateVectorized(int worker, size_t rows, const int64_t* keys,
+                            const uint64_t* hashes,
+                            const std::vector<std::vector<double>>& args);
+
   expr::ExprPtr key_expr_;
+  std::string key_signature_;  // key_expr_->ToString(), for KeyCache matches
   std::vector<AggDef> aggs_;
   std::map<int, std::map<int64_t, std::vector<double>>> partials_;
+  std::map<int, VecPartial> vec_partials_;
   std::map<int64_t, std::vector<double>> result_;
 };
 

@@ -1,12 +1,16 @@
 #include "expr/eval.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "codegen/kernels.h"
 #include "common/logging.h"
 
 namespace hape::expr {
 
 namespace {
+
+using codegen::kernels::BinOp;
 
 double ApplyArith(ExprKind k, double l, double r) {
   switch (k) {
@@ -40,6 +44,195 @@ double ApplyArith(ExprKind k, double l, double r) {
   }
 }
 
+BinOp ToBinOp(ExprKind k) {
+  switch (k) {
+    case ExprKind::kAdd:
+      return BinOp::kAdd;
+    case ExprKind::kSub:
+      return BinOp::kSub;
+    case ExprKind::kMul:
+      return BinOp::kMul;
+    case ExprKind::kDiv:
+      return BinOp::kDiv;
+    case ExprKind::kEq:
+      return BinOp::kEq;
+    case ExprKind::kNe:
+      return BinOp::kNe;
+    case ExprKind::kLt:
+      return BinOp::kLt;
+    case ExprKind::kLe:
+      return BinOp::kLe;
+    case ExprKind::kGt:
+      return BinOp::kGt;
+    case ExprKind::kGe:
+      return BinOp::kGe;
+    case ExprKind::kAnd:
+      return BinOp::kAnd;
+    case ExprKind::kOr:
+      return BinOp::kOr;
+    default:
+      HAPE_CHECK(false) << "not a binary op";
+      return BinOp::kAdd;
+  }
+}
+
+bool IsComparison(ExprKind k) {
+  return k == ExprKind::kEq || k == ExprKind::kNe || k == ExprKind::kLt ||
+         k == ExprKind::kLe || k == ExprKind::kGt || k == ExprKind::kGe;
+}
+
+/// Mirror the comparison for operand swap: `lit op col` == `col op' lit`.
+BinOp FlipComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool LiteralValue(const Expr& e, double* out) {
+  if (e.kind() == ExprKind::kLitInt) {
+    *out = static_cast<double>(e.int_value());
+    return true;
+  }
+  if (e.kind() == ExprKind::kLitDouble) {
+    *out = e.double_value();
+    return true;
+  }
+  return false;
+}
+
+// ---- scalar reference plane -------------------------------------------------
+// The original per-row implementation, kept verbatim as the differential
+// oracle for the kernel plane (kScalar mode runs only this).
+
+std::vector<double> ScalarDoubles(const Expr& e, const memory::Batch& b) {
+  std::vector<double> out(b.rows);
+  switch (e.kind()) {
+    case ExprKind::kColRef: {
+      const auto& col = *b.columns[e.col_index()];
+      for (size_t i = 0; i < b.rows; ++i) out[i] = col.GetDouble(i);
+      return out;
+    }
+    case ExprKind::kLitInt:
+      std::fill(out.begin(), out.end(), static_cast<double>(e.int_value()));
+      return out;
+    case ExprKind::kLitDouble:
+      std::fill(out.begin(), out.end(), e.double_value());
+      return out;
+    case ExprKind::kNot: {
+      auto c = ScalarDoubles(*e.children()[0], b);
+      for (size_t i = 0; i < b.rows; ++i) out[i] = c[i] == 0 ? 1 : 0;
+      return out;
+    }
+    default: {
+      auto l = ScalarDoubles(*e.children()[0], b);
+      auto r = ScalarDoubles(*e.children()[1], b);
+      const ExprKind k = e.kind();
+      for (size_t i = 0; i < b.rows; ++i) out[i] = ApplyArith(k, l[i], r[i]);
+      return out;
+    }
+  }
+}
+
+// ---- vectorized plane -------------------------------------------------------
+// Same tree walk, but each node issues one batch kernel: column reads are
+// type-specialized bulk casts instead of per-row GetDouble switches, and
+// arithmetic runs one hoisted-op loop per node (codegen/kernels.h). Every
+// kernel is elementwise with one operation per row — no reassociation, no
+// FMA contraction — so results are bit-identical to ScalarDoubles.
+
+void VecColumnToF64(const storage::Column& col, size_t rows, double* out) {
+  using storage::DataType;
+  switch (col.type()) {
+    case DataType::kInt32:
+      codegen::kernels::CastI32ToF64(col.i32().data(), rows, out);
+      return;
+    case DataType::kInt64:
+      codegen::kernels::CastI64ToF64(col.i64().data(), rows, out);
+      return;
+    case DataType::kFloat64:
+      std::memcpy(out, col.f64().data(), rows * sizeof(double));
+      return;
+  }
+}
+
+void VecInto(const Expr& e, const memory::Batch& b, double* out) {
+  const size_t rows = b.rows;
+  switch (e.kind()) {
+    case ExprKind::kColRef:
+      VecColumnToF64(*b.columns[e.col_index()], rows, out);
+      return;
+    case ExprKind::kLitInt:
+      std::fill(out, out + rows, static_cast<double>(e.int_value()));
+      return;
+    case ExprKind::kLitDouble:
+      std::fill(out, out + rows, e.double_value());
+      return;
+    case ExprKind::kNot: {
+      VecInto(*e.children()[0], b, out);
+      for (size_t i = 0; i < rows; ++i) out[i] = out[i] == 0 ? 1 : 0;
+      return;
+    }
+    default: {
+      std::vector<double> l(rows);
+      std::vector<double> r(rows);
+      VecInto(*e.children()[0], b, l.data());
+      VecInto(*e.children()[1], b, r.data());
+      codegen::kernels::BinaryOpF64(ToBinOp(e.kind()), l.data(), r.data(),
+                                    rows, out);
+      return;
+    }
+  }
+}
+
+/// The fused filter fast path: `col <cmp> literal` (either operand order)
+/// selects straight off the typed column span with no intermediate buffer.
+/// Returns false when the predicate doesn't have that shape.
+bool TrySelectCmp(const Expr& e, const memory::Batch& b,
+                  std::vector<uint32_t>* sel) {
+  if (!IsComparison(e.kind())) return false;
+  const Expr* lhs = e.children()[0].get();
+  const Expr* rhs = e.children()[1].get();
+  BinOp op = ToBinOp(e.kind());
+  double lit = 0;
+  if (lhs->kind() == ExprKind::kColRef && LiteralValue(*rhs, &lit)) {
+    // col op lit
+  } else if (rhs->kind() == ExprKind::kColRef && LiteralValue(*lhs, &lit)) {
+    op = FlipComparison(op);
+    lhs = rhs;
+  } else {
+    return false;
+  }
+  const storage::Column& col = *b.columns[lhs->col_index()];
+  sel->resize(b.rows);
+  size_t m = 0;
+  using storage::DataType;
+  switch (col.type()) {
+    case DataType::kInt32:
+      m = codegen::kernels::SelectCmpI32(col.i32().data(), op, lit, b.rows,
+                                         sel->data());
+      break;
+    case DataType::kInt64:
+      m = codegen::kernels::SelectCmpI64(col.i64().data(), op, lit, b.rows,
+                                         sel->data());
+      break;
+    case DataType::kFloat64:
+      m = codegen::kernels::SelectCmpF64(col.f64().data(), op, lit, b.rows,
+                                         sel->data());
+      break;
+  }
+  sel->resize(m);
+  return true;
+}
+
 }  // namespace
 
 double Eval::ScalarDouble(const Expr& e, const memory::Batch& b, size_t i) {
@@ -64,34 +257,10 @@ std::vector<double> Eval::Doubles(const Expr& e, const memory::Batch& b) {
   // yet, so never touch the layout when there are no rows (generated
   // kernels simply don't run for empty packets).
   if (b.rows == 0) return {};
+  if (!codegen::VectorizedPlane()) return ScalarDoubles(e, b);
   std::vector<double> out(b.rows);
-  // Vectorize the common leaf cases; recurse via scalar otherwise. The
-  // recursion cost is host-side only — simulated cost comes from OpCount().
-  switch (e.kind()) {
-    case ExprKind::kColRef: {
-      const auto& col = *b.columns[e.col_index()];
-      for (size_t i = 0; i < b.rows; ++i) out[i] = col.GetDouble(i);
-      return out;
-    }
-    case ExprKind::kLitInt:
-      std::fill(out.begin(), out.end(), static_cast<double>(e.int_value()));
-      return out;
-    case ExprKind::kLitDouble:
-      std::fill(out.begin(), out.end(), e.double_value());
-      return out;
-    case ExprKind::kNot: {
-      auto c = Doubles(*e.children()[0], b);
-      for (size_t i = 0; i < b.rows; ++i) out[i] = c[i] == 0 ? 1 : 0;
-      return out;
-    }
-    default: {
-      auto l = Doubles(*e.children()[0], b);
-      auto r = Doubles(*e.children()[1], b);
-      const ExprKind k = e.kind();
-      for (size_t i = 0; i < b.rows; ++i) out[i] = ApplyArith(k, l[i], r[i]);
-      return out;
-    }
-  }
+  VecInto(e, b, out.data());
+  return out;
 }
 
 std::vector<int64_t> Eval::Ints(const Expr& e, const memory::Batch& b) {
@@ -99,6 +268,24 @@ std::vector<int64_t> Eval::Ints(const Expr& e, const memory::Batch& b) {
   if (e.kind() == ExprKind::kColRef) {
     const auto& col = *b.columns[e.col_index()];
     std::vector<int64_t> out(b.rows);
+    if (codegen::VectorizedPlane()) {
+      using storage::DataType;
+      switch (col.type()) {
+        case DataType::kInt32: {
+          const auto s = col.i32();
+          for (size_t i = 0; i < b.rows; ++i) out[i] = s[i];
+          return out;
+        }
+        case DataType::kInt64:
+          std::memcpy(out.data(), col.i64().data(),
+                      b.rows * sizeof(int64_t));
+          return out;
+        case DataType::kFloat64:
+          codegen::kernels::CastF64ToI64(col.f64().data(), b.rows,
+                                         out.data());
+          return out;
+      }
+    }
     for (size_t i = 0; i < b.rows; ++i) out[i] = col.GetInt(i);
     return out;
   }
@@ -110,6 +297,16 @@ std::vector<int64_t> Eval::Ints(const Expr& e, const memory::Batch& b) {
 
 std::vector<uint32_t> Eval::SelectedRows(const Expr& e,
                                          const memory::Batch& b) {
+  if (codegen::VectorizedPlane() && b.rows > 0) {
+    std::vector<uint32_t> sel;
+    if (TrySelectCmp(e, b, &sel)) return sel;
+    const std::vector<double> v = Doubles(e, b);
+    sel.resize(b.rows);
+    const size_t m =
+        codegen::kernels::SelectNonZero(v.data(), b.rows, sel.data());
+    sel.resize(m);
+    return sel;
+  }
   auto v = Doubles(e, b);
   std::vector<uint32_t> sel;
   sel.reserve(b.rows / 4);

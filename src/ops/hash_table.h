@@ -2,6 +2,7 @@
 #define HAPE_OPS_HASH_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bits.h"
@@ -21,6 +22,7 @@ class ChainedHashTable {
     const uint64_t buckets = NextPow2(expected_rows == 0 ? 1 : expected_rows);
     log_buckets_ = Log2Floor(buckets);
     heads_.assign(buckets, -1);
+    Reserve(expected_rows);
   }
 
   /// Re-bucket an *empty* table for a revised cardinality estimate. The
@@ -31,10 +33,32 @@ class ChainedHashTable {
     const uint64_t buckets = NextPow2(expected_rows == 0 ? 1 : expected_rows);
     log_buckets_ = Log2Floor(buckets);
     heads_.assign(buckets, -1);
+    Reserve(expected_rows);
   }
 
+  /// Preallocate the entry arrays for `expected_rows` inserts so bulk
+  /// builds never reallocate mid-insert. Called by the constructor/Rehash
+  /// from the optimizer's cardinality estimate; inserting beyond the
+  /// reservation stays correct (the vectors grow), just slower.
+  void Reserve(size_t expected_rows) {
+    keys_.reserve(expected_rows);
+    rows_.reserve(expected_rows);
+    next_.reserve(expected_rows);
+  }
+
+  /// Entry capacity currently reserved (bulk build never reallocates while
+  /// size() stays within it).
+  size_t capacity() const { return keys_.capacity(); }
+
   void Insert(int64_t key, uint32_t row) {
-    const uint32_t b = BucketOf(static_cast<uint64_t>(key), log_buckets_);
+    InsertHashed(key, HashMurmur64(static_cast<uint64_t>(key)), row);
+  }
+
+  /// Insert with a precomputed `hash` == HashMurmur64(key). The bulk-build
+  /// kernels hash whole key vectors up front (or reuse hashes threaded
+  /// through the packet by an upstream probe) instead of rehashing per row.
+  void InsertHashed(int64_t key, uint64_t hash, uint32_t row) {
+    const uint32_t b = BucketOfHash(hash, log_buckets_);
     keys_.push_back(key);
     rows_.push_back(row);
     next_.push_back(heads_[b]);
@@ -57,6 +81,14 @@ class ChainedHashTable {
 
   size_t size() const { return keys_.size(); }
   uint64_t num_buckets() const { return heads_.size(); }
+  uint32_t log_buckets() const { return log_buckets_; }
+
+  // Raw table layout, exposed for the batch-at-a-time probe kernels
+  // (codegen/kernels.h): chain heads plus the parallel entry arrays.
+  std::span<const int32_t> heads() const { return heads_; }
+  std::span<const int64_t> entry_keys() const { return keys_; }
+  std::span<const uint32_t> entry_rows() const { return rows_; }
+  std::span<const int32_t> entry_next() const { return next_; }
 
   /// Bytes this table would occupy at `rows` entries with `payload_bytes`
   /// carried per entry (key + next + payload + one 4-byte head per bucket).

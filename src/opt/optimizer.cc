@@ -163,6 +163,47 @@ double CostModel::PipelineSeconds(const sim::Topology& topo,
                        /*cpu_scale=*/1.0);
 }
 
+// ---- measured calibration ---------------------------------------------------
+
+namespace {
+/// Process-wide loaded calibration. Mutated only by the Load*/Clear
+/// entry points below (engine setup, benches, tests) — never during plan
+/// optimization, which only reads it.
+codegen::Calibration& MutableCalibration() {
+  static codegen::Calibration c;
+  return c;
+}
+}  // namespace
+
+void CostModel::LoadCalibration(const codegen::Calibration& c) {
+  MutableCalibration() = c;
+}
+
+Status CostModel::LoadCalibrationFile(const std::string& path) {
+  auto c = codegen::Calibration::LoadFile(path);
+  if (!c.ok()) return c.status();
+  MutableCalibration() = c.MoveValue();
+  return Status::OK();
+}
+
+void CostModel::ClearCalibration() {
+  MutableCalibration() = codegen::Calibration{};
+}
+
+bool CostModel::HasCalibration() { return MutableCalibration().loaded(); }
+
+const codegen::Calibration& CostModel::LoadedCalibration() {
+  return MutableCalibration();
+}
+
+double CostModel::CalibratedPipelineSeconds(uint64_t nominal_bytes,
+                                            uint64_t nominal_ops) {
+  const codegen::Calibration& c = MutableCalibration();
+  if (!c.loaded()) return 0;
+  return std::max(static_cast<double>(nominal_bytes) / c.stream_bytes_per_s(),
+                  static_cast<double>(nominal_ops) / c.tuple_ops_per_s());
+}
+
 // ---- op ordering ------------------------------------------------------------
 
 std::vector<int> Optimizer::OrderOps(const std::vector<double>& factors,
@@ -414,6 +455,10 @@ void Optimizer::ChoosePlacement(QueryPlan* plan, int node_idx,
   const double share = policy.expected_device_share;
   decision->est_seconds = CostModel::PipelineSeconds(
       *topo_, base_set, bytes, nominal_ops, policy.async, share);
+  // Measured-rate estimate of the same footprint (0 until a calibration
+  // is loaded); recorded for Explain, never compared against anything.
+  decision->est_calibrated_seconds =
+      CostModel::CalibratedPipelineSeconds(bytes, nominal_ops);
   if (options_.placement != PlacementMode::kCostBased ||
       !node.run_on.empty()) {
     // kPolicy, or an explicit hand placement: keep, only record the cost.
@@ -511,6 +556,7 @@ Result<OptimizeResult> Optimizer::OptimizePlan(
 
     ChoosePlacement(plan, idx, policy, est, &d);
     node.est_cost_seconds = d.est_seconds;
+    node.est_cost_calibrated_seconds = d.est_calibrated_seconds;
   }
   return result;
 }

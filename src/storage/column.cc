@@ -72,6 +72,25 @@ void Column::AppendDouble(double v) {
   }
 }
 
+void Column::AppendColumn(const Column& src) {
+  if (type_ == src.type_) {
+    std::visit(
+        [this](const auto& s) {
+          using V = std::decay_t<decltype(s)>;
+          auto& d = std::get<V>(data_);
+          d.insert(d.end(), s.begin(), s.end());
+        },
+        src.data_);
+    return;
+  }
+  const size_t n = src.size();
+  if (src.type_ == DataType::kFloat64) {
+    for (size_t i = 0; i < n; ++i) AppendDouble(src.GetDouble(i));
+  } else {
+    for (size_t i = 0; i < n; ++i) AppendInt(src.GetInt(i));
+  }
+}
+
 void Column::Reserve(size_t n) {
   std::visit([n](auto& v) { v.reserve(n); }, data_);
 }

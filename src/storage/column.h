@@ -52,6 +52,10 @@ class Column {
   double GetDouble(size_t i) const;
   void AppendInt(int64_t v);
   void AppendDouble(double v);
+  /// Append every value of `src`. Same-type appends are a bulk vector
+  /// insert; mixed types fall back to the per-row widening appends above
+  /// (bit-identical to a GetInt/GetDouble + Append loop).
+  void AppendColumn(const Column& src);
   void Reserve(size_t n);
 
   const void* raw_data() const;

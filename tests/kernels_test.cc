@@ -1,0 +1,377 @@
+// Unit tests for the vectorized data plane (codegen/kernels.h): every
+// batch kernel must be *bit-identical* to the scalar reference it
+// replaces — same selected rows, same hashes, same probe pairs and visit
+// counts, same table layout, same group slots. Sizes are chosen to
+// exercise vector remainder lanes (n not a multiple of the SIMD width),
+// and the predicate tests include NaN/inf lanes where IEEE compare
+// semantics differ between naive vector code and the scalar rules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "codegen/backend.h"
+#include "codegen/calibration.h"
+#include "codegen/kernels.h"
+#include "codegen/kernels_internal.h"
+#include "common/hash.h"
+#include "engine/join_state.h"
+#include "engine/sinks.h"
+#include "engine/stages.h"
+#include "expr/expr.h"
+#include "memory/batch.h"
+#include "ops/hash_table.h"
+#include "storage/column.h"
+
+namespace hape::codegen {
+namespace {
+
+using kernels::BinOp;
+
+/// Scalar reference for the select kernels: the exact `compare-as-double,
+/// keep when true` rule of expr/eval.cc's per-row loop.
+bool ScalarCmp(double v, BinOp op, double lit) {
+  switch (op) {
+    case BinOp::kEq:
+      return v == lit;
+    case BinOp::kNe:
+      return v != lit;
+    case BinOp::kLt:
+      return v < lit;
+    case BinOp::kLe:
+      return v <= lit;
+    case BinOp::kGt:
+      return v > lit;
+    case BinOp::kGe:
+      return v >= lit;
+    default:
+      return false;
+  }
+}
+
+std::vector<double> NoisyDoubles(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = dist(rng);
+  // Poison special lanes: NaN, +/-inf, signed zero, the literal itself.
+  if (n > 16) {
+    v[1] = std::numeric_limits<double>::quiet_NaN();
+    v[5] = std::numeric_limits<double>::infinity();
+    v[7] = -std::numeric_limits<double>::infinity();
+    v[11] = 0.0;
+    v[13] = -0.0;
+    v[n - 1] = std::numeric_limits<double>::quiet_NaN();  // remainder lane
+  }
+  return v;
+}
+
+constexpr BinOp kCmpOps[] = {BinOp::kEq, BinOp::kNe, BinOp::kLt,
+                             BinOp::kLe, BinOp::kGt, BinOp::kGe};
+
+TEST(SelectKernels, CmpF64MatchesScalarReferenceIncludingNaN) {
+  // 1003 = 4*250 + 3: exercises the 3-lane vector remainder.
+  const std::vector<double> v = NoisyDoubles(1003, 7);
+  for (BinOp op : kCmpOps) {
+    for (double lit : {-3.5, 0.0, 42.0}) {
+      std::vector<uint32_t> got(v.size());
+      const size_t m =
+          kernels::SelectCmpF64(v.data(), op, lit, v.size(), got.data());
+      std::vector<uint32_t> want;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (ScalarCmp(v[i], op, lit)) want.push_back(i);
+      }
+      got.resize(m);
+      ASSERT_EQ(got, want) << "op " << static_cast<int>(op) << " lit " << lit;
+    }
+  }
+}
+
+TEST(SelectKernels, CmpIntColumnsCompareAsDoubles) {
+  std::mt19937_64 rng(11);
+  std::vector<int32_t> v32(517);
+  std::vector<int64_t> v64(517);
+  for (size_t i = 0; i < v32.size(); ++i) {
+    v32[i] = static_cast<int32_t>(rng() % 200) - 100;
+    v64[i] = static_cast<int64_t>(rng() % 2000) - 1000;
+  }
+  // A fractional literal distinguishes compare-as-double from any integer
+  // shortcut: 10 < 10.5 but 11 > 10.5.
+  for (BinOp op : kCmpOps) {
+    const double lit = 10.5;
+    std::vector<uint32_t> got(v32.size());
+    size_t m = kernels::SelectCmpI32(v32.data(), op, lit, v32.size(),
+                                     got.data());
+    std::vector<uint32_t> want;
+    for (size_t i = 0; i < v32.size(); ++i) {
+      if (ScalarCmp(static_cast<double>(v32[i]), op, lit)) want.push_back(i);
+    }
+    got.resize(m);
+    ASSERT_EQ(got, want) << "i32 op " << static_cast<int>(op);
+
+    std::vector<uint32_t> got64(v64.size());
+    m = kernels::SelectCmpI64(v64.data(), op, lit, v64.size(), got64.data());
+    want.clear();
+    for (size_t i = 0; i < v64.size(); ++i) {
+      if (ScalarCmp(static_cast<double>(v64[i]), op, lit)) want.push_back(i);
+    }
+    got64.resize(m);
+    ASSERT_EQ(got64, want) << "i64 op " << static_cast<int>(op);
+  }
+}
+
+TEST(SelectKernels, NonZeroSelectsNaNAndRejectsBothZeros) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> v = {1.0, 0.0, -0.0, nan, -2.5, 0.0, nan};
+  std::vector<uint32_t> out(v.size());
+  const size_t m = kernels::SelectNonZero(v.data(), v.size(), out.data());
+  out.resize(m);
+  // NaN != 0 is true, so NaN lanes are selected, exactly like the scalar
+  // `v != 0` filter test.
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 3, 4, 6}));
+}
+
+TEST(SelectKernels, PortableAndAvx2Agree) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2 on this host/build";
+  const std::vector<double> v = NoisyDoubles(2050, 23);
+  for (BinOp op : kCmpOps) {
+    std::vector<uint32_t> a(v.size()), b(v.size());
+    const size_t ma =
+        kernels::portable::SelectCmpF64(v.data(), op, 1.5, v.size(), a.data());
+    const size_t mb =
+        kernels::avx2::SelectCmpF64(v.data(), op, 1.5, v.size(), b.data());
+    a.resize(ma);
+    b.resize(mb);
+    ASSERT_EQ(a, b) << "op " << static_cast<int>(op);
+  }
+  std::vector<uint64_t> ha(v.size()), hb(v.size());
+  std::vector<int64_t> keys(v.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(i * 2654435761u) - 1000;
+  }
+  kernels::portable::HashKeys(keys.data(), keys.size(), ha.data());
+  kernels::avx2::HashKeys(keys.data(), keys.size(), hb.data());
+  ASSERT_EQ(ha, hb);
+}
+
+TEST(HashKernels, HashKeysMatchesMurmurPerKey) {
+  std::vector<int64_t> keys(777);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(i * i) - 300;
+  }
+  std::vector<uint64_t> out(keys.size());
+  kernels::HashKeys(keys.data(), keys.size(), out.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(out[i], HashMurmur64(static_cast<uint64_t>(keys[i]))) << i;
+  }
+}
+
+// ---- hash table: bulk probe / build ----------------------------------------
+
+TEST(ProbeKernels, ProbeBulkIdenticalToForEachMatch) {
+  std::mt19937_64 rng(31);
+  ops::ChainedHashTable ht(/*expected_rows=*/256);
+  for (uint32_t r = 0; r < 900; ++r) {
+    ht.Insert(static_cast<int64_t>(rng() % 300), r);  // heavy chains + dups
+  }
+  std::vector<int64_t> probe(1001);
+  for (auto& k : probe) k = static_cast<int64_t>(rng() % 400);  // misses too
+  std::vector<uint64_t> hashes(probe.size());
+  kernels::HashKeys(probe.data(), probe.size(), hashes.data());
+
+  std::vector<uint32_t> pr, br;
+  const uint64_t visits = kernels::ProbeBulk(ht, probe.data(), hashes.data(),
+                                             probe.size(), &pr, &br);
+
+  std::vector<uint32_t> want_pr, want_br;
+  uint64_t want_visits = 0;
+  for (size_t i = 0; i < probe.size(); ++i) {
+    want_visits += ht.ForEachMatch(probe[i], [&](uint32_t row) {
+      want_pr.push_back(static_cast<uint32_t>(i));
+      want_br.push_back(row);
+    });
+  }
+  EXPECT_EQ(visits, want_visits);
+  EXPECT_EQ(pr, want_pr);
+  EXPECT_EQ(br, want_br);
+}
+
+TEST(BuildKernels, BuildBulkMatchesPerRowInsert) {
+  std::mt19937_64 rng(41);
+  std::vector<int64_t> keys(513);
+  for (auto& k : keys) k = static_cast<int64_t>(rng() % 128);
+  std::vector<uint64_t> hashes(keys.size());
+  kernels::HashKeys(keys.data(), keys.size(), hashes.data());
+
+  ops::ChainedHashTable scalar_ht(keys.size());
+  for (uint32_t i = 0; i < keys.size(); ++i) scalar_ht.Insert(keys[i], 7 + i);
+  ops::ChainedHashTable bulk_ht(keys.size());
+  kernels::BuildBulk(&bulk_ht, keys.data(), hashes.data(), keys.size(),
+                     /*base_row=*/7);
+
+  ASSERT_EQ(bulk_ht.num_buckets(), scalar_ht.num_buckets());
+  ASSERT_TRUE(std::ranges::equal(bulk_ht.heads(), scalar_ht.heads()));
+  ASSERT_TRUE(std::ranges::equal(bulk_ht.entry_keys(),
+                                 scalar_ht.entry_keys()));
+  ASSERT_TRUE(std::ranges::equal(bulk_ht.entry_rows(),
+                                 scalar_ht.entry_rows()));
+  ASSERT_TRUE(std::ranges::equal(bulk_ht.entry_next(),
+                                 scalar_ht.entry_next()));
+}
+
+TEST(BuildKernels, ReservePreallocatesEntryArrays) {
+  ops::ChainedHashTable ht(/*expected_rows=*/0);
+  ht.Rehash(1000);  // the optimizer's estimate-driven path
+  EXPECT_GE(ht.capacity(), 1000u);
+  const size_t cap = ht.capacity();
+  for (uint32_t i = 0; i < 1000; ++i) ht.Insert(i, i);
+  EXPECT_EQ(ht.capacity(), cap) << "bulk inserts must not reallocate";
+}
+
+// ---- grouped accumulation ---------------------------------------------------
+
+TEST(GroupKernels, GroupIndexAssignsSlotsInFirstSeenOrder) {
+  std::mt19937_64 rng(53);
+  kernels::GroupIndex index(/*expected_groups=*/4);  // force growth
+  std::vector<int64_t> keys(5000);
+  for (auto& k : keys) k = static_cast<int64_t>(rng() % 700) - 350;
+
+  std::map<int64_t, uint32_t> seen;
+  std::vector<int64_t> first_seen;
+  for (int64_t k : keys) {
+    const uint64_t h = HashMurmur64(static_cast<uint64_t>(k));
+    const uint32_t slot = index.SlotOfHashed(k, h);
+    auto it = seen.find(k);
+    if (it == seen.end()) {
+      ASSERT_EQ(slot, first_seen.size()) << "fresh key must take next slot";
+      seen.emplace(k, slot);
+      first_seen.push_back(k);
+    } else {
+      ASSERT_EQ(slot, it->second) << "slot must be stable across growth";
+    }
+  }
+  ASSERT_EQ(index.num_groups(), first_seen.size());
+  EXPECT_EQ(index.keys(), first_seen);
+  // SlotOf (self-hashing) resolves to the same slots.
+  for (int64_t k : first_seen) {
+    EXPECT_EQ(index.SlotOf(k), seen[k]);
+  }
+}
+
+// ---- parallel packet transforms ---------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    std::vector<std::atomic<int>> hits(997);
+    kernels::ParallelFor(hits.size(), threads,
+                         [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+// ---- key-cache threading through stages and sinks ---------------------------
+
+/// A probe stage must thread (gathered) keys+hashes into the packet, and a
+/// downstream sink keyed on the same expression must consume them instead
+/// of rehashing — observable through the hash-cache counters.
+TEST(KeyCache, ProbeThreadsHashesThatBuildSinkReuses) {
+  if (!VectorizedPlane()) GTEST_SKIP() << "scalar plane has no key cache";
+  // Build side: keys 0..63 with row payloads.
+  auto state = std::make_shared<engine::JoinState>(64);
+  for (uint32_t r = 0; r < 64; ++r) state->ht.Insert(r, r);
+  state->payload.columns.push_back(std::make_shared<storage::Column>(
+      std::vector<int64_t>(64, 5)));
+  state->payload.rows = 64;
+
+  memory::Batch b;
+  std::vector<int64_t> col(256);
+  for (size_t i = 0; i < col.size(); ++i) {
+    col[i] = static_cast<int64_t>(i % 96);  // 2/3 hit rate
+  }
+  b.columns.push_back(std::make_shared<storage::Column>(std::move(col)));
+  b.rows = 256;
+
+  const expr::ExprPtr key = expr::Expr::Col(0);
+  engine::Stage probe = engine::ProbeStage(state, key);
+  sim::TrafficStats t;
+  const codegen::CpuBackend backend{sim::CpuSpec{}};
+  probe(&b, &t, backend);
+  ASSERT_GT(b.rows, 0u);
+  ASSERT_TRUE(b.key_cache.valid());
+  EXPECT_EQ(b.key_cache.signature, key->ToString());
+
+  // Feed the probed packet to a BuildSink keyed on the same column: it
+  // must reuse the packet-carried hashes (cache hit), not rehash.
+  auto downstream = std::make_shared<engine::JoinState>(256);
+  engine::BuildSink sink(downstream, key, /*payload_cols=*/{});
+  const auto before = KernelCounters();
+  const size_t rows = b.rows;
+  sink.Consume(0, std::move(b), &t, backend);
+  const auto after = KernelCounters();
+  EXPECT_EQ(after.hash_cache_hits - before.hash_cache_hits, rows);
+  EXPECT_EQ(after.hash_cache_misses, before.hash_cache_misses);
+  EXPECT_EQ(downstream->ht.size(), rows);
+}
+
+// ---- calibration ------------------------------------------------------------
+
+TEST(Calibration, JsonRoundTripPreservesEveryRate) {
+  Calibration c;
+  c.avx2 = true;
+  c.threads = 4;
+  c.filter = {10.0, 25.5};
+  c.hash = {3.25, 9.75};
+  c.probe = {0.5, 1.25};
+  c.build = {1.0, 2.0};
+  c.agg = {0.75, 3.5};
+  auto r = Calibration::FromJson(c.ToJson());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Calibration& d = r.value();
+  EXPECT_EQ(d.avx2, c.avx2);
+  EXPECT_EQ(d.threads, c.threads);
+  EXPECT_EQ(d.filter.scalar_gbps, c.filter.scalar_gbps);
+  EXPECT_EQ(d.filter.simd_gbps, c.filter.simd_gbps);
+  EXPECT_EQ(d.hash.simd_gbps, c.hash.simd_gbps);
+  EXPECT_EQ(d.probe.scalar_gbps, c.probe.scalar_gbps);
+  EXPECT_EQ(d.build.simd_gbps, c.build.simd_gbps);
+  EXPECT_EQ(d.agg.simd_gbps, c.agg.simd_gbps);
+  EXPECT_TRUE(d.loaded());
+  EXPECT_DOUBLE_EQ(d.filter.speedup(), 2.55);
+
+  const std::string path = ::testing::TempDir() + "hape_calibration.json";
+  ASSERT_TRUE(c.SaveFile(path).ok());
+  auto loaded = Calibration::LoadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().hash.simd_gbps, c.hash.simd_gbps);
+  std::remove(path.c_str());
+}
+
+TEST(Calibration, HarnessMeasuresPositiveRates) {
+  // Tiny batch: this is a smoke test of the measurement loop, not a perf
+  // assertion (bench_kernels owns the >= 1.0 speedup gates).
+  CalibrationHarness::Options o;
+  o.rows = 1u << 12;
+  o.reps = 1;
+  const Calibration c = CalibrationHarness::Measure(o);
+  EXPECT_GT(c.filter.scalar_gbps, 0.0);
+  EXPECT_GT(c.filter.simd_gbps, 0.0);
+  EXPECT_GT(c.hash.simd_gbps, 0.0);
+  EXPECT_GT(c.probe.simd_gbps, 0.0);
+  EXPECT_GT(c.build.simd_gbps, 0.0);
+  EXPECT_GT(c.agg.simd_gbps, 0.0);
+  EXPECT_TRUE(c.loaded());
+  EXPECT_GT(c.stream_bytes_per_s(), 0.0);
+  EXPECT_GT(c.tuple_ops_per_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace hape::codegen

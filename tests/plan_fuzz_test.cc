@@ -19,9 +19,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "codegen/kernels.h"
 #include "engine/engine.h"
 #include "engine/plan.h"
 #include "queries/plan_fuzzer.h"
@@ -148,6 +150,134 @@ TEST_P(PlanFuzz, ByteIdenticalToScalarReferenceEverywhere) {
 INSTANTIATE_TEST_SUITE_P(FixedSeeds, PlanFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
                                            34u));
+
+// ---- data-plane differential leg --------------------------------------------
+
+/// Restores the process-wide data-plane selection on scope exit.
+struct PlaneGuard {
+  codegen::DataPlaneConfig saved = codegen::DataPlane();
+  ~PlaneGuard() { codegen::SetDataPlane(saved); }
+};
+
+/// Exact (hex-float) signature of a run's simulated cost sequence:
+/// per-pipeline start/finish, packet/row counts, full traffic taxonomy,
+/// and transfer accounting. Two runs with equal signatures took bit-
+/// identical simulated timings everywhere.
+std::string CostSignature(const engine::RunStats& rs) {
+  std::string s;
+  char buf[64];
+  const auto d = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%a,", v);
+    s += buf;
+  };
+  const auto u = [&](uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%llu,", (unsigned long long)v);
+    s += buf;
+  };
+  d(rs.finish);
+  d(rs.placement_finish);
+  u(rs.broadcast_bytes);
+  for (const auto& p : rs.pipelines) {
+    s += p.name;
+    s += ':';
+    d(p.stats.start);
+    d(p.stats.finish);
+    u(p.stats.packets);
+    u(p.stats.rows_in);
+    u(p.stats.rows_out);
+    u(p.stats.traffic.dram_seq_read_bytes);
+    u(p.stats.traffic.dram_seq_write_bytes);
+    u(p.stats.traffic.dram_rand_accesses);
+    u(p.stats.traffic.scratchpad_accesses);
+    u(p.stats.traffic.l1_line_accesses);
+    d(p.stats.traffic.l1_miss_rate);
+    u(p.stats.traffic.tuple_ops);
+    u(p.stats.mem_moves);
+    u(p.stats.moved_bytes);
+    d(p.stats.transfer_busy_s);
+    d(p.stats.transfer_exposed_s);
+    s += ';';
+  }
+  return s;
+}
+
+/// The tentpole's core contract: the scalar plane, the vectorized plane,
+/// and the vectorized plane with parallel packet transforms must produce
+/// byte-identical result groups AND bit-identical simulated cost
+/// sequences, in every system config at sync and async depths. The scalar
+/// plane is the always-on differential oracle for the SIMD kernels.
+TEST_P(PlanFuzz, DataPlanesByteIdenticalWithBitIdenticalCosts) {
+  const uint64_t seed = GetParam();
+  Fuzzer fuzzer(seed);
+  const FuzzSpec spec = fuzzer.Generate();
+  PlaneGuard guard;
+
+  struct Leg {
+    codegen::KernelMode mode;
+    int threads;
+    const char* name;
+  };
+  const Leg legs[] = {
+      {codegen::KernelMode::kScalar, 1, "scalar"},
+      {codegen::KernelMode::kVectorized, 1, "vectorized"},
+      {codegen::KernelMode::kVectorized, 4, "vectorized+threads"},
+  };
+
+  for (EngineConfig config : kAllConfigs) {
+    for (int depth : {0, 4}) {
+      Groups ref_groups;
+      std::string ref_costs;
+      for (const Leg& leg : legs) {
+        codegen::SetDataPlane({leg.mode, leg.threads});
+        topo_->Reset();
+        ExecutionPolicy policy = ExecutionPolicy::ForConfig(*topo_, config);
+        policy.async = depth > 0 ? engine::AsyncOptions::Depth(depth)
+                                 : engine::AsyncOptions::Off();
+        FuzzPlan fp = BuildFuzzPlan(spec, *catalog_, /*chunk_rows=*/2048);
+        ASSERT_TRUE(engine_->Optimize(&fp.plan, policy).ok()) << leg.name;
+        const auto before = codegen::KernelCounters();
+        auto run = engine_->Run(&fp.plan, policy);
+        ASSERT_TRUE(run.ok()) << "seed " << seed << " " << leg.name << ": "
+                              << run.status().ToString();
+        const auto after = codegen::KernelCounters();
+        const std::string costs = CostSignature(run.value());
+        if (leg.mode == codegen::KernelMode::kScalar) {
+          ref_groups = fp.agg.result();
+          ref_costs = costs;
+          // The oracle leg must not touch the probe kernels.
+          EXPECT_EQ(after.probed_keys, before.probed_keys) << leg.name;
+          continue;
+        }
+        const Groups& got = fp.agg.result();
+        ASSERT_EQ(got.size(), ref_groups.size())
+            << "seed " << seed << " config " << ConfigName(config)
+            << " depth " << depth << " " << leg.name;
+        auto itr = ref_groups.begin();
+        for (auto itg = got.begin(); itg != got.end(); ++itg, ++itr) {
+          ASSERT_EQ(itg->first, itr->first) << "seed " << seed;
+          ASSERT_EQ(itg->second.size(), itr->second.size());
+          ASSERT_EQ(0, std::memcmp(itg->second.data(), itr->second.data(),
+                                   itg->second.size() * sizeof(double)))
+              << "seed " << seed << " config " << ConfigName(config)
+              << " depth " << depth << " " << leg.name << " group "
+              << itg->first;
+        }
+        EXPECT_EQ(costs, ref_costs)
+            << "seed " << seed << " config " << ConfigName(config)
+            << " depth " << depth << " " << leg.name
+            << ": simulated cost sequence diverged from the scalar plane";
+        // Non-empty output downstream of a join means rows flowed through
+        // every probe stage, so the bulk probe kernel must have run. (Some
+        // seeds filter every packet empty before the first probe — no
+        // probe rows, no counter movement.)
+        if (!spec.builds.empty() && !ref_groups.empty()) {
+          EXPECT_GT(after.probed_keys, before.probed_keys)
+              << leg.name << ": bulk probe kernel never ran";
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace hape::queries
