@@ -21,7 +21,10 @@
 //   - tier 0's p95 queueing delay is strictly below the untiered
 //     baseline's overall p95 on the same trace,
 //   - the plan cache hit rate is > 0 (repeated statements actually hit),
-//   - every query of the trace runs to completion.
+//   - every query reaches exactly one terminal state (completed, shed at
+//     admission, or aborted mid-flight on its expired deadline), and
+//   - tier 0's deadline-miss rate is no worse than the untiered
+//     baseline's over the same tier-0 population.
 
 #include <benchmark/benchmark.h>
 
@@ -64,6 +67,10 @@ engine::ExecutionPolicy ServingPolicy() {
   // Aging well above the expected p99 wait: the promotion is a
   // starvation backstop here, not a scheduling feature under test.
   p.serve.aging_boost_s = 120.0;
+  // Graceful degradation: a query whose deadline expired while it queued
+  // is shed at the admission decision point instead of burning the
+  // machine on an answer nobody is waiting for.
+  p.serve.shed_on_deadline = true;
   return p;
 }
 
@@ -73,6 +80,13 @@ WorkloadOptions BenchWorkload(int num_queries) {
   wo.seed = 17;
   wo.arrival_rate_qps = 4.0;
   wo.tier_weights = {1.0, 2.0, 5.0};
+  // Tier-weighted deadlines, set inside the best-effort tier's queueing
+  // tail so both degradation paths appear in the replay: a few queries
+  // expire while queued (shed, never admitted) and a few expire
+  // mid-flight (aborted at a pipeline boundary). The overlay never
+  // perturbs the arrival/plan draws, so the trace stays comparable to
+  // older runs.
+  wo.tier_deadline_s = {5.0, 10.0, 12.0};
   wo.fuzz_pool = 16;
   wo.fuzz_fraction = 0.6;
   return wo;
@@ -125,6 +139,14 @@ void WriteTiers(JsonWriter* w, const engine::ScheduleStats& s) {
     w->Int(t.tier);
     w->Key("queries");
     w->Uint(t.queries);
+    w->Key("completed");
+    w->Uint(t.completed);
+    w->Key("cancelled");
+    w->Uint(t.cancelled);
+    w->Key("deadline_exceeded");
+    w->Uint(t.deadline_exceeded);
+    w->Key("shed");
+    w->Uint(t.shed);
     w->Key("queue_p50_s");
     w->Double(t.queue_p50);
     w->Key("queue_p95_s");
@@ -186,6 +208,44 @@ void ReplayTableAndJson() {
   HAPE_CHECK(!untiered.stats.tiers.empty());
   const engine::TierPercentiles& base = untiered.stats.tiers[0];
 
+  // Deadline misses: a query that was shed/aborted, or that completed
+  // after its (tier-weighted) deadline. The tier-0 population is fixed by
+  // the tiered replay's tier assignment and compared by query id — the
+  // untiered replay reports every query as tier 0, but ids are submission
+  // order and identical across replays.
+  const auto missed = [](const engine::QueryRunStats& q) {
+    return q.outcome != engine::QueryOutcome::kCompleted ||
+           (q.deadline_s > 0 && q.finish > q.deadline_s);
+  };
+  std::vector<char> is_tier0(kQueries, 0);
+  for (const engine::QueryRunStats& q : tiered.stats.queries) {
+    if (q.tier == 0 && q.id >= 0 && q.id < kQueries) is_tier0[q.id] = 1;
+  }
+  uint64_t miss_total = 0;
+  uint64_t t0_queries = 0;
+  uint64_t t0_miss = 0;
+  uint64_t u0_miss = 0;
+  for (const engine::QueryRunStats& q : tiered.stats.queries) {
+    if (missed(q)) ++miss_total;
+    if (q.id >= 0 && q.id < kQueries && is_tier0[q.id]) {
+      ++t0_queries;
+      if (missed(q)) ++t0_miss;
+    }
+  }
+  for (const engine::QueryRunStats& q : untiered.stats.queries) {
+    if (q.id >= 0 && q.id < kQueries && is_tier0[q.id] && missed(q)) {
+      ++u0_miss;
+    }
+  }
+  const double t0_rate =
+      t0_queries == 0 ? 0.0
+                      : static_cast<double>(t0_miss) /
+                            static_cast<double>(t0_queries);
+  const double u0_rate =
+      t0_queries == 0 ? 0.0
+                      : static_cast<double>(u0_miss) /
+                            static_cast<double>(t0_queries);
+
   std::printf("%-10s %8s %12s %12s %12s %14s\n", "schedule", "tier",
               "queries", "queue_p50", "queue_p95", "makespan_p95");
   for (const engine::TierPercentiles& t : tiered.stats.tiers) {
@@ -197,12 +257,19 @@ void ReplayTableAndJson() {
               base.tier, static_cast<unsigned long long>(base.queries),
               base.queue_p50, base.queue_p95, base.makespan_p95);
   std::printf(
-      "\ncompleted %zu/%d queries, makespan %.2f s, deterministic replay: "
-      "%s, deterministic trace: %s (%zu events)\ncache: %llu hits / %llu "
-      "misses (%llu entries, %llu evictions, hit rate %.3f)\n",
-      tiered.stats.queries.size(), kQueries, tiered.stats.makespan,
-      deterministic ? "yes" : "NO", deterministic_trace ? "yes" : "NO",
-      again.trace_events,
+      "\nterminal %zu/%d queries (%llu completed, %llu shed, %llu "
+      "cancelled, %llu deadline-exceeded), makespan %.2f s, deterministic "
+      "replay: %s, deterministic trace: %s (%zu events)\ndeadline misses: "
+      "%llu total; tier-0 rate %.4f tiered vs %.4f untiered\ncache: %llu "
+      "hits / %llu misses (%llu entries, %llu evictions, hit rate %.3f)\n",
+      tiered.stats.queries.size(), kQueries,
+      static_cast<unsigned long long>(tiered.stats.completed),
+      static_cast<unsigned long long>(tiered.stats.shed),
+      static_cast<unsigned long long>(tiered.stats.cancelled),
+      static_cast<unsigned long long>(tiered.stats.deadline_exceeded),
+      tiered.stats.makespan, deterministic ? "yes" : "NO",
+      deterministic_trace ? "yes" : "NO", again.trace_events,
+      static_cast<unsigned long long>(miss_total), t0_rate, u0_rate,
       static_cast<unsigned long long>(tiered.cache.hits),
       static_cast<unsigned long long>(tiered.cache.misses),
       static_cast<unsigned long long>(tiered.cache.entries),
@@ -215,8 +282,31 @@ void ReplayTableAndJson() {
   w.String("serve");
   w.Key("num_queries");
   w.Int(kQueries);
-  w.Key("completed");
+  w.Key("terminal");
   w.Uint(tiered.stats.queries.size());
+  w.Key("completed");
+  w.Uint(tiered.stats.completed);
+  w.Key("shed");
+  w.Uint(tiered.stats.shed);
+  w.Key("cancelled");
+  w.Uint(tiered.stats.cancelled);
+  w.Key("deadline_exceeded");
+  w.Uint(tiered.stats.deadline_exceeded);
+  w.Key("deadline_miss");
+  w.BeginObject();
+  w.Key("total");
+  w.Uint(miss_total);
+  w.Key("tier0_queries");
+  w.Uint(t0_queries);
+  w.Key("tier0_missed_tiered");
+  w.Uint(t0_miss);
+  w.Key("tier0_missed_untiered");
+  w.Uint(u0_miss);
+  w.Key("tier0_rate_tiered");
+  w.Double(t0_rate);
+  w.Key("tier0_rate_untiered");
+  w.Double(u0_rate);
+  w.EndObject();
   w.Key("seed");
   w.Uint(wo.seed);
   w.Key("arrival_rate_qps");

@@ -10,6 +10,11 @@
 // --write regenerates the built-in manifest (hybrid fair-share mix of
 // Q3 + Q5 + Q9* at async depth 1) by dumping the PlanBuilder plans through
 // Engine::DumpPlan.
+//
+// Each query entry takes an optional "deadline_s" (absolute simulated
+// seconds, 0 = none): past the cutoff the scheduler sheds the query at an
+// admission decision point or aborts it at the next pipeline boundary,
+// and the run table reports the outcome per query.
 
 #include <cstdio>
 #include <cstring>
@@ -204,6 +209,14 @@ int RunManifest(const char* path, const char* trace_path) {
       if (wt->number() <= 0) return Fail("query 'weight' must be positive");
       so.weight = wt->number();
     }
+    // Optional absolute deadline (simulated seconds, 0 = none): the
+    // scheduler sheds or aborts the query once the cutoff passes.
+    if (const JsonValue* dl = FindNumber(q, "deadline_s")) {
+      if (dl->number() < 0) {
+        return Fail("query 'deadline_s' must be non-negative");
+      }
+      so.deadline_s = dl->number();
+    }
     if (const JsonValue* lb = FindString(q, "label")) so.label = lb->str();
     const bool agg = !loaded.value().aggs.empty();
     handles.push_back(agg ? loaded.value().agg() : engine::AggHandle{});
@@ -222,12 +235,13 @@ int RunManifest(const char* path, const char* trace_path) {
               s.queries.size(),
               engine::SchedulingPolicyName(s.policy), s.makespan,
               static_cast<unsigned long long>(s.peak_resident_bytes >> 20));
-  std::printf("%-8s %10s %12s %10s %10s\n", "query", "admit s", "queue s",
-              "finish s", "groups");
+  std::printf("%-8s %10s %12s %10s %-18s %10s\n", "query", "admit s",
+              "queue s", "finish s", "outcome", "groups");
   for (size_t i = 0; i < s.queries.size(); ++i) {
     const engine::QueryRunStats& q = s.queries[i];
-    std::printf("%-8s %10.3f %12.3f %10.3f ", labels[i].c_str(), q.admitted,
-                q.queueing_delay_s(), q.finish);
+    std::printf("%-8s %10.3f %12.3f %10.3f %-18s ", labels[i].c_str(),
+                q.admitted, q.queueing_delay_s(), q.finish,
+                engine::QueryOutcomeName(q.outcome));
     if (has_agg[i]) {
       std::printf("%10llu\n",
                   static_cast<unsigned long long>(handles[i].result().size()));

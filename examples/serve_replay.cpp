@@ -9,6 +9,8 @@
 //
 //   $ ./example_serve_replay                    # 120-query Poisson trace
 //   $ ./example_serve_replay --burst            # same load in groups of 16
+//   $ ./example_serve_replay --deadlines        # tier-weighted deadlines +
+//                                               #   shed-on-deadline serving
 //   $ ./example_serve_replay --trace out.json   # + Chrome trace of the run
 //
 // Both runs are deterministic: same binary, same table, every time. The
@@ -33,14 +35,18 @@ using namespace hape::serve;  // NOLINT
 
 int main(int argc, char** argv) {
   bool burst = false;
+  bool deadlines = false;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--burst") == 0) {
       burst = true;
+    } else if (std::strcmp(argv[i], "--deadlines") == 0) {
+      deadlines = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--burst] [--trace out.json]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--burst] [--deadlines] [--trace out.json]\n",
                    argv[0]);
       return 1;
     }
@@ -67,6 +73,15 @@ int main(int argc, char** argv) {
   wo.seed = 11;
   wo.arrival_rate_qps = 3.0;
   wo.burst = burst;
+  if (deadlines) {
+    // Tier-weighted deadlines relative to each query's arrival. With
+    // shed_on_deadline on, a query whose deadline expires while it queues
+    // is shed at the admission decision point; one that expires mid-run
+    // is aborted cooperatively at the next pipeline boundary, releasing
+    // its GPU residency immediately.
+    wo.tier_deadline_s = {0.75, 1.5, 4.0};
+    policy.serve.shed_on_deadline = true;
+  }
 
   engine::Engine eng(&topo);
   if (trace_path != nullptr) eng.SetTraceOptions(obs::TraceOptions{true});
@@ -93,6 +108,14 @@ int main(int argc, char** argv) {
               "%.2f s\n",
               s.queries.size(), burst ? "bursty" : "Poisson",
               wo.arrival_rate_qps, s.makespan);
+  if (deadlines) {
+    std::printf("deadlines: %llu completed, %llu shed at admission, %llu "
+                "aborted mid-flight\n",
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(
+                    s.cancelled + s.deadline_exceeded - s.shed));
+  }
   const PlanCache::Stats cache = service.cache_stats();
   std::printf("plan cache: %llu hits / %llu misses over %llu entries "
               "(hit rate %.2f)\n\n",

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_set>
 #include <utility>
@@ -150,7 +151,7 @@ Status Engine::PlaceJoinStates(PlanExec* ex, sim::SimTime* t) {
         tracer_.Span(from_node, obs::kBroadcastTid, bstart, *t, "broadcast",
                      "broadcast",
                      obs::TraceAttr{ex->trace_query, -1, -1, -1, -1, total,
-                                    {}});
+                                    {}, {}});
       }
     } else {
       // Async: each table's chunked broadcast starts when *its* build
@@ -458,7 +459,7 @@ Status Engine::StepPlan(PlanExec* ex) {
     tracer_.Span(obs::kSchedulerPid, obs::QueryTid(ex->trace_query), st.start,
                  st.finish, node.pipeline.name, "pipeline",
                  obs::TraceAttr{ex->trace_query, ex->dma_stream, -1, -1, -1,
-                                st.moved_bytes, node.pipeline.name});
+                                st.moved_bytes, node.pipeline.name, {}});
   }
 
   if (node.is_build) {
@@ -488,6 +489,24 @@ int Engine::Submit(QueryPlan plan, const SubmitOptions& opts) {
   submitted_.emplace_back(static_cast<int>(submitted_.size()),
                           std::move(plan), std::move(o));
   return submitted_.back().id;
+}
+
+Status Engine::Cancel(int query_id) { return Cancel(query_id, 0.0); }
+
+Status Engine::Cancel(int query_id, sim::SimTime at_s) {
+  if (query_id < 0 || static_cast<size_t>(query_id) >= submitted_.size()) {
+    return Status::InvalidArgument("Cancel: unknown query id " +
+                                   std::to_string(query_id));
+  }
+  if (!(at_s >= 0)) {  // rejects NaN too
+    return Status::InvalidArgument("Cancel: time must be >= 0");
+  }
+  SubmittedQuery& q = submitted_[query_id];
+  // A query that already ran keeps its results; cancelling it is a no-op
+  // (the "cancel after complete" race a serving client cannot avoid).
+  if (q.executed) return Status::OK();
+  q.cancel_at = std::min(q.cancel_at, at_s);
+  return Status::OK();
 }
 
 Result<std::string> Engine::DumpPlan(const QueryPlan& plan) const {
@@ -521,6 +540,11 @@ Result<ScheduleStats> Engine::RunAll(const ExecutionPolicy& policy) {
     if (q->opts.arrival < 0) {
       return Status::InvalidArgument("query '" + q->opts.label +
                                      "' has negative arrival time");
+    }
+    if (!(q->opts.deadline_s >= 0) || std::isinf(q->opts.deadline_s)) {
+      return Status::InvalidArgument("query '" + q->opts.label +
+                                     "' has a non-finite or negative "
+                                     "deadline");
     }
   }
   Scheduler scheduler(this, policy);

@@ -92,6 +92,18 @@ class Engine {
   int Submit(QueryPlan plan);
   int Submit(QueryPlan plan, const SubmitOptions& opts);
 
+  /// Cooperatively cancel a submitted query. The one-argument form takes
+  /// effect at simulated time 0 (before any of the query's work if it has
+  /// not run yet); the two-argument form declares the cancellation at
+  /// absolute schedule time `at_s`, so the next RunAll aborts the query at
+  /// its first admission or pipeline-step decision point at or after that
+  /// instant, releasing its GPU residency and staged-transfer bytes. The
+  /// earliest of several Cancel calls wins. Cancelling a query that
+  /// already completed an earlier RunAll is a harmless no-op; an unknown
+  /// id or a negative/NaN time is InvalidArgument.
+  Status Cancel(int query_id);
+  Status Cancel(int query_id, sim::SimTime at_s);
+
   /// Execute every not-yet-run submitted plan under `policy`, arbitrating
   /// the topology between them per policy.scheduling:
   ///   - kFifo: run-to-completion in submission order; each query's cost

@@ -330,13 +330,13 @@ ExecStats Executor::RunSync(Pipeline* p, std::vector<Worker>* workers_ptr,
                       "transfer", "transfer",
                       obs::TraceAttr{opts.trace_query, opts.dma_stream,
                                      worker.device_id, -1, -1, wire_bytes,
-                                     p->name});
+                                     p->name, {}});
       }
       tracer_->Span(worker.mem_node,
                     obs::WorkerTid(worker.device_id, instance[w]), begin,
                     worker.free_at, p->name, "compute",
                     obs::TraceAttr{opts.trace_query, opts.dma_stream,
-                                   worker.device_id, -1, -1, 0, p->name});
+                                   worker.device_id, -1, -1, 0, p->name, {}});
     }
   }
 
@@ -496,7 +496,7 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
                       dma.finish, "dma", "transfer",
                       obs::TraceAttr{opts.trace_query, opts.dma_stream,
                                      workers[w].device_id, dma.lane, -1,
-                                     r.wire_bytes, p->name});
+                                     r.wire_bytes, p->name, {}});
       }
     }
     const sim::SimTime prev = k == 0 ? gate[w] : fin[w][k - 1];
@@ -507,7 +507,7 @@ ExecStats Executor::RunAsync(Pipeline* p, std::vector<Worker>* workers_ptr,
                     obs::WorkerTid(workers[w].device_id, instance[w]), begin,
                     fin[w][k], p->name, "compute",
                     obs::TraceAttr{opts.trace_query, opts.dma_stream,
-                                   workers[w].device_id, -1, -1, 0, p->name});
+                                   workers[w].device_id, -1, -1, 0, p->name, {}});
     }
     workers[w].free_at = fin[w][k];
     workers[w].busy += r.cost;
@@ -608,7 +608,7 @@ sim::SimTime Executor::BroadcastAsync(uint64_t bytes, int from_node,
     if (tracing()) {
       tracer_->Span(from_node, obs::kBroadcastTid, issued, chunk_finish,
                     "broadcast_chunk", "broadcast",
-                    obs::TraceAttr{trace_query, -1, -1, -1, -1, csize, {}});
+                    obs::TraceAttr{trace_query, -1, -1, -1, -1, csize, {}, {}});
     }
   }
   return finish;

@@ -148,6 +148,17 @@ std::string Engine::Explain(const ScheduleStats& schedule) const {
   w.Double(schedule.makespan);
   w.Key("peak_resident_bytes");
   w.Uint(schedule.peak_resident_bytes);
+  // Terminal-state totals: completed + cancelled + deadline_exceeded ==
+  // num_queries; shed counts the subset dropped at admission with zero
+  // pipelines run.
+  w.Key("completed");
+  w.Uint(schedule.completed);
+  w.Key("cancelled");
+  w.Uint(schedule.cancelled);
+  w.Key("deadline_exceeded");
+  w.Uint(schedule.deadline_exceeded);
+  w.Key("shed");
+  w.Uint(schedule.shed);
   w.Key("device_busy");
   DeviceBusyArray(&w, schedule.device_busy_s, nullptr);
   // Per-SLA-tier latency distributions (nearest-rank percentiles).
@@ -161,6 +172,14 @@ std::string Engine::Explain(const ScheduleStats& schedule) const {
     w.Int(t.tier);
     w.Key("queries");
     w.Uint(t.queries);
+    w.Key("completed");
+    w.Uint(t.completed);
+    w.Key("cancelled");
+    w.Uint(t.cancelled);
+    w.Key("deadline_exceeded");
+    w.Uint(t.deadline_exceeded);
+    w.Key("shed");
+    w.Uint(t.shed);
     w.Key("queue_p50_s");
     w.Double(t.queue_p50);
     w.Key("queue_p95_s");
@@ -201,6 +220,16 @@ std::string Engine::Explain(const ScheduleStats& schedule) const {
     w.Double(q.finish);
     w.Key("makespan_s");
     w.Double(q.makespan_s());
+    // Terminal state: "completed", "cancelled", or "deadline_exceeded";
+    // `shed` marks admission-point drops (zero pipelines run), and
+    // `deadline_s` echoes the submission deadline (0 = none) so a met
+    // deadline can be told from a missed-but-completed one.
+    w.Key("outcome");
+    w.String(QueryOutcomeName(q.outcome));
+    w.Key("shed");
+    w.Bool(q.shed);
+    w.Key("deadline_s");
+    w.Double(q.deadline_s);
     w.Key("copy_engine_bytes");
     w.Uint(q.copy_engine_bytes);
     // This query's slice of every device it touched, relative to the

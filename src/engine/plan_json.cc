@@ -754,6 +754,8 @@ void PlanJson::WritePolicy(JsonWriter* w, const ExecutionPolicy& policy) {
   w->Int(policy.serve.max_inflight);
   w->Key("aging_boost_s");
   w->Double(policy.serve.aging_boost_s);
+  w->Key("shed_on_deadline");
+  w->Bool(policy.serve.shed_on_deadline);
   w->EndObject();
   w->Key("expected_device_share");
   w->Double(policy.expected_device_share);
@@ -838,6 +840,8 @@ Result<ExecutionPolicy> PlanJson::ReadPolicy(const JsonValue& v) {
     p.serve.max_inflight = static_cast<int>(inflight);
     HAPE_RETURN_NOT_OK(ReadOptNumber(*s, "aging_boost_s",
                                      &p.serve.aging_boost_s, "serve"));
+    HAPE_RETURN_NOT_OK(ReadOptBool(*s, "shed_on_deadline",
+                                   &p.serve.shed_on_deadline, "serve"));
   }
   HAPE_RETURN_NOT_OK(ReadOptNumber(v, "expected_device_share",
                                    &p.expected_device_share, "policy"));

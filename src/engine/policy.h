@@ -106,6 +106,11 @@ struct ServeOptions {
   /// a saturating stream of high-tier work cannot starve low tiers.
   /// <= 0 disables aging.
   double aging_boost_s = 10.0;
+  /// Graceful degradation: shed a ready query at the admission decision
+  /// point when the clock has already passed its SubmitOptions::deadline_s
+  /// (it would only be admitted to be aborted between its first pipeline
+  /// steps). Off by default; queries without a deadline are never shed.
+  bool shed_on_deadline = false;
 };
 
 /// Declarative description of *where and how* a QueryPlan executes. Derived

@@ -42,12 +42,16 @@ double NearestRank(const std::vector<double>& sorted, double p) {
 /// queueing-delay and makespan distributions. Runs under every policy:
 /// non-tiered schedules report one tier-0 row, which is what makes a
 /// tiered run comparable to its untiered baseline on the same trace.
+/// Percentiles sample *completed* queries only — a shed query has no
+/// meaningful latency — and NearestRank maps an empty sample to 0, so an
+/// all-shed tier reports schema-valid zeros, never NaN.
 void ComputeTierPercentiles(ScheduleStats* out) {
   std::map<int, std::vector<const QueryRunStats*>> by_tier;
   for (const QueryRunStats& q : out->queries) {
     by_tier[q.tier].push_back(&q);
   }
   out->tiers.clear();
+  out->completed = out->cancelled = out->deadline_exceeded = out->shed = 0;
   for (const auto& [tier, qs] : by_tier) {
     TierPercentiles tp;
     tp.tier = tier;
@@ -56,6 +60,19 @@ void ComputeTierPercentiles(ScheduleStats* out) {
     queue.reserve(qs.size());
     makespan.reserve(qs.size());
     for (const QueryRunStats* q : qs) {
+      switch (q->outcome) {
+        case QueryOutcome::kCompleted:
+          ++tp.completed;
+          break;
+        case QueryOutcome::kCancelled:
+          ++tp.cancelled;
+          break;
+        case QueryOutcome::kDeadlineExceeded:
+          ++tp.deadline_exceeded;
+          break;
+      }
+      if (q->shed) ++tp.shed;
+      if (!q->completed()) continue;
       queue.push_back(q->queueing_delay_s());
       makespan.push_back(q->makespan_s());
     }
@@ -67,11 +84,57 @@ void ComputeTierPercentiles(ScheduleStats* out) {
     tp.makespan_p50 = NearestRank(makespan, 0.50);
     tp.makespan_p95 = NearestRank(makespan, 0.95);
     tp.makespan_p99 = NearestRank(makespan, 0.99);
+    out->completed += tp.completed;
+    out->cancelled += tp.cancelled;
+    out->deadline_exceeded += tp.deadline_exceeded;
+    out->shed += tp.shed;
     out->tiers.push_back(tp);
   }
 }
 
+/// When — and as what — a query's remaining work must stop: the earlier
+/// of its Engine::Cancel time and its deadline (+infinity when neither
+/// applies). An explicit cancel wins exact ties, so CutoffOf is the
+/// single source of truth for the terminal outcome the scheduler records.
+struct Cutoff {
+  sim::SimTime at = std::numeric_limits<double>::infinity();
+  QueryOutcome outcome = QueryOutcome::kCancelled;
+};
+
+Cutoff CutoffOf(const SubmittedQuery& q) {
+  const double deadline = q.opts.deadline_s > 0
+                              ? q.opts.deadline_s
+                              : std::numeric_limits<double>::infinity();
+  if (q.cancel_at <= deadline) {
+    return Cutoff{q.cancel_at, QueryOutcome::kCancelled};
+  }
+  return Cutoff{deadline, QueryOutcome::kDeadlineExceeded};
+}
+
+/// Should a not-yet-started query be dropped at an admission decision
+/// point at time `now`? An explicit cancel always drops (the client no
+/// longer wants the result); an expired deadline sheds only under the
+/// graceful-degradation knob — otherwise the query is admitted and
+/// aborted cooperatively at its first pipeline boundary.
+bool DropAtAdmission(const SubmittedQuery& q, const Cutoff& cut,
+                     sim::SimTime now, const ExecutionPolicy& policy) {
+  return cut.at <= now &&
+         (q.cancel_at <= now || policy.serve.shed_on_deadline);
+}
+
 }  // namespace
+
+const char* QueryOutcomeName(QueryOutcome o) {
+  switch (o) {
+    case QueryOutcome::kCompleted:
+      return "completed";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
+    case QueryOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
 
 uint64_t Scheduler::EstimatedResidentBytes(const QueryPlan& plan,
                                            const ExecutionPolicy& policy,
@@ -130,12 +193,52 @@ QueryRunStats Scheduler::FinishQuery(const SubmittedQuery& q,
   qs.weight = q.opts.weight;
   qs.tier = q.opts.tier;
   qs.admitted = admitted;
+  qs.deadline_s = q.opts.deadline_s;
   qs.run = std::move(run);
   sim::Topology* topo = engine_->topo_;
   for (int n = 0; n < topo->num_mem_nodes(); ++n) {
     qs.copy_engine_bytes += topo->copy_engine(n).stream_stats(stream).bytes;
   }
   return qs;
+}
+
+QueryRunStats Scheduler::ShedQuery(const SubmittedQuery& q, sim::SimTime at,
+                                   QueryOutcome outcome) {
+  QueryRunStats qs;
+  qs.id = q.id;
+  qs.label = q.opts.label;
+  qs.weight = q.opts.weight;
+  qs.tier = q.opts.tier;
+  qs.arrival = q.opts.arrival;
+  qs.admitted = at;
+  qs.finish = at;
+  qs.deadline_s = q.opts.deadline_s;
+  qs.outcome = outcome;
+  qs.shed = true;
+  obs::Tracer& tracer = engine_->tracer_;
+  if (tracer.enabled()) {
+    tracer.NameThread(obs::kSchedulerPid, obs::QueryTid(q.id), q.opts.label);
+  }
+  RecordAbort(qs);
+  return qs;
+}
+
+void Scheduler::RecordAbort(const QueryRunStats& qs) {
+  obs::MetricsRegistry& metrics = engine_->metrics_;
+  metrics.GetCounter("scheduler.queries")->Increment();
+  if (qs.shed) metrics.GetCounter("scheduler.shed")->Increment();
+  metrics
+      .GetCounter(qs.outcome == QueryOutcome::kCancelled
+                      ? "scheduler.cancelled"
+                      : "scheduler.deadline_exceeded")
+      ->Increment();
+  obs::Tracer& tracer = engine_->tracer_;
+  if (tracer.enabled()) {
+    tracer.Instant(obs::kSchedulerPid, obs::QueryTid(qs.id), qs.finish,
+                   "cancel", "query",
+                   obs::TraceAttr{qs.id, -1, -1, -1, qs.tier, 0, {},
+                                  QueryOutcomeName(qs.outcome)});
+  }
 }
 
 Result<ScheduleStats> Scheduler::Run(
@@ -168,6 +271,20 @@ Result<ScheduleStats> Scheduler::RunFifo(
   obs::Tracer& tracer = engine_->tracer_;
   sim::SimTime clock = 0;
   for (SubmittedQuery* q : queries) {
+    const Cutoff cut = CutoffOf(*q);
+    // A query dropped before its turn never touches the (per-query reset)
+    // topology: the survivors' cost sequences are byte-identical to a
+    // schedule the dropped query was never submitted into.
+    if (DropAtAdmission(*q, cut, clock, policy_)) {
+      if (tracer.enabled()) {
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id),
+                       q->opts.arrival, "arrival", "query",
+                       obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0,
+                                      {}, {}});
+      }
+      out.queries.push_back(ShedQuery(*q, clock, cut.outcome));
+      continue;
+    }
     engine_->topo_->Reset();
     Engine::PlanExec ex;
     HAPE_RETURN_NOT_OK(engine_->BeginPlan(&q->plan, policy_, &ex));
@@ -177,13 +294,21 @@ Result<ScheduleStats> Scheduler::RunFifo(
                         q->opts.label);
       tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id),
                      q->opts.arrival, "arrival", "query",
-                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}});
+                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}, {}});
       tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id), clock, "admit",
                      "query",
-                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}});
+                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}, {}});
     }
+    // Cooperative cancellation: the cutoff is honored between pipeline
+    // steps (the query runs on a private timeline starting at 0, so its
+    // absolute progress is clock + out.finish).
+    bool aborted = false;
     while (!ex.done()) {
       HAPE_RETURN_NOT_OK(engine_->StepPlan(&ex));
+      if (!ex.done() && clock + ex.out.finish >= cut.at) {
+        aborted = true;
+        break;
+      }
     }
     QueryRunStats qs = FinishQuery(*q, /*admitted=*/clock,
                                    std::move(ex.out), /*stream=*/0);
@@ -191,11 +316,17 @@ Result<ScheduleStats> Scheduler::RunFifo(
     // window is [clock, clock + finish).
     qs.finish = clock + qs.run.finish;
     clock = qs.finish;
-    engine_->metrics_.GetCounter("scheduler.queries")->Increment();
-    if (tracer.enabled()) {
-      tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id), qs.finish,
-                     "complete", "query",
-                     obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0, {}});
+    if (aborted) {
+      qs.outcome = cut.outcome;
+      RecordAbort(qs);
+    } else {
+      engine_->metrics_.GetCounter("scheduler.queries")->Increment();
+      if (tracer.enabled()) {
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id), qs.finish,
+                       "complete", "query",
+                       obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0,
+                                      {}, {}});
+      }
     }
     for (const auto& [dev, busy] : qs.run.device_busy_s) {
       out.device_busy_s[dev] += busy;
@@ -221,6 +352,35 @@ Result<ScheduleStats> Scheduler::RunFairShare(
   out.policy = SchedulingPolicy::kFairShare;
   if (queries.empty()) return out;
 
+  // Queries dropped before the schedule starts are excluded from wave
+  // packing entirely, so the survivors' waves — and therefore their cost
+  // sequences — are identical to a schedule the dropped queries never
+  // entered.
+  obs::Tracer& tracer = engine_->tracer_;
+  std::vector<SubmittedQuery*> live;
+  live.reserve(queries.size());
+  for (SubmittedQuery* q : queries) {
+    const Cutoff cut = CutoffOf(*q);
+    if (DropAtAdmission(*q, cut, /*now=*/0, policy_)) {
+      if (tracer.enabled()) {
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(q->id),
+                       q->opts.arrival, "arrival", "query",
+                       obs::TraceAttr{q->id, -1, -1, -1, q->opts.tier, 0,
+                                      {}, {}});
+      }
+      out.queries.push_back(ShedQuery(*q, /*at=*/0, cut.outcome));
+    } else {
+      live.push_back(q);
+    }
+  }
+  if (live.empty()) {
+    std::sort(out.queries.begin(), out.queries.end(),
+              [](const QueryRunStats& a, const QueryRunStats& b) {
+                return a.id < b.id;
+              });
+    return out;
+  }
+
   // ---- admission: pack queries into waves whose estimated GPU-resident
   // build bytes co-fit device memory. A finished query releases its
   // residency at completion, so the next wave is admitted at the earliest
@@ -231,7 +391,7 @@ Result<ScheduleStats> Scheduler::RunFairShare(
   const bool contended = policy_.UsesGpu(*topo);
   std::vector<std::vector<SubmittedQuery*>> waves;
   std::vector<uint64_t> wave_fp;  // estimated footprint per wave
-  for (SubmittedQuery* q : queries) {
+  for (SubmittedQuery* q : live) {
     const uint64_t fp =
         contended
             ? std::min(EstimatedResidentBytes(q->plan, policy_, budget),
@@ -292,14 +452,34 @@ Result<ScheduleStats> Scheduler::RunFairShare(
                           ? std::max(1, channels / 2)
                           : 0;
     std::vector<Engine::PlanExec> exs(wave.size());
-    obs::Tracer& tracer = engine_->tracer_;
+    // Queries whose cutoff passed while they queued for this wave are
+    // dropped at the admission decision point (no BeginPlan, no admit
+    // event); `terminal` marks wave slots already recorded.
+    std::vector<char> terminal(wave.size(), 0);
+    std::vector<Cutoff> cuts(wave.size());
+    sim::SimTime wave_finish = wave_gate;
     engine_->metrics_.GetCounter("scheduler.admission_waves")->Increment();
     if (tracer.enabled()) {
       tracer.Instant(obs::kSchedulerPid, obs::kServiceTid, wave_gate,
                      "admission_wave", "scheduler",
-                     obs::TraceAttr{-1, -1, -1, -1, -1, wave_fp[w], {}});
+                     obs::TraceAttr{-1, -1, -1, -1, -1, wave_fp[w], {}, {}});
     }
     for (size_t i = 0; i < wave.size(); ++i) {
+      cuts[i] = CutoffOf(*wave[i]);
+      if (tracer.enabled()) {
+        tracer.NameThread(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
+                          wave[i]->opts.label);
+        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
+                       wave[i]->opts.arrival, "arrival", "query",
+                       obs::TraceAttr{wave[i]->id, -1, -1, -1,
+                                      wave[i]->opts.tier, 0, {}, {}});
+      }
+      if (DropAtAdmission(*wave[i], cuts[i], wave_gate, policy_)) {
+        out.queries.push_back(ShedQuery(*wave[i], wave_gate,
+                                        cuts[i].outcome));
+        terminal[i] = 1;
+        continue;
+      }
       HAPE_RETURN_NOT_OK(
           engine_->BeginPlan(&wave[i]->plan, policy_, &exs[i]));
       exs[i].admit = wave_gate;
@@ -309,16 +489,10 @@ Result<ScheduleStats> Scheduler::RunFairShare(
       exs[i].dma_lane_quota = quota;
       exs[i].trace_query = wave[i]->id;
       if (tracer.enabled()) {
-        tracer.NameThread(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
-                          wave[i]->opts.label);
-        tracer.Instant(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
-                       wave[i]->opts.arrival, "arrival", "query",
-                       obs::TraceAttr{wave[i]->id, -1, -1, -1,
-                                      wave[i]->opts.tier, 0, {}});
         tracer.Instant(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
                        wave_gate, "admit", "query",
                        obs::TraceAttr{wave[i]->id, -1, -1, -1,
-                                      wave[i]->opts.tier, 0, {}});
+                                      wave[i]->opts.tier, 0, {}, {}});
       }
     }
 
@@ -366,8 +540,12 @@ Result<ScheduleStats> Scheduler::RunFairShare(
       }
     };
     std::priority_queue<PickKey, std::vector<PickKey>, LaterPick> picks;
+    // Per-query progress on the shared timeline: admission, then the
+    // finish of the query's last completed pipeline — the decision point
+    // the cutoff is checked against before each of its steps.
+    std::vector<sim::SimTime> progress(wave.size(), wave_gate);
     for (size_t i = 0; i < wave.size(); ++i) {
-      if (!exs[i].done()) {
+      if (terminal[i] == 0 && !exs[i].done()) {
         picks.push(PickKey{!next_is_build(i), vtime[i],
                            static_cast<int>(i)});
       }
@@ -375,6 +553,29 @@ Result<ScheduleStats> Scheduler::RunFairShare(
     while (!picks.empty()) {
       const int pick = picks.top().index;
       picks.pop();
+      // Cooperative mid-flight abort at the pipeline boundary: the
+      // query's residency is released immediately, so the next wave's
+      // admission gate can move up to the abort instead of the query's
+      // natural finish.
+      if (cuts[pick].at <= progress[pick]) {
+        QueryRunStats qs =
+            FinishQuery(*wave[pick], /*admitted=*/wave_gate,
+                        std::move(exs[pick].out), wave[pick]->id);
+        qs.finish = progress[pick];
+        qs.outcome = cuts[pick].outcome;
+        RecordAbort(qs);
+        if (contrib[pick] > 0) {
+          residency.emplace_back(qs.finish, contrib[pick]);
+        }
+        for (const auto& [dev, busy] : qs.run.device_busy_s) {
+          out.device_busy_s[dev] += busy;
+        }
+        wave_finish = std::max(wave_finish, qs.finish);
+        out.makespan = std::max(out.makespan, qs.finish);
+        out.queries.push_back(std::move(qs));
+        terminal[pick] = 1;
+        continue;
+      }
       const uint64_t resident_before = shared_resident;
       HAPE_RETURN_NOT_OK(engine_->StepPlan(&exs[pick]));
       HAPE_CHECK(shared_resident >= resident_before)
@@ -386,21 +587,23 @@ Result<ScheduleStats> Scheduler::RunFairShare(
           ->Set(static_cast<double>(shared_resident));
       vtime[pick] += TotalBusy(exs[pick].out.pipelines.back().stats) /
                      wave[pick]->opts.weight;
+      progress[pick] = exs[pick].out.pipelines.back().stats.finish;
       if (!exs[pick].done()) {
         picks.push(PickKey{!next_is_build(pick), vtime[pick], pick});
       }
     }
 
     // Every placed byte of this wave is attributed to exactly one query —
-    // releasing per query at completion can neither double-free nor leak.
+    // releasing per query at completion (or abort) can neither double-free
+    // nor leak.
     uint64_t attributed = 0;
     for (uint64_t c : contrib) attributed += c;
     HAPE_CHECK(attributed == shared_resident - carried)
         << "per-query residency attribution does not cover the wave's "
         << "placements exactly";
 
-    sim::SimTime wave_finish = wave_gate;
     for (size_t i = 0; i < wave.size(); ++i) {
+      if (terminal[i] != 0) continue;  // dropped or aborted: recorded above
       QueryRunStats qs = FinishQuery(*wave[i], /*admitted=*/wave_gate,
                                      std::move(exs[i].out), wave[i]->id);
       qs.finish = qs.run.finish;
@@ -410,7 +613,7 @@ Result<ScheduleStats> Scheduler::RunFairShare(
         tracer.Instant(obs::kSchedulerPid, obs::QueryTid(wave[i]->id),
                        qs.finish, "complete", "query",
                        obs::TraceAttr{wave[i]->id, -1, -1, -1,
-                                      wave[i]->opts.tier, 0, {}});
+                                      wave[i]->opts.tier, 0, {}, {}});
       }
       // The query's tables are released the moment it completes.
       if (contrib[i] > 0) residency.emplace_back(qs.finish, contrib[i]);
@@ -486,12 +689,14 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
 
   const size_t n = queries.size();
   std::vector<uint64_t> fp(n, 0);
+  std::vector<Cutoff> cuts(n);
   for (size_t i = 0; i < n; ++i) {
     fp[i] = contended
                 ? std::min(EstimatedResidentBytes(queries[i]->plan,
                                                   policy_, budget),
                            budget)
                 : 0;
+    cuts[i] = CutoffOf(*queries[i]);
   }
 
   // Replay the open-loop arrival trace through an event queue. Events are
@@ -580,7 +785,50 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
         tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[i]->id),
                        queries[i]->opts.arrival, "arrival", "query",
                        obs::TraceAttr{queries[i]->id, -1, -1, -1,
-                                      queries[i]->opts.tier, 0, {}});
+                                      queries[i]->opts.tier, 0, {}, {}});
+      }
+    }
+    // Cooperative mid-flight abort at the pipeline boundary: a running
+    // query whose cutoff passed stops at this decision point, and its
+    // residency is released *before* this round's admission pass — freed
+    // bytes and the in-flight slot are available to the next admission
+    // immediately.
+    for (size_t r = 0; r < running.size();) {
+      const int i = running[r];
+      if (cuts[i].at <= clock) {
+        running.erase(running.begin() + static_cast<ptrdiff_t>(r));
+        QueryRunStats qs =
+            FinishQuery(*queries[i], admitted[i], std::move(exs[i].out),
+                        queries[i]->id);
+        qs.arrival = queries[i]->opts.arrival;
+        qs.finish = clock;
+        qs.outcome = cuts[i].outcome;
+        RecordAbort(qs);
+        if (contrib[i] > 0) residency.emplace_back(qs.finish, contrib[i]);
+        for (const auto& [dev, busy] : qs.run.device_busy_s) {
+          out.device_busy_s[dev] += busy;
+        }
+        out.makespan = std::max(out.makespan, qs.finish);
+        out.queries.push_back(std::move(qs));
+        ++done_count;
+      } else {
+        ++r;
+      }
+    }
+    // Graceful degradation: a ready query already past its cancellation
+    // (always) or deadline (under serve.shed_on_deadline) is shed at the
+    // admission decision point — it would only be admitted to be aborted
+    // between its first pipeline steps.
+    for (size_t r = 0; r < ready.size();) {
+      const int i = ready[r];
+      if (DropAtAdmission(*queries[i], cuts[i], clock, policy_)) {
+        ready.erase(ready.begin() + static_cast<ptrdiff_t>(r));
+        // The arrival instant was emitted when the query became ready.
+        out.queries.push_back(ShedQuery(*queries[i], clock,
+                                        cuts[i].outcome));
+        ++done_count;
+      } else {
+        ++r;
       }
     }
     // A ready query crossing the aging window is promoted to tier 0 from
@@ -594,7 +842,7 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
           tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[i]->id),
                          clock, "aging_promotion", "scheduler",
                          obs::TraceAttr{queries[i]->id, -1, -1, -1,
-                                        queries[i]->opts.tier, 0, {}});
+                                        queries[i]->opts.tier, 0, {}, {}});
         }
       }
     }
@@ -649,7 +897,7 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
         tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[i]->id),
                        clock, "admit", "query",
                        obs::TraceAttr{queries[i]->id, -1, -1, -1,
-                                      queries[i]->opts.tier, 0, {}});
+                                      queries[i]->opts.tier, 0, {}, {}});
       }
     }
     metrics.GetGauge("scheduler.inflight")
@@ -684,7 +932,7 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
                        obs::QueryTid(queries[prev_pick]->id), clock,
                        "preempt", "scheduler",
                        obs::TraceAttr{queries[prev_pick]->id, -1, -1, -1,
-                                      queries[prev_pick]->opts.tier, 0, {}});
+                                      queries[prev_pick]->opts.tier, 0, {}, {}});
       }
     }
     prev_pick = pick;
@@ -718,7 +966,7 @@ Result<ScheduleStats> Scheduler::RunSlaTiered(
         tracer.Instant(obs::kSchedulerPid, obs::QueryTid(queries[pick]->id),
                        qs.finish, "complete", "query",
                        obs::TraceAttr{queries[pick]->id, -1, -1, -1,
-                                      queries[pick]->opts.tier, 0, {}});
+                                      queries[pick]->opts.tier, 0, {}, {}});
       }
       if (contrib[pick] > 0) residency.emplace_back(qs.finish, contrib[pick]);
       for (const auto& [dev, busy] : qs.run.device_busy_s) {

@@ -1,6 +1,8 @@
 #ifndef HAPE_ENGINE_SCHEDULER_H_
 #define HAPE_ENGINE_SCHEDULER_H_
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -28,6 +30,14 @@ struct SubmitOptions {
   /// before this instant. Must be >= 0. The other policies treat every
   /// query as arriving at 0.
   sim::SimTime arrival = 0;
+  /// Completion deadline, absolute schedule seconds. 0 disables the
+  /// deadline (the default); a positive value makes every scheduling
+  /// policy abort the query cooperatively at the first admission or
+  /// pipeline-step decision point past the deadline, releasing its GPU
+  /// residency and staged bytes. Under kSlaTiered with
+  /// ServeOptions::shed_on_deadline, an already-expired ready query is
+  /// shed at admission without running at all. Must be finite and >= 0.
+  double deadline_s = 0;
 };
 
 /// One entry of the Engine's submission queue.
@@ -40,7 +50,21 @@ struct SubmittedQuery {
   SubmitOptions opts;
   /// Ran in an earlier RunAll (kept alive for its result handles).
   bool executed = false;
+  /// Earliest simulated time an Engine::Cancel takes effect; +infinity
+  /// when the query was never cancelled. The scheduler honors it at the
+  /// same decision points as the deadline.
+  sim::SimTime cancel_at = std::numeric_limits<double>::infinity();
 };
+
+/// Terminal state of one scheduled query.
+enum class QueryOutcome {
+  kCompleted,         ///< ran every pipeline (it may still have missed a
+                      ///< deadline; compare finish against deadline_s)
+  kCancelled,         ///< stopped by Engine::Cancel before completion
+  kDeadlineExceeded,  ///< stopped by the scheduler past its deadline
+};
+
+const char* QueryOutcomeName(QueryOutcome o);
 
 /// Execution record of one query of a schedule. `arrival`, `admitted`,
 /// and `finish` are absolute schedule times; under kFifo/kFairShare every
@@ -66,10 +90,20 @@ struct QueryRunStats {
   /// Bytes this query's transfers moved through the copy engines (its DMA
   /// stream tag, summed over memory nodes).
   uint64_t copy_engine_bytes = 0;
+  /// SubmitOptions::deadline_s echoed back (0 = none), so a consumer can
+  /// tell a met deadline from a missed-but-completed one.
+  double deadline_s = 0;
+  /// How the query left the schedule. Cancelled/deadline-exceeded queries
+  /// keep whatever partial `run` record they accumulated before the abort.
+  QueryOutcome outcome = QueryOutcome::kCompleted;
+  /// Terminated at an admission decision point with zero pipelines run
+  /// (never touched the substrate). Implies outcome != kCompleted.
+  bool shed = false;
   RunStats run;
 
   sim::SimTime queueing_delay_s() const { return admitted - arrival; }
   sim::SimTime makespan_s() const { return finish - arrival; }
+  bool completed() const { return outcome == QueryOutcome::kCompleted; }
 };
 
 /// Nearest-rank latency percentiles of one SLA tier's queries. Computed
@@ -79,6 +113,14 @@ struct QueryRunStats {
 struct TierPercentiles {
   int tier = 0;
   uint64_t queries = 0;
+  /// Terminal-state counts; completed + cancelled + deadline_exceeded ==
+  /// queries, and shed <= cancelled + deadline_exceeded. The percentiles
+  /// below sample *completed* queries only (an all-shed tier reports
+  /// schema-valid zeros, never NaN).
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t shed = 0;
   double queue_p50 = 0;     ///< queueing delay (admitted - arrival)
   double queue_p95 = 0;
   double queue_p99 = 0;
@@ -103,6 +145,12 @@ struct ScheduleStats {
   std::vector<QueryRunStats> queries;
   /// Per-tier queueing/makespan percentiles, ascending by tier.
   std::vector<TierPercentiles> tiers;
+  /// Schedule-wide terminal-state totals (sums of the per-tier counts);
+  /// completed + cancelled + deadline_exceeded == queries.size().
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t shed = 0;
 };
 
 /// The multi-query scheduler behind Engine::RunAll. One Engine instance
@@ -174,6 +222,14 @@ class Scheduler {
 
   QueryRunStats FinishQuery(const SubmittedQuery& q, sim::SimTime admitted,
                             RunStats run, int stream);
+
+  /// Zero-work terminal record for a query dropped at an admission
+  /// decision point (outcome kCancelled / kDeadlineExceeded, shed=true),
+  /// plus its metrics bump and "cancel" lifecycle instant.
+  QueryRunStats ShedQuery(const SubmittedQuery& q, sim::SimTime at,
+                          QueryOutcome outcome);
+  /// Metrics + "cancel" lifecycle instant for a mid-flight abort.
+  void RecordAbort(const QueryRunStats& qs);
 
   Engine* engine_;
   const ExecutionPolicy& policy_;

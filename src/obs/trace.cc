@@ -72,6 +72,10 @@ void WriteArgs(JsonWriter* w, const TraceAttr& a) {
     w->Key("pipeline");
     w->String(a.pipeline);
   }
+  if (!a.detail.empty()) {
+    w->Key("detail");
+    w->String(a.detail);
+  }
   w->EndObject();
 }
 

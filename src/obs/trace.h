@@ -26,8 +26,8 @@ struct TraceOptions {
 ///   - one "process" per mem node (pid == mem-node id), whose "threads"
 ///     are the node's DMA lanes plus per-device worker slots;
 ///   - one synthetic "scheduler" process holding a per-query track for
-///     lifecycle instants (arrival/admit/complete, cache hit/miss,
-///     preemption, aging) and pipeline spans.
+///     lifecycle instants (arrival/admit, terminal complete or cancel,
+///     cache hit/miss, preemption, aging) and pipeline spans.
 /// kSchedulerPid sits far above any real mem-node id (PaperServer has
 /// four nodes) so the groups never collide.
 inline constexpr int kSchedulerPid = 9000;
@@ -59,6 +59,9 @@ struct TraceAttr {
   int tier = -1;
   uint64_t bytes = 0;
   std::string pipeline;
+  /// Free-form qualifier of lifecycle instants (e.g. a "cancel" instant's
+  /// terminal outcome: "cancelled" vs "deadline_exceeded").
+  std::string detail;
 };
 
 /// Structured span/event recorder over the *simulated* clock. Because

@@ -21,10 +21,12 @@ namespace hape::serve {
 /// optimizer decisions can never leak across policies.
 ///
 /// Bounded: entries beyond `capacity` evict least-recently-used (a Find
-/// hit refreshes recency). Capacity 0 disables the bound. Eviction only
-/// costs a re-optimization on the next submission of the evicted
-/// statement — it can never change a result (the cache stores optimizer
-/// output, not results).
+/// hit refreshes recency). Capacity 0 disables caching entirely — every
+/// Find misses and Insert is a no-op (it is *not* an unbounded cache;
+/// unbounded growth under a 0 knob was a bug). Eviction only costs a
+/// re-optimization on the next submission of the evicted statement — it
+/// can never change a result (the cache stores optimizer output, not
+/// results).
 class PlanCache {
  public:
   static constexpr size_t kDefaultCapacity = 128;
@@ -49,7 +51,7 @@ class PlanCache {
   /// Counts a hit or a miss and refreshes the entry's recency; the
   /// pointer stays valid until Insert.
   const std::string* Find(const std::string& fingerprint) {
-    auto it = index_.find(fingerprint);
+    auto it = capacity_ > 0 ? index_.find(fingerprint) : index_.end();
     if (it == index_.end()) {
       ++stats_.misses;
       if (metrics_ != nullptr) {
@@ -67,6 +69,7 @@ class PlanCache {
   }
 
   void Insert(std::string fingerprint, std::string optimized) {
+    if (capacity_ == 0) return;  // caching disabled: never store anything
     auto it = index_.find(fingerprint);
     if (it != index_.end()) {
       it->second->second = std::move(optimized);
@@ -74,7 +77,7 @@ class PlanCache {
     } else {
       lru_.emplace_front(fingerprint, std::move(optimized));
       index_.emplace(std::move(fingerprint), lru_.begin());
-      while (capacity_ > 0 && lru_.size() > capacity_) {
+      while (lru_.size() > capacity_) {
         index_.erase(lru_.back().first);
         lru_.pop_back();
         ++stats_.evictions;

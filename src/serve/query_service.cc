@@ -21,7 +21,7 @@ Result<QueryService::Ticket> QueryService::Submit(
       // time, before the scheduler replays the arrival trace.
       tracer.Instant(obs::kSchedulerPid, obs::kServiceTid, opts.arrival,
                      "plan_cache_hit", "service",
-                     obs::TraceAttr{t.id, -1, -1, -1, opts.tier, 0, {}});
+                     obs::TraceAttr{t.id, -1, -1, -1, opts.tier, 0, {}, {}});
     }
     return t;
   }
@@ -40,7 +40,7 @@ Result<QueryService::Ticket> QueryService::Submit(
   if (tracer.enabled()) {
     tracer.Instant(obs::kSchedulerPid, obs::kServiceTid, opts.arrival,
                    "plan_cache_miss", "service",
-                   obs::TraceAttr{t.id, -1, -1, -1, opts.tier, 0, {}});
+                   obs::TraceAttr{t.id, -1, -1, -1, opts.tier, 0, {}, {}});
   }
   return t;
 }

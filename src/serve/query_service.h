@@ -44,8 +44,9 @@ class QueryService {
   /// The service optimizes and runs everything under one fixed `policy`
   /// (cache entries depend on it). `engine` and `catalog` must outlive
   /// the service. `cache_capacity` bounds the plan cache (LRU eviction;
-  /// 0 = unbounded); cache hit/miss/eviction counts are mirrored into the
-  /// engine's MetricsRegistry.
+  /// 0 disables caching — every submission re-optimizes); cache
+  /// hit/miss/eviction counts are mirrored into the engine's
+  /// MetricsRegistry.
   QueryService(engine::Engine* engine, const storage::Catalog* catalog,
                engine::ExecutionPolicy policy,
                size_t cache_capacity = PlanCache::kDefaultCapacity)

@@ -1,5 +1,6 @@
 #include "serve/workload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <string>
@@ -43,11 +44,32 @@ Result<std::vector<WorkloadQuery>> GenerateWorkload(
   if (opts.num_queries < 0) {
     return Status::InvalidArgument("num_queries must be >= 0");
   }
-  if (opts.arrival_rate_qps <= 0) {
-    return Status::InvalidArgument("arrival_rate_qps must be > 0");
+  // The explicit isfinite guard matters: NaN compares false against
+  // everything, so `rate <= 0` alone waves NaN through ExpGap and every
+  // arrival clock after the first gap poisons to NaN (and +inf rate
+  // degenerates to zero gaps that break burst spacing).
+  if (!std::isfinite(opts.arrival_rate_qps) || opts.arrival_rate_qps <= 0) {
+    return Status::InvalidArgument(
+        "arrival_rate_qps must be finite and > 0");
   }
   if (opts.burst && opts.burst_size < 1) {
     return Status::InvalidArgument("burst_size must be >= 1");
+  }
+  if (!std::isfinite(opts.fuzz_fraction) || opts.fuzz_fraction < 0 ||
+      opts.fuzz_fraction > 1) {
+    return Status::InvalidArgument("fuzz_fraction must be in [0, 1]");
+  }
+  for (double w : opts.tier_weights) {
+    if (!std::isfinite(w) || w < 0) {
+      return Status::InvalidArgument(
+          "tier_weights must be finite and >= 0");
+    }
+  }
+  for (double d : opts.tier_deadline_s) {
+    if (!std::isfinite(d) || d <= 0) {
+      return Status::InvalidArgument(
+          "tier_deadline_s budgets must be finite and > 0");
+    }
   }
 
   // Fuzz pool: spec i is fully determined by (seed, i), independent of
@@ -89,6 +111,12 @@ Result<std::vector<WorkloadQuery>> GenerateWorkload(
     engine::SubmitOptions so;
     so.arrival = clock;
     so.tier = SampleTier(&rng, opts.tier_weights);
+    if (!opts.tier_deadline_s.empty()) {
+      const size_t b =
+          std::min(static_cast<size_t>(so.tier),
+                   opts.tier_deadline_s.size() - 1);
+      so.deadline_s = clock + opts.tier_deadline_s[b];
+    }
 
     const bool fuzzed =
         opts.fuzz_pool > 0 && Uniform01(&rng) < opts.fuzz_fraction;

@@ -38,6 +38,13 @@ struct WorkloadOptions {
   double fuzz_fraction = 0.5;
   /// Scan chunk rows of the fuzzed plans.
   size_t fuzz_chunk_rows = 2048;
+  /// Per-tier completion budgets, simulated seconds: a tier-t query gets
+  /// deadline_s = arrival + tier_deadline_s[min(t, size-1)]. Empty (the
+  /// default) disables deadlines and leaves existing traces bit-identical;
+  /// budgets are assigned without consuming generator draws, so enabling
+  /// deadlines never shifts arrivals, tiers, or plan picks either. Every
+  /// budget must be finite and > 0.
+  std::vector<double> tier_deadline_s;
 };
 
 /// One generated request: a declarative (unoptimized) plan plus the

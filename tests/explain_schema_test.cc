@@ -342,16 +342,23 @@ TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
   EXPECT_TRUE(counters.Has("engine.pipelines"));
   const JsonValue& s = *doc.Find("schedule");
   ExpectKeys(s, {"policy", "num_queries", "makespan_s",
-                 "peak_resident_bytes", "device_busy", "tiers", "queries"},
+                 "peak_resident_bytes", "completed", "cancelled",
+                 "deadline_exceeded", "shed", "device_busy", "tiers",
+                 "queries"},
              "schedule");
   EXPECT_EQ(s.Find("policy")->str(), "fair-share");
+  // No cancellations here: every query completed.
+  EXPECT_EQ(s.Find("completed")->number(), s.Find("num_queries")->number());
+  EXPECT_EQ(s.Find("cancelled")->number(), 0.0);
+  EXPECT_EQ(s.Find("shed")->number(), 0.0);
   // Per-tier percentile rows partition the queries (everything lands in
   // tier 0 under the legacy policies).
   ASSERT_TRUE(s.Find("tiers")->is_array());
   uint64_t tiered_queries = 0;
   for (const JsonValue& t : s.Find("tiers")->items()) {
     ExpectKeys(t,
-               {"tier", "queries", "queue_p50_s", "queue_p95_s",
+               {"tier", "queries", "completed", "cancelled",
+                "deadline_exceeded", "shed", "queue_p50_s", "queue_p95_s",
                 "queue_p99_s", "makespan_p50_s", "makespan_p95_s",
                 "makespan_p99_s"},
                "schedule tier");
@@ -365,9 +372,12 @@ TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
   for (const JsonValue& q : queries) {
     ExpectKeys(q,
                {"id", "label", "weight", "tier", "arrival_s", "admitted_s",
-                "queueing_delay_s", "finish_s", "makespan_s",
-                "copy_engine_bytes", "device_share", "run"},
+                "queueing_delay_s", "finish_s", "makespan_s", "outcome",
+                "shed", "deadline_s", "copy_engine_bytes", "device_share",
+                "run"},
                "schedule query");
+    EXPECT_EQ(q.Find("outcome")->str(), "completed");
+    EXPECT_FALSE(q.Find("shed")->bool_value());
     ExpectRunObject(*q.Find("run"), "schedule query run");
     // Shares are fractions of the schedule totals.
     for (const JsonValue& d : q.Find("device_share")->items()) {
@@ -378,6 +388,70 @@ TEST_F(ExplainSchema, ScheduleDocumentCarriesPerQueryFields) {
     // Every query's makespan bounds the schedule's.
     EXPECT_LE(q.Find("makespan_s")->number(),
               s.Find("makespan_s")->number() + 1e-12);
+  }
+}
+
+// Degenerate percentile samples must stay schema-valid and NaN-free
+// through the whole Explain path: a tier whose only query was cancelled
+// before running has an *empty* completed sample (all percentiles pin to
+// 0), and a single-completed-query tier pins p50 == p95 == p99 to that
+// one sample. NaN would not survive JsonParser::Parse, so a parseable
+// document is itself the NaN-free proof.
+TEST_F(ExplainSchema, DegeneratePercentileSamplesStayFiniteInExplain) {
+  ExecutionPolicy policy =
+      ExecutionPolicy::ForConfig(*topo_, EngineConfig::kProteusHybrid);
+  policy.async = engine::AsyncOptions::Depth(1);
+  policy.scheduling = SchedulingPolicy::kSlaTiered;
+  Engine eng(topo_);
+  // Tier 0: one query that completes. Tier 3: one query cancelled at t=0
+  // — its tier's completed sample is empty.
+  engine::SubmitOptions ok;
+  ok.tier = 0;
+  auto bq = BuildQ6Plan(ctx_);
+  ASSERT_TRUE(bq.ok());
+  ASSERT_TRUE(eng.Optimize(&bq.value().plan, policy).ok());
+  eng.Submit(std::move(bq.value().plan), ok);
+  engine::SubmitOptions doomed;
+  doomed.tier = 3;
+  auto bq2 = BuildQ6Plan(ctx_);
+  ASSERT_TRUE(bq2.ok());
+  ASSERT_TRUE(eng.Optimize(&bq2.value().plan, policy).ok());
+  const int victim = eng.Submit(std::move(bq2.value().plan), doomed);
+  ASSERT_TRUE(eng.Cancel(victim).ok());
+
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  auto parsed = JsonParser::Parse(eng.Explain(sched.value()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& s = *parsed.value().Find("schedule");
+  EXPECT_EQ(s.Find("cancelled")->number(), 1.0);
+  EXPECT_EQ(s.Find("shed")->number(), 1.0);
+  ASSERT_EQ(s.Find("tiers")->items().size(), 2u);
+  const JsonValue& completed_tier = s.Find("tiers")->items()[0];
+  const JsonValue& cancelled_tier = s.Find("tiers")->items()[1];
+  // Single-element sample: every percentile is that element.
+  EXPECT_EQ(completed_tier.Find("completed")->number(), 1.0);
+  EXPECT_EQ(completed_tier.Find("makespan_p50_s")->number(),
+            completed_tier.Find("makespan_p99_s")->number());
+  EXPECT_EQ(completed_tier.Find("queue_p50_s")->number(),
+            completed_tier.Find("queue_p99_s")->number());
+  // Empty sample (the tier's only query never completed): pinned zeros.
+  EXPECT_EQ(cancelled_tier.Find("tier")->number(), 3.0);
+  EXPECT_EQ(cancelled_tier.Find("completed")->number(), 0.0);
+  EXPECT_EQ(cancelled_tier.Find("shed")->number(), 1.0);
+  for (const char* k : {"queue_p50_s", "queue_p95_s", "queue_p99_s",
+                        "makespan_p50_s", "makespan_p95_s",
+                        "makespan_p99_s"}) {
+    EXPECT_EQ(cancelled_tier.Find(k)->number(), 0.0) << k;
+  }
+  // The cancelled query's record carries its terminal outcome.
+  for (const JsonValue& q : s.Find("queries")->items()) {
+    if (static_cast<int>(q.Find("id")->number()) == victim) {
+      EXPECT_EQ(q.Find("outcome")->str(), "cancelled");
+      EXPECT_TRUE(q.Find("shed")->bool_value());
+    } else {
+      EXPECT_EQ(q.Find("outcome")->str(), "completed");
+    }
   }
 }
 

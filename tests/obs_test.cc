@@ -61,7 +61,7 @@ TEST(Tracer, ExportSortsByTimestampAndOmitsDefaultArgs) {
   // Emitted out of order on purpose; the export must sort.
   t.Instant(0, 1, 3.0, "late", "test");
   t.Span(0, LaneTid(2), 1.0, 2.0, "dma", "transfer",
-         TraceAttr{7, 3, 1, 2, -1, 4096, "pipe"});
+         TraceAttr{7, 3, 1, 2, -1, 4096, "pipe", {}});
   ASSERT_EQ(t.num_events(), 2u);
 
   auto doc = JsonParser::Parse(t.ToChromeJson());

@@ -22,10 +22,12 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "codegen/kernels.h"
 #include "engine/engine.h"
 #include "engine/plan.h"
+#include "engine/scheduler.h"
 #include "queries/plan_fuzzer.h"
 #include "queries/tpch_queries.h"
 #include "storage/tpch.h"
@@ -274,6 +276,105 @@ TEST_P(PlanFuzz, DataPlanesByteIdenticalWithBitIdenticalCosts) {
           EXPECT_GT(after.probed_keys, before.probed_keys)
               << leg.name << ": bulk probe kernel never ran";
         }
+      }
+    }
+  }
+}
+
+// ---- cancellation leg -------------------------------------------------------
+
+/// The cancellation invariant, fuzzed: submit three fuzzed plans under
+/// kFifo, cancel a seed-derived one of them before the schedule starts,
+/// and the survivors must be byte-identical — result groups AND full
+/// simulated cost sequences — to a schedule the cancelled query was never
+/// submitted into. Runs in every system config on both data planes (the
+/// cancel bookkeeping must not perturb either plane's kernels).
+TEST_P(PlanFuzz, CancelledSubsetLeavesSurvivorsByteIdenticalUnderFifo) {
+  const uint64_t seed = GetParam();
+  std::vector<FuzzSpec> specs;
+  for (uint64_t k = 0; k < 3; ++k) {
+    Fuzzer fuzzer(seed * 1000003ull + k);
+    specs.push_back(fuzzer.Generate());
+  }
+  const size_t cancel_idx = seed % specs.size();
+  PlaneGuard guard;
+
+  for (EngineConfig config : kAllConfigs) {
+    for (codegen::KernelMode mode :
+         {codegen::KernelMode::kScalar, codegen::KernelMode::kVectorized}) {
+      codegen::SetDataPlane({mode, 1});
+      const std::string what =
+          std::string("seed ") + std::to_string(seed) + " config " +
+          ConfigName(config) +
+          (mode == codegen::KernelMode::kScalar ? " scalar" : " vectorized");
+      ExecutionPolicy policy = ExecutionPolicy::ForConfig(*topo_, config);
+      policy.async = engine::AsyncOptions::Depth(1);
+      policy.scheduling = engine::SchedulingPolicy::kFifo;
+
+      // Baseline: the survivors alone.
+      topo_->Reset();
+      Engine base_eng(topo_);
+      std::vector<FuzzPlan> base_plans;
+      for (size_t i = 0; i < specs.size(); ++i) {
+        if (i == cancel_idx) continue;
+        base_plans.push_back(
+            BuildFuzzPlan(specs[i], *catalog_, /*chunk_rows=*/2048));
+        ASSERT_TRUE(base_eng.Optimize(&base_plans.back().plan, policy).ok())
+            << what;
+        base_eng.Submit(std::move(base_plans.back().plan));
+      }
+      auto base = base_eng.RunAll(policy);
+      ASSERT_TRUE(base.ok()) << what << ": " << base.status().ToString();
+
+      // Full submission with one pre-start cancellation.
+      topo_->Reset();
+      Engine eng(topo_);
+      std::vector<FuzzPlan> plans;
+      for (const FuzzSpec& spec : specs) {
+        plans.push_back(BuildFuzzPlan(spec, *catalog_, /*chunk_rows=*/2048));
+        ASSERT_TRUE(eng.Optimize(&plans.back().plan, policy).ok()) << what;
+        eng.Submit(std::move(plans.back().plan));
+      }
+      ASSERT_TRUE(eng.Cancel(static_cast<int>(cancel_idx)).ok()) << what;
+      auto sched = eng.RunAll(policy);
+      ASSERT_TRUE(sched.ok()) << what << ": " << sched.status().ToString();
+      const engine::ScheduleStats& s = sched.value();
+      ASSERT_EQ(s.queries.size(), specs.size()) << what;
+      EXPECT_EQ(s.cancelled, 1u) << what;
+      EXPECT_EQ(s.shed, 1u) << what;
+      EXPECT_EQ(s.completed, specs.size() - 1) << what;
+
+      size_t bi = 0;
+      for (size_t i = 0; i < specs.size(); ++i) {
+        const engine::QueryRunStats& qs = s.queries[i];
+        if (i == cancel_idx) {
+          EXPECT_EQ(qs.outcome, engine::QueryOutcome::kCancelled) << what;
+          EXPECT_TRUE(qs.shed) << what;
+          EXPECT_TRUE(qs.run.pipelines.empty())
+              << what << ": a pre-start cancel must run zero pipelines";
+          continue;
+        }
+        const engine::QueryRunStats& bs = base.value().queries[bi];
+        // Bit-identical cost sequences on the survivor's private timeline
+        // and identical placement on the schedule timeline.
+        EXPECT_EQ(CostSignature(qs.run), CostSignature(bs.run))
+            << what << " query " << i;
+        EXPECT_EQ(qs.admitted, bs.admitted) << what << " query " << i;
+        EXPECT_EQ(qs.finish, bs.finish) << what << " query " << i;
+        // Byte-identical result groups.
+        const Groups& got = plans[i].agg.result();
+        const Groups& want = base_plans[bi].agg.result();
+        ASSERT_EQ(got.size(), want.size()) << what << " query " << i;
+        auto itw = want.begin();
+        for (auto itg = got.begin(); itg != got.end(); ++itg, ++itw) {
+          ASSERT_EQ(itg->first, itw->first) << what;
+          ASSERT_EQ(itg->second.size(), itw->second.size()) << what;
+          ASSERT_EQ(0,
+                    std::memcmp(itg->second.data(), itw->second.data(),
+                                itg->second.size() * sizeof(double)))
+              << what << " query " << i << " group " << itg->first;
+        }
+        ++bi;
       }
     }
   }

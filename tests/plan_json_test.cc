@@ -172,6 +172,7 @@ TEST_F(PlanJsonTest, PolicyRoundTripsEveryField) {
   p.scheduling = engine::SchedulingPolicy::kSlaTiered;
   p.serve.max_inflight = 3;
   p.serve.aging_boost_s = 2.5;
+  p.serve.shed_on_deadline = true;
   p.expected_device_share = 0.25;
   p.optimizer.reorder_joins = false;
   p.optimizer.placement = opt::PlacementMode::kCostBased;
@@ -200,6 +201,7 @@ TEST_F(PlanJsonTest, PolicyRoundTripsEveryField) {
   EXPECT_EQ(r.scheduling, p.scheduling);
   EXPECT_EQ(r.serve.max_inflight, p.serve.max_inflight);
   EXPECT_DOUBLE_EQ(r.serve.aging_boost_s, p.serve.aging_boost_s);
+  EXPECT_EQ(r.serve.shed_on_deadline, p.serve.shed_on_deadline);
   EXPECT_DOUBLE_EQ(r.expected_device_share, p.expected_device_share);
   EXPECT_EQ(r.optimizer.enable, p.optimizer.enable);
   EXPECT_EQ(r.optimizer.reorder_joins, p.optimizer.reorder_joins);

@@ -18,6 +18,7 @@
 
 #include "engine/engine.h"
 #include "engine/scheduler.h"
+#include "queries/plan_fuzzer.h"
 #include "queries/tpch_queries.h"
 #include "sim/copy_engine.h"
 #include "storage/tpch.h"
@@ -469,6 +470,326 @@ TEST_F(SchedTest, HigherWeightFinishesTwinQueryFirst) {
   EXPECT_LT(s.queries[1].finish, s.queries[0].finish)
       << "the 4x-weighted twin must clear the machine first";
   ExpectBitIdentical(light.result(), heavy.result(), "weighted twins");
+}
+
+// ---- cancellation and deadlines ---------------------------------------------
+
+TEST_F(SchedTest, CancelValidatesIdsAndIsANoOpAfterCompletion) {
+  const ExecutionPolicy policy = MakePolicy(
+      EngineConfig::kProteusCpu, /*depth=*/1, SchedulingPolicy::kFifo);
+  Engine eng(topo_);
+  SubmitQuery(&eng, BuildQ6Plan, policy);
+  // Unknown ids and negative cancel times are rejected up front.
+  EXPECT_EQ(eng.Cancel(99).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(eng.Cancel(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(eng.Cancel(0, -1.0).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(eng.RunAll(policy).ok());
+  // Cancelling a query that already ran keeps its results: OK no-op (the
+  // cancel-after-complete race a serving client cannot avoid).
+  EXPECT_TRUE(eng.Cancel(0).ok());
+
+  // A deadline must be finite and >= 0 at RunAll time.
+  auto bq = BuildQ6Plan(ctx_);
+  ASSERT_TRUE(bq.ok());
+  ASSERT_TRUE(eng.Optimize(&bq.value().plan, policy).ok());
+  SubmitOptions bad;
+  bad.deadline_s = -2.0;
+  eng.Submit(std::move(bq.value().plan), bad);
+  auto sched = eng.RunAll(policy);
+  ASSERT_FALSE(sched.ok());
+  EXPECT_EQ(sched.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedTest, FifoCancelAtZeroLeavesSurvivorsBitIdentical) {
+  // Cancel the middle of three FIFO queries before the schedule starts.
+  // The standing invariant: survivors' results AND cost sequences must be
+  // byte-identical to a schedule the cancelled query was never part of.
+  const int depth = 2;
+  const auto config = EngineConfig::kProteusHybrid;
+  const ExecutionPolicy policy =
+      MakePolicy(config, depth, SchedulingPolicy::kFifo);
+
+  Engine base_eng(topo_);
+  engine::AggHandle base3 = SubmitQuery(&base_eng, BuildQ3Plan, policy);
+  engine::AggHandle base9 = SubmitQuery(&base_eng, BuildQ9Plan, policy);
+  auto base = base_eng.RunAll(policy);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  topo_->Reset();
+  Engine eng(topo_);
+  engine::AggHandle a3 = SubmitQuery(&eng, BuildQ3Plan, policy);
+  SubmitQuery(&eng, BuildQ5Plan, policy);  // id 1: the victim
+  engine::AggHandle a9 = SubmitQuery(&eng, BuildQ9Plan, policy);
+  ASSERT_TRUE(eng.Cancel(1).ok());
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  const ScheduleStats& s = sched.value();
+  ASSERT_EQ(s.queries.size(), 3u);
+
+  // The victim is dropped at its admission decision point: zero work.
+  const engine::QueryRunStats& victim = s.queries[1];
+  EXPECT_EQ(victim.outcome, engine::QueryOutcome::kCancelled);
+  EXPECT_TRUE(victim.shed);
+  EXPECT_TRUE(victim.run.pipelines.empty());
+  EXPECT_EQ(victim.admitted, victim.finish);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.shed, 1u);
+  EXPECT_EQ(s.deadline_exceeded, 0u);
+
+  // Survivors: identical results, bit-identical private cost sequences,
+  // identical schedule placement (the victim consumed zero time).
+  const engine::QueryRunStats* pairs[2][2] = {
+      {&s.queries[0], &base.value().queries[0]},
+      {&s.queries[2], &base.value().queries[1]}};
+  for (auto& [got, want] : pairs) {
+    EXPECT_EQ(got->admitted, want->admitted);
+    EXPECT_EQ(got->finish, want->finish);
+    EXPECT_EQ(got->run.finish, want->run.finish);
+    ASSERT_EQ(got->run.pipelines.size(), want->run.pipelines.size());
+    for (size_t p = 0; p < want->run.pipelines.size(); ++p) {
+      EXPECT_EQ(got->run.pipelines[p].stats.finish,
+                want->run.pipelines[p].stats.finish);
+    }
+  }
+  EXPECT_EQ(s.makespan, base.value().makespan);
+  ExpectBitIdentical(a3.result(), base3.result(), "survivor q3");
+  ExpectBitIdentical(a9.result(), base9.result(), "survivor q9");
+}
+
+TEST_F(SchedTest, FifoDeadlineAbortsMidFlightAndKeepsSuccessorBitExact) {
+  const int depth = 2;
+  const auto config = EngineConfig::kProteusHybrid;
+  const QueryResult solo5 = Standalone(RunQ5, config, depth);
+  const QueryResult solo9 = Standalone(RunQ9, config, depth);
+  ASSERT_FALSE(solo5.DidNotFinish());
+  ASSERT_FALSE(solo9.DidNotFinish());
+
+  const ExecutionPolicy policy =
+      MakePolicy(config, depth, SchedulingPolicy::kFifo);
+  Engine eng(topo_);
+  {
+    auto bq = BuildQ5Plan(ctx_);
+    ASSERT_TRUE(bq.ok());
+    ASSERT_TRUE(eng.Optimize(&bq.value().plan, policy).ok());
+    SubmitOptions so;
+    // All stock TPC-H plans are tiny builds feeding one dominant final
+    // probe, so a deadline inside that probe finds no boundary left to
+    // abort at. Aim at the first build's finish: positive (the query is
+    // admitted), expired at the first boundary check.
+    so.deadline_s = solo5.exec.pipelines.front().stats.finish;
+    ASSERT_GT(so.deadline_s, 0.0);
+    ASSERT_LT(so.deadline_s, solo5.seconds);
+    eng.Submit(std::move(bq.value().plan), so);
+  }
+  engine::AggHandle a9 = SubmitQuery(&eng, BuildQ9Plan, policy);
+  auto sched = eng.RunAll(policy);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  const ScheduleStats& s = sched.value();
+  ASSERT_EQ(s.queries.size(), 2u);
+
+  // The deadline was not yet expired at admission, so the query ran — and
+  // was stopped cooperatively at the first pipeline boundary past it.
+  const engine::QueryRunStats& victim = s.queries[0];
+  EXPECT_EQ(victim.outcome, engine::QueryOutcome::kDeadlineExceeded);
+  EXPECT_FALSE(victim.shed);
+  EXPECT_FALSE(victim.run.pipelines.empty())
+      << "the deadline expires mid-flight, after some pipelines ran";
+  EXPECT_LT(victim.run.pipelines.size(), solo5.exec.pipelines.size())
+      << "the abort must leave pipelines unrun";
+  EXPECT_GE(victim.finish, victim.deadline_s);
+  EXPECT_LT(victim.finish, solo5.seconds)
+      << "an aborted query must clear the machine before its natural finish";
+  // The partial prefix matches the standalone run bit-exactly (FIFO runs
+  // on a private timeline; the abort changes when it stops, not what ran).
+  for (size_t p = 0; p < victim.run.pipelines.size(); ++p) {
+    EXPECT_EQ(victim.run.pipelines[p].stats.finish,
+              solo5.exec.pipelines[p].stats.finish);
+  }
+
+  // The successor is admitted at the abort, earlier than behind a full
+  // Q5, and its private cost sequence is still bit-exact to standalone.
+  const engine::QueryRunStats& next = s.queries[1];
+  EXPECT_EQ(next.outcome, engine::QueryOutcome::kCompleted);
+  EXPECT_EQ(next.admitted, victim.finish);
+  EXPECT_LT(next.admitted, solo5.seconds);
+  EXPECT_EQ(next.run.finish, solo9.seconds);
+  ExpectBitIdentical(a9.result(), solo9.groups, "post-abort q9");
+  EXPECT_EQ(s.deadline_exceeded, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.shed, 0u);
+}
+
+TEST_F(SchedTest, FairShareMidFlightCancelReleasesResidencyBeforeNextWave) {
+  // Stock TPC-H plans broadcast *all* their hash tables inside the final
+  // probe's own placement round, so no pipeline boundary exists where a
+  // query both holds residency and has work left to abort. A
+  // build-probes-build chain has two rounds: the orders build's step
+  // broadcasts customer's table, the lineitem probe's step broadcasts
+  // orders' — the boundary between them is a genuine contrib>0 abort
+  // window. Wave 1 = {A (weight 1), B (weight 4)}, C queued on memory;
+  // cancelling B in that window must release B's placed bytes at the
+  // abort, so C is admitted at the abort instead of a natural finish.
+  const int depth = 2;
+  const auto config = EngineConfig::kProteusHybrid;
+  const ExecutionPolicy policy =
+      MakePolicy(config, depth, SchedulingPolicy::kFairShare);
+
+  FuzzSpec spec;
+  {
+    FuzzBuild customer;
+    customer.table = "customer";
+    customer.cols = {"c_custkey", "c_nationkey"};
+    customer.payload_col = 1;
+    spec.builds.push_back(std::move(customer));
+    FuzzBuild orders;
+    orders.table = "orders";
+    orders.cols = {"o_orderkey", "o_custkey"};
+    FuzzOp probe_customer;
+    probe_customer.kind = FuzzOp::Kind::kProbe;
+    probe_customer.probe = {/*build=*/0, /*key_col=*/1};
+    orders.chain.push_back(probe_customer);
+    orders.payload_col = 1;
+    spec.builds.push_back(std::move(orders));
+    spec.probe_table = "lineitem";
+    spec.probe_cols = {"l_orderkey"};
+    FuzzOp probe_orders;
+    probe_orders.kind = FuzzOp::Kind::kProbe;
+    probe_orders.probe = {/*build=*/1, /*key_col=*/0};
+    spec.chain.push_back(probe_orders);
+    spec.group_col = -1;
+    spec.aggs.push_back(FuzzAgg{engine::AggOp::kCount, 0});
+  }
+  const Groups expected = Reference(spec, ctx_->catalog);
+  ASSERT_FALSE(expected.empty());
+
+  auto submit = [&](Engine* eng, const ExecutionPolicy& p, double weight) {
+    FuzzPlan fp = BuildFuzzPlan(spec, ctx_->catalog, /*chunk_rows=*/2048);
+    HAPE_CHECK(eng->Optimize(&fp.plan, p).ok());
+    SubmitOptions so;
+    so.weight = weight;
+    eng->Submit(std::move(fp.plan), so);
+    return fp.agg;
+  };
+
+  // Solo runs (uncontended budget) measure the chain's actual footprints:
+  // `full` after both placement rounds, `partial` when aborted at the
+  // orders-build boundary — the bytes a mid-window cancel must release.
+  sim::SimTime solo_boundary = 0;
+  uint64_t full_bytes = 0;
+  uint64_t partial_bytes = 0;
+  {
+    topo_->Reset();
+    Engine eng(topo_);
+    submit(&eng, policy, 1.0);
+    auto s = eng.RunAll(policy);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    ASSERT_EQ(s.value().queries.size(), 1u);
+    const engine::QueryRunStats& q = s.value().queries[0];
+    ASSERT_EQ(q.run.pipelines.size(), 3u) << "chain = 2 builds + 1 probe";
+    solo_boundary = q.run.pipelines[1].stats.finish;
+    full_bytes = s.value().peak_resident_bytes;
+  }
+  {
+    topo_->Reset();
+    Engine eng(topo_);
+    submit(&eng, policy, 1.0);
+    ASSERT_TRUE(eng.Cancel(0, solo_boundary).ok());
+    auto s = eng.RunAll(policy);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    const engine::QueryRunStats& q = s.value().queries[0];
+    ASSERT_EQ(q.outcome, engine::QueryOutcome::kCancelled);
+    ASSERT_EQ(q.run.pipelines.size(), 2u);
+    partial_bytes = s.value().peak_resident_bytes;
+  }
+  ASSERT_GT(partial_bytes, 0u)
+      << "the first placement round must put customer's table on the GPU";
+  ASSERT_GT(full_bytes, partial_bytes);
+
+  // Budget = staging x (full + estimate + partial/2): two chains pack into
+  // one wave, a third does not; at t=0 the aborted B's partial bytes tip
+  // the gate over budget, and exactly B's release brings it back under.
+  ExecutionPolicy tight = policy;
+  {
+    const int gpu = topo_->GpuDeviceIds().front();
+    const uint64_t cap =
+        topo_->mem_node(topo_->device(gpu).mem_node).capacity();
+    const uint64_t full_budget =
+        cap - std::min(cap, policy.device_reserved_bytes);
+    FuzzPlan fp = BuildFuzzPlan(spec, ctx_->catalog, /*chunk_rows=*/2048);
+    {
+      Engine probe_eng(topo_);
+      ASSERT_TRUE(probe_eng.Optimize(&fp.plan, policy).ok());
+    }
+    const uint64_t est = engine::Scheduler::EstimatedResidentBytes(
+        fp.plan, policy, full_budget);
+    ASSERT_GT(est, 0u);
+    ASSERT_LE(est, full_bytes + partial_bytes / 2)
+        << "two chains must co-fit the wave budget";
+    ASSERT_GT(2 * est, full_bytes + partial_bytes / 2)
+        << "a third chain must overflow the wave budget";
+    const uint64_t budget = static_cast<uint64_t>(
+        policy.build_staging_factor *
+        static_cast<double>(full_bytes + est + partial_bytes / 2));
+    ASSERT_LT(budget, full_budget);
+    tight.device_reserved_bytes = cap - budget;
+  }
+
+  // The engine owns the submitted plans (and their sinks), so results are
+  // copied out before it goes out of scope.
+  auto run = [&](bool cancel_b, sim::SimTime cancel_at,
+                 std::vector<Groups>* results) {
+    topo_->Reset();
+    Engine eng(topo_);
+    std::vector<engine::AggHandle> aggs;
+    aggs.push_back(submit(&eng, tight, /*weight=*/1.0));
+    aggs.push_back(submit(&eng, tight, /*weight=*/4.0));
+    aggs.push_back(submit(&eng, tight, /*weight=*/1.0));
+    if (cancel_b) HAPE_CHECK(eng.Cancel(1, cancel_at).ok());
+    auto s = eng.RunAll(tight);
+    HAPE_CHECK(s.ok()) << s.status().ToString();
+    for (const engine::AggHandle& a : aggs) results->push_back(a.result());
+    return std::move(s.value());
+  };
+
+  std::vector<Groups> base_aggs;
+  const ScheduleStats base = run(false, 0, &base_aggs);
+  ASSERT_EQ(base.queries.size(), 3u);
+  // C waits on memory: it is admitted at wave 1's first release.
+  const sim::SimTime first_release =
+      std::min(base.queries[0].finish, base.queries[1].finish);
+  ASSERT_GT(base.queries[2].admitted, 0.0);
+  ASSERT_EQ(base.queries[2].admitted, first_release);
+  ASSERT_EQ(base.queries[1].run.pipelines.size(), 3u);
+
+  // Cancel lands exactly on B's orders-build boundary in the *shared*
+  // wave timeline: B has broadcast customer's table, the probe is unrun.
+  const sim::SimTime cancel_at =
+      base.queries[1].run.pipelines[1].stats.finish;
+  ASSERT_GT(cancel_at, base.queries[1].run.pipelines[0].stats.finish);
+  std::vector<Groups> aggs;
+  const ScheduleStats s = run(true, cancel_at, &aggs);
+  ASSERT_EQ(s.queries.size(), 3u);
+  const engine::QueryRunStats& b = s.queries[1];
+  EXPECT_EQ(b.outcome, engine::QueryOutcome::kCancelled);
+  EXPECT_FALSE(b.shed) << "the cancel lands mid-flight, not at admission";
+  ASSERT_EQ(b.run.pipelines.size(), 2u)
+      << "aborted at the boundary after the second build";
+  EXPECT_EQ(b.finish, cancel_at);
+  EXPECT_LT(b.finish, base.queries[1].finish);
+  // C's admission gate moves up to the abort: the cancelled query's
+  // placed bytes were released immediately, not at its natural finish.
+  EXPECT_EQ(s.queries[2].admitted, b.finish);
+  EXPECT_LT(s.queries[2].admitted, base.queries[2].admitted);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.shed, 0u);
+  // Cancellation changes when survivors run, never what they compute.
+  ExpectBitIdentical(aggs[0], expected, "survivor A vs reference");
+  ExpectBitIdentical(aggs[2], expected, "survivor C vs reference");
+  ExpectBitIdentical(aggs[0], base_aggs[0], "survivor A");
+  ExpectBitIdentical(aggs[2], base_aggs[2], "survivor C");
 }
 
 // ---- RunAll lifecycle -------------------------------------------------------

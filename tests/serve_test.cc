@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -143,6 +146,30 @@ TEST(PlanCacheLru, EvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_EQ(metrics.FindCounter("plan_cache.misses")->value, 1.0);
   EXPECT_EQ(metrics.FindCounter("plan_cache.hits")->value, 6.0);
   EXPECT_EQ(metrics.FindGauge("plan_cache.entries")->value, 2.0);
+}
+
+// Capacity 0 means "caching disabled", not "unbounded": Insert must be a
+// no-op and Find must always miss. (It used to fall through the
+// `size > capacity` eviction check as never-evict and grow without
+// bound — the regression this test pins.)
+TEST(PlanCacheLru, CapacityZeroDisablesCaching) {
+  PlanCache cache(/*capacity=*/0);
+  obs::MetricsRegistry metrics;
+  cache.BindMetrics(&metrics);
+
+  cache.Insert("a", "A");
+  cache.Insert("b", "B");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Find("a"), nullptr);
+  EXPECT_EQ(cache.Find("b"), nullptr);
+
+  const PlanCache::Stats& s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(metrics.FindCounter("plan_cache.misses")->value, 2.0);
+  // The disabled cache never stores, so the entries gauge is never fed.
+  EXPECT_EQ(metrics.FindGauge("plan_cache.entries"), nullptr);
 }
 
 // Through the service: with capacity 1, a second distinct statement
@@ -330,6 +357,156 @@ TEST_F(ServeTest, AgingRescuesStarvedLowTierQuery) {
   // ... but with aging disabled it is admitted only after the tier-0
   // backlog drains, while the promotion lets it in strictly earlier.
   EXPECT_LT(aged.queries[0].admitted, starved.queries[0].admitted);
+}
+
+// Graceful degradation: with serve.shed_on_deadline, a ready query whose
+// deadline expired while it queued behind a saturated admission slot is
+// shed at the admission decision point — zero pipelines run — while
+// without the knob it is admitted anyway and aborted cooperatively at its
+// first pipeline boundary (outcome deadline_exceeded either way, but only
+// the shed run never touches the substrate).
+TEST_F(ServeTest, ShedOnDeadlineDropsExpiredReadyQueryAtAdmission) {
+  auto run = [&](bool shed_on_deadline) {
+    topo_->Reset();
+    engine::Engine eng(topo_);
+    ExecutionPolicy policy = ServingPolicy(*topo_);
+    policy.serve.max_inflight = 1;
+    policy.serve.shed_on_deadline = shed_on_deadline;
+
+    // The blocker owns the only admission slot from t=0.
+    auto blocker = queries::BuildQ6Plan(ctx_);
+    HAPE_CHECK(blocker.ok());
+    HAPE_CHECK(eng.Optimize(&blocker.value().plan, policy).ok());
+    SubmitOptions b;
+    b.label = "blocker";
+    eng.Submit(std::move(blocker.value().plan), b);
+    // The victim arrives immediately after with a deadline far below the
+    // blocker's runtime: by the time the slot frees, it has expired. It is
+    // a multi-pipeline plan (Q5) so that when the shed knob is off and it
+    // is admitted anyway, the abort sweep still finds a pipeline boundary
+    // to stop it at (a single-pipeline plan would run to completion).
+    auto victim = queries::BuildQ5Plan(ctx_);
+    HAPE_CHECK(victim.ok());
+    HAPE_CHECK(eng.Optimize(&victim.value().plan, policy).ok());
+    SubmitOptions v;
+    v.label = "victim";
+    v.arrival = 1e-6;
+    v.deadline_s = 2e-6;
+    eng.Submit(std::move(victim.value().plan), v);
+
+    auto s = eng.RunAll(policy);
+    HAPE_CHECK(s.ok()) << s.status().ToString();
+    return std::move(s.value());
+  };
+
+  const ScheduleStats shed = run(/*shed_on_deadline=*/true);
+  ASSERT_EQ(shed.queries.size(), 2u);
+  const engine::QueryRunStats& sv = shed.queries[1];
+  EXPECT_EQ(sv.label, "victim");
+  EXPECT_EQ(sv.outcome, engine::QueryOutcome::kDeadlineExceeded);
+  EXPECT_TRUE(sv.shed);
+  EXPECT_TRUE(sv.run.pipelines.empty()) << "shed query must run nothing";
+  EXPECT_EQ(sv.admitted, sv.finish) << "zero-work terminal record";
+  EXPECT_EQ(shed.shed, 1u);
+  EXPECT_EQ(shed.deadline_exceeded, 1u);
+  EXPECT_EQ(shed.completed, 1u);
+  // The blocker is untouched by its neighbor's fate.
+  EXPECT_EQ(shed.queries[0].outcome, engine::QueryOutcome::kCompleted);
+
+  const ScheduleStats aborted = run(/*shed_on_deadline=*/false);
+  ASSERT_EQ(aborted.queries.size(), 2u);
+  const engine::QueryRunStats& av = aborted.queries[1];
+  EXPECT_EQ(av.outcome, engine::QueryOutcome::kDeadlineExceeded);
+  EXPECT_FALSE(av.shed) << "without the knob the query is admitted";
+  EXPECT_FALSE(av.run.pipelines.empty())
+      << "the admitted victim runs until the next abort sweep";
+  {
+    auto full = queries::BuildQ5Plan(ctx_);
+    HAPE_CHECK(full.ok());
+    EXPECT_LT(av.run.pipelines.size(), full.value().plan.num_pipelines())
+        << "the sweep must stop the victim before it completes";
+  }
+  EXPECT_EQ(aborted.shed, 0u);
+  EXPECT_EQ(aborted.deadline_exceeded, 1u);
+  EXPECT_EQ(aborted.completed, 1u);
+
+  // Percentile bookkeeping still covers every query, and the all-shed
+  // path keeps the tier rows NaN-free (completed-only sampling).
+  uint64_t covered = 0;
+  for (const engine::TierPercentiles& t : shed.tiers) {
+    covered += t.queries;
+    EXPECT_EQ(t.queries, t.completed + t.cancelled + t.deadline_exceeded);
+    EXPECT_TRUE(std::isfinite(t.queue_p95)) << "tier " << t.tier;
+    EXPECT_TRUE(std::isfinite(t.makespan_p99)) << "tier " << t.tier;
+  }
+  EXPECT_EQ(covered, shed.queries.size());
+}
+
+// Deadline-annotated workload traces are a pure overlay: enabling
+// tier_deadline_s must not consume generator draws, so arrivals, tiers,
+// and plan picks stay bit-identical to the deadline-free trace.
+TEST_F(ServeTest, WorkloadDeadlinesDoNotPerturbTheTrace) {
+  WorkloadOptions base;
+  base.num_queries = 32;
+  base.seed = 11;
+  WorkloadOptions with = base;
+  with.tier_deadline_s = {0.5, 2.0, 8.0};
+
+  auto a = GenerateWorkload(ctx_, base);
+  auto b = GenerateWorkload(ctx_, with);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    const engine::SubmitOptions& oa = a.value()[i].opts;
+    const engine::SubmitOptions& ob = b.value()[i].opts;
+    EXPECT_EQ(oa.arrival, ob.arrival) << i;
+    EXPECT_EQ(oa.tier, ob.tier) << i;
+    EXPECT_EQ(oa.label, ob.label) << i;
+    EXPECT_EQ(oa.deadline_s, 0.0) << i;
+    const size_t bucket =
+        std::min(static_cast<size_t>(ob.tier), with.tier_deadline_s.size() - 1);
+    EXPECT_EQ(ob.deadline_s, ob.arrival + with.tier_deadline_s[bucket]) << i;
+  }
+}
+
+// Workload-generator knob validation: non-finite or non-positive rates
+// and deadline budgets are rejected up front instead of poisoning every
+// arrival clock downstream (NaN compares false against <= 0).
+TEST_F(ServeTest, WorkloadRejectsUnusableKnobs) {
+  const double nan = std::nan("");
+  WorkloadOptions wo;
+  wo.num_queries = 1;
+
+  auto expect_invalid = [&](const WorkloadOptions& bad, const char* what) {
+    auto r = GenerateWorkload(ctx_, bad);
+    EXPECT_FALSE(r.ok()) << what;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << what;
+    }
+  };
+
+  for (double rate : {0.0, -1.0, nan,
+                      std::numeric_limits<double>::infinity()}) {
+    WorkloadOptions bad = wo;
+    bad.arrival_rate_qps = rate;
+    expect_invalid(bad, "arrival_rate_qps");
+  }
+  {
+    WorkloadOptions bad = wo;
+    bad.fuzz_fraction = nan;
+    expect_invalid(bad, "fuzz_fraction");
+  }
+  {
+    WorkloadOptions bad = wo;
+    bad.tier_weights = {1.0, nan};
+    expect_invalid(bad, "tier_weights");
+  }
+  for (double d : {0.0, -2.0, nan}) {
+    WorkloadOptions bad = wo;
+    bad.tier_deadline_s = {d};
+    expect_invalid(bad, "tier_deadline_s");
+  }
 }
 
 }  // namespace
