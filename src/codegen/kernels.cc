@@ -442,6 +442,9 @@ void ParallelFor(size_t n, int threads,
   }
   const size_t workers =
       std::min<size_t>(static_cast<size_t>(threads), n);
+  // Relaxed is enough for the claim counter: fetch_add RMWs on one atomic
+  // are totally ordered (each index claimed exactly once), and the
+  // workers' fn() writes are published to the caller by join() below.
   std::atomic<size_t> next{0};
   auto drain = [&] {
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;

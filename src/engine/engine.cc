@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "engine/scheduler.h"
+#include "lint/plan_lint.h"
 #include "ops/join_kernels.h"
 #include "sim/traffic.h"
 
@@ -472,7 +473,37 @@ Status Engine::StepPlan(PlanExec* ex) {
   return Status::OK();
 }
 
+Status Engine::LintAdmission(const QueryPlan& plan,
+                             const ExecutionPolicy& policy,
+                             const SubmitOptions* opts, const char* where) {
+  if (!policy.lint.enable) return Status::OK();
+  lint::LintContext ctx;
+  ctx.topo = topo_;
+  ctx.policy = &policy;
+  ctx.submit = opts;
+  lint::LintReport report = lint::LintPlan(plan, ctx);
+  report.Merge(lint::LintPolicy(policy, topo_));
+  metrics_.GetCounter("lint.runs")->Add(1);
+  if (report.empty()) return Status::OK();
+  metrics_.GetCounter("lint.errors")->Add(
+      static_cast<double>(report.errors()));
+  metrics_.GetCounter("lint.warnings")->Add(
+      static_cast<double>(report.warnings()));
+  if (policy.lint.strict && report.has_errors()) {
+    metrics_.GetCounter("lint.rejected")->Add(1);
+    return Status::InvalidArgument(std::string(where) +
+                                   ": lint rejected plan '" + plan.name() +
+                                   "': " + report.Summary());
+  }
+  // One summary line per admission, not one per diagnostic: a thousand-
+  // query replay must not turn a warning into a log flood.
+  HAPE_LOG(Warn) << where << ": lint of plan '" << plan.name()
+                 << "': " << report.Summary();
+  return Status::OK();
+}
+
 Result<RunStats> Engine::Run(QueryPlan* plan, const ExecutionPolicy& policy) {
+  HAPE_RETURN_NOT_OK(LintAdmission(*plan, policy, nullptr, "Run"));
   PlanExec ex;
   HAPE_RETURN_NOT_OK(BeginPlan(plan, policy, &ex));
   while (!ex.done()) {
@@ -520,7 +551,23 @@ Result<std::string> Engine::DumpPlan(const QueryPlan& plan,
 
 Result<LoadedPlan> Engine::LoadPlan(std::string_view json,
                                     const storage::Catalog& catalog) const {
-  return PlanJson::Load(json, catalog, topo_);
+  Result<LoadedPlan> res = PlanJson::Load(json, catalog, topo_);
+  if (res.ok()) {
+    // Warn-only lint of the freshly loaded plan (LoadPlan is const and has
+    // no submit context; strict rejection happens at Run/RunAll/serve
+    // admission). Clean plans — every shipped manifest — log nothing.
+    const LoadedPlan& lp = res.value();
+    lint::LintContext ctx;
+    ctx.topo = topo_;
+    ctx.catalog = &catalog;
+    if (lp.has_policy) ctx.policy = &lp.policy;
+    if (lint::LintReport report = lint::LintPlan(lp.plan, ctx);
+        !report.empty()) {
+      HAPE_LOG(Warn) << "LoadPlan: lint of plan '" << lp.plan.name()
+                     << "': " << report.Summary();
+    }
+  }
+  return res;
 }
 
 Result<ScheduleStats> Engine::RunAll(const ExecutionPolicy& policy) {

@@ -232,6 +232,16 @@ class Engine {
     bool done() const { return pos >= order.size(); }
   };
 
+  /// Static-analysis admission gate (policy.lint): run the lint::LintPlan
+  /// + lint::LintPolicy passes over the plan, count findings into the
+  /// metrics registry (lint.runs / lint.warnings / lint.errors), log one
+  /// summary line when anything fired, and — under policy.lint.strict —
+  /// reject error-severity findings with InvalidArgument *before* any
+  /// admission work (lint.rejected counts them). `opts` may be null
+  /// (single-plan Run has no submit options).
+  Status LintAdmission(const QueryPlan& plan, const ExecutionPolicy& policy,
+                       const SubmitOptions* opts, const char* where);
+
   /// Validate `plan` and `policy`, check operator-at-a-time admission, and
   /// initialize `ex` for stepping. Marks the plan executed.
   Status BeginPlan(QueryPlan* plan, const ExecutionPolicy& policy,

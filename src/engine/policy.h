@@ -113,6 +113,23 @@ struct ServeOptions {
   bool shed_on_deadline = false;
 };
 
+/// Knobs of the static lint pass (lint::LintPlan / lint::LintPolicy) the
+/// Engine and serve::QueryService run before admitting a plan. Deliberately
+/// *not* serialized into plan/manifest documents: linting is a property of
+/// the accepting engine instance, not of the experiment — manifests stay
+/// byte-exact across lint configurations.
+struct LintOptions {
+  /// Run the pass at all. Findings are counted in the metrics registry
+  /// (lint.runs / lint.warnings / lint.errors) and summarized in one log
+  /// line per admission.
+  bool enable = true;
+  /// Promote error-severity findings to rejection: Engine::Run / RunAll /
+  /// QueryService::Submit refuse the plan with InvalidArgument *before*
+  /// admission instead of letting it fail mid-schedule. Warn-by-default so
+  /// existing workloads keep running unchanged.
+  bool strict = false;
+};
+
 /// Declarative description of *where and how* a QueryPlan executes. Derived
 /// once (usually via ForConfig) and passed to Engine::Run; queries never
 /// switch on the configuration themselves.
@@ -158,6 +175,8 @@ struct ExecutionPolicy {
   /// called without explicit options. Defaults are the compatibility
   /// configuration (decisions reproduce well-annotated hand plans).
   opt::OptimizerOptions optimizer;
+  /// Static-analysis admission pass (see LintOptions). Not serialized.
+  LintOptions lint;
 
   /// The policy of one Fig. 8 configuration on `topo`.
   static ExecutionPolicy ForConfig(const sim::Topology& topo,

@@ -243,6 +243,14 @@ void Scheduler::RecordAbort(const QueryRunStats& qs) {
 
 Result<ScheduleStats> Scheduler::Run(
     const std::vector<SubmittedQuery*>& queries) {
+  // Static lint gate per submitted query, submit options included, before
+  // any of them touches the substrate. Warn-by-default; under lint.strict
+  // one bad query rejects the schedule before admission (nothing ran yet,
+  // so nothing is half-consumed).
+  for (SubmittedQuery* q : queries) {
+    HAPE_RETURN_NOT_OK(
+        engine_->LintAdmission(q->plan, policy_, &q->opts, "RunAll"));
+  }
   Result<ScheduleStats> res = [&]() -> Result<ScheduleStats> {
     switch (policy_.scheduling) {
       case SchedulingPolicy::kFifo:

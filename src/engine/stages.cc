@@ -29,7 +29,7 @@ Stage FilterStage(expr::ExprPtr pred) {
 }
 
 Stage ProjectStage(std::vector<expr::ExprPtr> exprs) {
-  return [exprs](memory::Batch* b, sim::TrafficStats* t,
+  return [exprs = std::move(exprs)](memory::Batch* b, sim::TrafficStats* t,
                  const codegen::Backend& backend) {
     (void)backend;
     uint64_t ops = 0;

@@ -1,0 +1,1032 @@
+#include "lint/plan_lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/plan_json.h"
+#include "engine/scheduler.h"
+#include "engine/sinks.h"
+#include "ops/hash_table.h"
+
+namespace hape::lint {
+
+namespace {
+
+using engine::ExecutionPolicy;
+using engine::LogicalOp;
+using engine::PlanNode;
+using engine::QueryPlan;
+using engine::SchedulingPolicy;
+using engine::SubmitOptions;
+
+// ---- small shared helpers ---------------------------------------------------
+
+std::string Itoa(uint64_t v) { return std::to_string(v); }
+
+std::string MiBString(uint64_t bytes) {
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", mib);
+  return std::string(buf) + " MiB";
+}
+
+bool IsFiniteNumber(double v) { return std::isfinite(v); }
+
+/// Comparison / boolean expression kinds — the ones a filter predicate is
+/// expected to have at its root (everything evaluates to 0/1).
+bool IsBooleanKind(expr::ExprKind k) {
+  switch (k) {
+    case expr::ExprKind::kEq:
+    case expr::ExprKind::kNe:
+    case expr::ExprKind::kLt:
+    case expr::ExprKind::kLe:
+    case expr::ExprKind::kGt:
+    case expr::ExprKind::kGe:
+    case expr::ExprKind::kAnd:
+    case expr::ExprKind::kOr:
+    case expr::ExprKind::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The smallest GPU memory budget the policy's device set can place a
+/// broadcast build table into; max-uint64 when the policy uses no GPU.
+/// Mirrors the (private) Scheduler::GpuBudget so the static estimate and
+/// the admission decision agree. Every device id must already be
+/// range-checked against `topo`.
+uint64_t GpuBudget(const ExecutionPolicy& policy, const sim::Topology& topo) {
+  uint64_t budget = std::numeric_limits<uint64_t>::max();
+  for (int d : policy.devices) {
+    const sim::Device& dev = topo.device(d);
+    if (dev.type != sim::DeviceType::kGpu) continue;
+    const uint64_t cap = topo.mem_node(dev.mem_node).capacity();
+    const uint64_t reserved = std::min(cap, policy.device_reserved_bytes);
+    budget = std::min(budget, cap - reserved);
+  }
+  return budget;
+}
+
+/// True when every policy device id indexes `topo` (the placement passes
+/// must not dereference Topology::device with a bad id).
+bool PolicyDevicesInRange(const ExecutionPolicy& policy,
+                          const sim::Topology& topo) {
+  const int n = static_cast<int>(topo.devices().size());
+  for (int d : policy.devices) {
+    if (d < 0 || d >= n) return false;
+  }
+  for (int d : policy.build_devices) {
+    if (d < 0 || d >= n) return false;
+  }
+  return true;
+}
+
+// ---- in-memory plan passes --------------------------------------------------
+
+std::string PipePath(const QueryPlan& plan, int i) {
+  return "plan '" + plan.name() + "' pipeline " + std::to_string(i);
+}
+
+/// HL003 check of one expression against the pipeline's current column
+/// width (`width` < 0 = unknown, check skipped).
+void CheckExprWidth(LintReport* r, const expr::ExprPtr& e, int width,
+                    const std::string& path, const char* what) {
+  if (e == nullptr || width < 0) return;
+  const int max_col = e->MaxColumn();
+  if (max_col >= width) {
+    r->Add(kRuleColumnOutOfRange, path,
+           std::string(what) + " references column " + std::to_string(max_col) +
+               " but the packet is " + std::to_string(width) +
+               " column(s) wide",
+           "column indices are positions in the packet layout accumulated by "
+           "the pipeline's scan and probes");
+  }
+}
+
+/// Structure pass: dependency edges, probe edges, cycles (HL001/HL002).
+void PassStructure(LintReport* r, const QueryPlan& plan) {
+  const int n = static_cast<int>(plan.num_pipelines());
+  for (int i = 0; i < n; ++i) {
+    const PlanNode& node = plan.node(i);
+    const std::string path = PipePath(plan, i);
+    if (node.pipeline.sink == nullptr) {
+      r->Add(kRuleDanglingEdge, path, "pipeline has no sink",
+             "terminate every pipeline with HashBuild/Aggregate/Collect");
+    }
+    for (int d : node.deps) {
+      if (d == i) {
+        r->Add(kRuleCyclicPlan, path, "pipeline depends on itself");
+      } else if (d < 0 || d >= n) {
+        r->Add(kRuleDanglingEdge, path,
+               "dependency on unknown pipeline " + std::to_string(d));
+      }
+    }
+    for (const engine::JoinStatePtr& s : node.probed) {
+      if (s == nullptr || !plan.OwnsState(s.get())) {
+        r->Add(kRuleDanglingEdge, path,
+               "probes a hash table not built by this plan",
+               "probe edges must target a HashBuild pipeline of the same "
+               "QueryPlan");
+      }
+    }
+  }
+  if (auto order = plan.TopologicalOrder(); !order.ok()) {
+    r->Add(kRuleCyclicPlan, "plan '" + plan.name() + "'",
+           order.status().message());
+  }
+}
+
+/// Column pass: scan columns vs catalog (HL004), expression and sink
+/// references vs the simulated packet width (HL003), suspicious
+/// expressions (HL012), build annotations (HL014).
+void PassColumns(LintReport* r, const QueryPlan& plan,
+                 const storage::Catalog* catalog) {
+  const int n = static_cast<int>(plan.num_pipelines());
+  for (int i = 0; i < n; ++i) {
+    const PlanNode& node = plan.node(i);
+    const std::string path = PipePath(plan, i);
+
+    int width = -1;  // unknown (Source() pipelines)
+    if (node.source_table != nullptr) {
+      width = static_cast<int>(node.source_columns.size());
+      const storage::Schema& schema = node.source_table->schema();
+      for (const std::string& col : node.source_columns) {
+        if (schema.IndexOf(col) < 0) {
+          r->Add(kRuleUnknownTableOrColumn, path,
+                 "scan column '" + col + "' is not in table '" +
+                     node.source_table->name() + "'");
+        }
+      }
+      if (catalog != nullptr && !catalog->Contains(node.source_table->name())) {
+        r->Add(kRuleUnknownTableOrColumn, path,
+               "table '" + node.source_table->name() +
+                   "' is not in the catalog");
+      }
+    }
+
+    int op_index = 0;
+    for (const LogicalOp& op : node.ops) {
+      const std::string op_path = path + " op " + std::to_string(op_index);
+      switch (op.kind) {
+        case LogicalOp::Kind::kFilter:
+          CheckExprWidth(r, op.expr, width, op_path, "filter predicate");
+          if (op.expr != nullptr && !IsBooleanKind(op.expr->kind())) {
+            r->Add(kRuleSuspiciousExpr, op_path,
+                   "filter predicate is not a boolean expression",
+                   "wrap the value in a comparison; non-boolean predicates "
+                   "select on raw nonzero-ness");
+          }
+          break;
+        case LogicalOp::Kind::kProject:
+          for (const expr::ExprPtr& e : op.exprs) {
+            CheckExprWidth(r, e, width, op_path, "projection expression");
+          }
+          width = static_cast<int>(op.exprs.size());
+          break;
+        case LogicalOp::Kind::kProbe:
+          CheckExprWidth(r, op.expr, width, op_path, "probe key");
+          if (op.expr != nullptr && op.expr->MaxColumn() < 0) {
+            r->Add(kRuleSuspiciousExpr, op_path,
+                   "probe key is a constant (references no column)",
+                   "a constant key sends every row to one hash bucket");
+          }
+          if (width >= 0) width += op.appended_cols;
+          break;
+      }
+      ++op_index;
+    }
+
+    if (node.is_build) {
+      CheckExprWidth(r, node.build_key, width, path, "build key");
+      if (node.build_key != nullptr && node.build_key->MaxColumn() < 0) {
+        r->Add(kRuleSuspiciousExpr, path,
+               "build key is a constant (references no column)",
+               "a constant key sends every row to one hash bucket");
+      }
+      if (width >= 0) {
+        for (int c : node.build_payload) {
+          if (c < 0 || c >= width) {
+            r->Add(kRuleColumnOutOfRange, path,
+                   "build payload column " + std::to_string(c) +
+                       " is outside the " + std::to_string(width) +
+                       "-column packet");
+          }
+        }
+      }
+      if (node.declared_build_rows > 0 && node.source_rows > 0) {
+        const uint64_t nominal_source = static_cast<uint64_t>(
+            static_cast<double>(node.source_rows) * node.pipeline.scale);
+        if (node.declared_build_rows > nominal_source) {
+          r->Add(kRuleBuildAnnotation, path,
+                 "declared build rows " + Itoa(node.declared_build_rows) +
+                     " exceed the nominal source cardinality " +
+                     Itoa(nominal_source),
+                 "BuildOptions::expected_rows should be the rows *surviving* "
+                 "the pipeline's filters");
+        }
+      }
+    } else if (const auto* agg = dynamic_cast<const engine::HashAggSink*>(
+                   node.pipeline.sink.get())) {
+      CheckExprWidth(r, agg->key_expr(), width, path, "aggregation key");
+      for (const engine::AggDef& a : agg->aggs()) {
+        CheckExprWidth(r, a.arg, width, path, "aggregate argument");
+      }
+    }
+  }
+}
+
+/// Placement pass: device overrides and policy device sets vs the
+/// topology, build pipelines on non-CPU devices, operator-at-a-time
+/// intermediates that cannot fit any device (HL005).
+void PassPlacement(LintReport* r, const QueryPlan& plan,
+                   const LintContext& ctx) {
+  if (ctx.topo == nullptr) return;
+  const sim::Topology& topo = *ctx.topo;
+  const int ndev = static_cast<int>(topo.devices().size());
+  const int n = static_cast<int>(plan.num_pipelines());
+  for (int i = 0; i < n; ++i) {
+    const PlanNode& node = plan.node(i);
+    const std::string path = PipePath(plan, i);
+    bool any_cpu = node.run_on.empty();
+    bool in_range = true;
+    for (int d : node.run_on) {
+      if (d < 0 || d >= ndev) {
+        r->Add(kRuleInfeasiblePlacement, path,
+               "device override names unknown device " + std::to_string(d));
+        in_range = false;
+      } else if (topo.device(d).type == sim::DeviceType::kCpu) {
+        any_cpu = true;
+      }
+    }
+    if (node.is_build && in_range && !any_cpu) {
+      r->Add(kRuleInfeasiblePlacement, path,
+             "build pipeline placed on non-CPU devices only",
+             "build sides are host-resident; include a CPU socket in the "
+             "override");
+    }
+  }
+
+  if (ctx.policy != nullptr) {
+    const ExecutionPolicy& policy = *ctx.policy;
+    if (policy.devices.empty()) {
+      r->Add(kRuleInfeasiblePlacement, "policy",
+             "execution policy has no devices");
+    }
+    for (int d : policy.devices) {
+      if (d < 0 || d >= ndev) {
+        r->Add(kRuleInfeasiblePlacement, "policy",
+               "unknown device id " + std::to_string(d));
+      }
+    }
+    for (int d : policy.build_devices) {
+      if (d < 0 || d >= ndev) {
+        r->Add(kRuleInfeasiblePlacement, "policy",
+               "unknown build device id " + std::to_string(d));
+      } else if (topo.device(d).type != sim::DeviceType::kCpu) {
+        r->Add(kRuleInfeasiblePlacement, "policy",
+               "build device " + std::to_string(d) +
+                   " is not a CPU (build sides are host-resident)");
+      }
+    }
+    if (policy.model == engine::ExecutionModel::kOperatorAtATime &&
+        plan.declared_intermediate_bytes() > 0 &&
+        PolicyDevicesInRange(policy, topo) && !policy.devices.empty()) {
+      uint64_t budget = std::numeric_limits<uint64_t>::max();
+      for (int d : policy.devices) {
+        budget = std::min(
+            budget, topo.mem_node(topo.device(d).mem_node).capacity());
+      }
+      if (plan.declared_intermediate_bytes() > budget) {
+        r->Add(kRuleInfeasiblePlacement, "plan '" + plan.name() + "'",
+               "operator-at-a-time intermediate of " +
+                   MiBString(plan.declared_intermediate_bytes()) + " (" +
+                   plan.declared_intermediate_label() +
+                   ") exceeds the smallest device memory (" +
+                   MiBString(budget) + ")",
+               "the operator-at-a-time model materializes every stage "
+               "boundary in device memory");
+      }
+    }
+  }
+}
+
+/// GPU admission pass: the scheduler's resident-bytes estimate, with
+/// build staging, against the policy's GPU budget (HL006). This is the
+/// exact quantity fair-share/SLA admission packs waves by — a plan past
+/// it can never be admitted. Only runs once the optimizer has annotated
+/// the probed builds with nominal cardinalities: before that the
+/// scheduler's fallback (full source rows x scale) is an upper bound,
+/// not an estimate, and would flag every declarative manifest dump that
+/// the standard optimize-then-submit flow admits without trouble.
+void PassGpuBudget(LintReport* r, const QueryPlan& plan,
+                   const LintContext& ctx) {
+  if (ctx.topo == nullptr || ctx.policy == nullptr) return;
+  const ExecutionPolicy& policy = *ctx.policy;
+  if (!PolicyDevicesInRange(policy, *ctx.topo)) return;  // HL005 already
+  if (!policy.UsesGpu(*ctx.topo)) return;
+  bool annotated = false;
+  for (size_t i = 0; i < plan.num_pipelines(); ++i) {
+    const PlanNode& n = plan.node(static_cast<int>(i));
+    if (n.is_build && n.est_nominal_out_rows > 0) annotated = true;
+  }
+  if (!annotated) return;
+  const uint64_t budget = GpuBudget(policy, *ctx.topo);
+  const uint64_t resident =
+      engine::Scheduler::EstimatedResidentBytes(plan, policy, budget);
+  const double staged =
+      policy.build_staging_factor * static_cast<double>(resident);
+  if (staged > static_cast<double>(budget)) {
+    r->Add(kRuleGpuOvercommit, "plan '" + plan.name() + "'",
+           "estimated GPU-resident build tables of " + MiBString(resident) +
+               " (x" + std::to_string(policy.build_staging_factor) +
+               " build staging) exceed the " + MiBString(budget) +
+               " GPU admission budget",
+           "mark the dominant build heavy (co-processing streams it), shrink "
+           "the build side, or run CPU-only");
+  }
+}
+
+/// Submit-parameter and deadline pass (HL007/HL008/HL010).
+void PassSubmit(LintReport* r, const QueryPlan& plan, const LintContext& ctx) {
+  if (ctx.submit == nullptr) return;
+  const SubmitOptions& s = *ctx.submit;
+  const std::string path = "plan '" + plan.name() + "'";
+  if (!IsFiniteNumber(s.weight) || s.weight <= 0) {
+    r->Add(kRuleInvalidParameter, path,
+           "fair-share weight must be a finite value > 0 (got " +
+               std::to_string(s.weight) + ")");
+  }
+  if (s.tier < 0) {
+    r->Add(kRuleInvalidParameter, path,
+           "SLA tier must be >= 0 (got " + std::to_string(s.tier) + ")");
+  }
+  if (!IsFiniteNumber(s.arrival) || s.arrival < 0) {
+    r->Add(kRuleInvalidParameter, path, "arrival time must be finite and >= 0");
+  }
+  if (!IsFiniteNumber(s.deadline_s) || s.deadline_s < 0) {
+    r->Add(kRuleInvalidParameter, path,
+           "deadline must be finite and >= 0 (0 disables it)");
+  }
+  if (ctx.policy != nullptr && s.tier > 0 &&
+      ctx.policy->scheduling != SchedulingPolicy::kSlaTiered) {
+    r->Add(kRuleIgnoredServeKnob, path,
+           "SLA tier " + std::to_string(s.tier) + " has no effect under " +
+               std::string(SchedulingPolicyName(ctx.policy->scheduling)) +
+               " scheduling",
+           "tiers are acted on by sla-tiered scheduling only");
+  }
+
+  // Deadline vs the optimizer's cost estimates. Only meaningful on
+  // optimized plans (unoptimized nodes carry est_cost_seconds == 0).
+  if (s.deadline_s > 0 && IsFiniteNumber(s.deadline_s)) {
+    double total = 0;
+    for (size_t i = 0; i < plan.num_pipelines(); ++i) {
+      total += plan.node(static_cast<int>(i)).est_cost_seconds;
+    }
+    if (total > 0 && s.arrival + total > s.deadline_s) {
+      char est[32], dl[32];
+      std::snprintf(est, sizeof(est), "%.3f", s.arrival + total);
+      std::snprintf(dl, sizeof(dl), "%.3f", s.deadline_s);
+      r->Add(kRuleUnreachableDeadline, path,
+             std::string("deadline ") + dl +
+                 "s is unreachable: cost-model estimate finishes at " + est +
+                 "s even uncontended",
+             "the scheduler will abort this query at its first decision "
+             "point past the deadline");
+    }
+  }
+}
+
+// ---- raw manifest / plan-document passes ------------------------------------
+
+const JsonValue* Member(const JsonValue* v, const char* key) {
+  return (v != nullptr && v->is_object()) ? v->Find(key) : nullptr;
+}
+
+bool GetNumber(const JsonValue* v, double* out) {
+  if (v == nullptr || v->kind() != JsonValue::Kind::kNumber) return false;
+  *out = v->number();
+  return true;
+}
+
+std::string GetString(const JsonValue* v, const std::string& fallback) {
+  if (v == nullptr || v->kind() != JsonValue::Kind::kString) return fallback;
+  return v->str();
+}
+
+bool IsBooleanOpName(const std::string& op) {
+  return op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=" || op == "&&" || op == "||" || op == "!";
+}
+
+/// Walks a raw expression tree: records the highest column index and
+/// whether any column is referenced. Returns false on a structurally
+/// malformed node (missing/unknown "op"); arity and literal-value errors
+/// are left to PlanJson::Load's stricter reader.
+bool WalkExprDoc(const JsonValue& e, int* max_col, bool* has_col) {
+  if (!e.is_object()) return false;
+  const std::string op = GetString(e.Find("op"), "");
+  if (op.empty()) return false;
+  if (op == "col") {
+    double col = -1;
+    if (!GetNumber(e.Find("col"), &col)) return false;
+    *has_col = true;
+    *max_col = std::max(*max_col, static_cast<int>(col));
+    return true;
+  }
+  if (op == "int" || op == "double") return e.Has("v");
+  const JsonValue* args = e.Find("args");
+  if (args == nullptr || !args->is_array()) return false;
+  for (const JsonValue& a : args->items()) {
+    if (!WalkExprDoc(a, max_col, has_col)) return false;
+  }
+  return true;
+}
+
+/// HL003/HL011 check of one raw expression against the current width.
+void CheckExprDoc(LintReport* r, const JsonValue* e, int width,
+                  const std::string& path, const char* what,
+                  bool* has_col_out = nullptr) {
+  if (e == nullptr || e->kind() == JsonValue::Kind::kNull) return;
+  int max_col = -1;
+  bool has_col = false;
+  if (!WalkExprDoc(*e, &max_col, &has_col)) {
+    r->Add(kRuleSchemaDrift, path,
+           std::string("malformed ") + what + " expression node");
+    return;
+  }
+  if (width >= 0 && max_col >= width) {
+    r->Add(kRuleColumnOutOfRange, path,
+           std::string(what) + " references column " + std::to_string(max_col) +
+               " but the packet is " + std::to_string(width) +
+               " column(s) wide",
+           "column indices are positions in the packet layout accumulated by "
+           "the pipeline's scan and probes");
+  }
+  if (has_col_out != nullptr) *has_col_out = has_col;
+}
+
+/// Structural lint of one raw hape-plan-v1 document embedded in a
+/// manifest: everything checkable without a catalog or a rebuilt plan.
+/// Returns the sum of the document's declared cost estimates (for the
+/// caller's HL007 deadline check).
+double LintPlanDocStructure(LintReport* r, const JsonValue& doc,
+                            const std::string& qpath,
+                            const sim::Topology* topo,
+                            const storage::Catalog* catalog) {
+  const std::string fmt = GetString(Member(&doc, "format"), "");
+  if (fmt != engine::PlanJson::kFormat) {
+    r->Add(kRuleSchemaDrift, qpath,
+           "plan document format is '" + fmt + "', expected '" +
+               engine::PlanJson::kFormat + "'");
+    return 0;
+  }
+  double version = engine::PlanJson::kVersion;
+  if (doc.Has("version") && (!GetNumber(doc.Find("version"), &version) ||
+                             version != engine::PlanJson::kVersion)) {
+    r->Add(kRuleSchemaDrift, qpath,
+           "plan document version " + std::to_string(version) +
+               " drifts from the supported version " +
+               std::to_string(engine::PlanJson::kVersion),
+           "regenerate the manifest with this build's --write path");
+    return 0;
+  }
+  const JsonValue* inner = Member(&doc, "plan");
+  const JsonValue* pipes = Member(inner, "pipelines");
+  if (pipes == nullptr || !pipes->is_array()) {
+    r->Add(kRuleSchemaDrift, qpath, "plan document has no pipelines array");
+    return 0;
+  }
+
+  // First pass: declared pipeline ids, sink kinds, payload widths.
+  struct PipeInfo {
+    std::string sink_kind;
+    int payload_cols = 0;
+    std::vector<int> edges;  // deps + probe refs, for the cycle check
+  };
+  std::unordered_map<int, PipeInfo> infos;
+  std::vector<int> ids;
+  int index = 0;
+  for (const JsonValue& p : pipes->items()) {
+    double id = index;
+    GetNumber(Member(&p, "id"), &id);
+    const int pid = static_cast<int>(id);
+    ids.push_back(pid);
+    PipeInfo info;
+    const JsonValue* sink = Member(&p, "sink");
+    info.sink_kind = GetString(Member(sink, "kind"), "");
+    if (const JsonValue* pay = Member(sink, "payload_cols");
+        pay != nullptr && pay->is_array()) {
+      info.payload_cols = static_cast<int>(pay->items().size());
+    }
+    infos.emplace(pid, std::move(info));
+    ++index;
+  }
+
+  double total_cost = 0;
+  index = 0;
+  for (const JsonValue& p : pipes->items()) {
+    const int pid = ids[static_cast<size_t>(index)];
+    PipeInfo& info = infos[pid];
+    const std::string path = qpath + " pipeline " + std::to_string(pid);
+    ++index;
+
+    if (const JsonValue* deps = Member(&p, "deps");
+        deps != nullptr && deps->is_array()) {
+      for (const JsonValue& d : deps->items()) {
+        double dep = -1;
+        if (!GetNumber(&d, &dep) || infos.count(static_cast<int>(dep)) == 0) {
+          r->Add(kRuleDanglingEdge, path,
+                 "dependency on unknown pipeline " +
+                     std::to_string(static_cast<int>(dep)));
+        } else {
+          info.edges.push_back(static_cast<int>(dep));
+        }
+      }
+    }
+
+    // Scan source: table/column existence (HL004) and the initial width.
+    int width = -1;
+    double scale = 1.0;
+    GetNumber(Member(&p, "scale"), &scale);
+    if (scale <= 0 || !IsFiniteNumber(scale)) {
+      r->Add(kRuleInvalidParameter, path,
+             "scale must be a finite value > 0 (got " + std::to_string(scale) +
+                 ")");
+    }
+    storage::TablePtr table;
+    if (const JsonValue* src = Member(&p, "source"); src != nullptr) {
+      const std::string table_name = GetString(Member(src, "table"), "");
+      if (catalog != nullptr) {
+        if (auto res = catalog->Get(table_name); res.ok()) {
+          table = res.MoveValue();
+        } else {
+          r->Add(kRuleUnknownTableOrColumn, path,
+                 "table '" + table_name + "' is not in the catalog");
+        }
+      }
+      if (const JsonValue* cols = Member(src, "columns");
+          cols != nullptr && cols->is_array()) {
+        width = static_cast<int>(cols->items().size());
+        if (table != nullptr) {
+          for (const JsonValue& c : cols->items()) {
+            const std::string name = GetString(&c, "");
+            if (table->schema().IndexOf(name) < 0) {
+              r->Add(kRuleUnknownTableOrColumn, path,
+                     "scan column '" + name + "' is not in table '" +
+                         table_name + "'");
+            }
+          }
+        }
+      }
+      double chunk_rows = 0;
+      if (GetNumber(Member(src, "chunk_rows"), &chunk_rows) &&
+          chunk_rows <= 0) {
+        r->Add(kRuleInvalidParameter, path, "chunk_rows must be > 0");
+      }
+    }
+
+    // Device overrides (HL005).
+    bool any_cpu_override = true;
+    if (const JsonValue* run_on = Member(&p, "run_on");
+        run_on != nullptr && run_on->is_array() && topo != nullptr &&
+        !run_on->items().empty()) {
+      any_cpu_override = false;
+      const int ndev = static_cast<int>(topo->devices().size());
+      for (const JsonValue& d : run_on->items()) {
+        double dev = -1;
+        GetNumber(&d, &dev);
+        const int di = static_cast<int>(dev);
+        if (di < 0 || di >= ndev) {
+          r->Add(kRuleInfeasiblePlacement, path,
+                 "device override names unknown device " + std::to_string(di));
+        } else if (topo->device(di).type == sim::DeviceType::kCpu) {
+          any_cpu_override = true;
+        }
+      }
+    }
+
+    // Op chain: edges, widths, suspicious expressions.
+    if (const JsonValue* ops = Member(&p, "ops");
+        ops != nullptr && ops->is_array()) {
+      int op_index = 0;
+      for (const JsonValue& op : ops->items()) {
+        const std::string op_path = path + " op " + std::to_string(op_index);
+        const std::string kind = GetString(Member(&op, "kind"), "");
+        if (kind == "filter") {
+          const JsonValue* pred = Member(&op, "expr");
+          CheckExprDoc(r, pred, width, op_path, "filter predicate");
+          const std::string root = GetString(Member(pred, "op"), "");
+          if (!root.empty() && !IsBooleanOpName(root)) {
+            r->Add(kRuleSuspiciousExpr, op_path,
+                   "filter predicate is not a boolean expression (root op is "
+                   "'" +
+                       root + "')",
+                   "wrap the value in a comparison; non-boolean predicates "
+                   "select on raw nonzero-ness");
+          }
+        } else if (kind == "project") {
+          if (const JsonValue* exprs = Member(&op, "exprs");
+              exprs != nullptr && exprs->is_array()) {
+            for (const JsonValue& e : exprs->items()) {
+              CheckExprDoc(r, &e, width, op_path, "projection expression");
+            }
+            width = static_cast<int>(exprs->items().size());
+          }
+        } else if (kind == "probe") {
+          double ref = -1;
+          GetNumber(Member(&op, "build_pipeline"), &ref);
+          const int refi = static_cast<int>(ref);
+          auto it = infos.find(refi);
+          if (it == infos.end()) {
+            r->Add(kRuleDanglingEdge, op_path,
+                   "probe references unknown pipeline " + std::to_string(refi));
+          } else if (it->second.sink_kind != "hash_build") {
+            r->Add(kRuleDanglingEdge, op_path,
+                   "probe references pipeline " + std::to_string(refi) +
+                       " whose sink is '" + it->second.sink_kind +
+                       "', not a hash build");
+          }
+          // The key addresses the packet *before* the probe appends the
+          // build side's payload columns.
+          bool has_col = false;
+          CheckExprDoc(r, Member(&op, "key"), width, op_path, "probe key",
+                       &has_col);
+          if (Member(&op, "key") != nullptr && !has_col) {
+            r->Add(kRuleSuspiciousExpr, op_path,
+                   "probe key is a constant (references no column)",
+                   "a constant key sends every row to one hash bucket");
+          }
+          if (it != infos.end() && it->second.sink_kind == "hash_build") {
+            info.edges.push_back(refi);
+            if (width >= 0) width += it->second.payload_cols;
+          }
+        } else {
+          r->Add(kRuleSchemaDrift, op_path, "unknown op kind '" + kind + "'");
+        }
+        ++op_index;
+      }
+    }
+
+    // Sink (HL001/HL003/HL005/HL012/HL014).
+    const JsonValue* sink = Member(&p, "sink");
+    if (sink == nullptr) {
+      r->Add(kRuleDanglingEdge, path, "pipeline has no sink",
+             "terminate every pipeline with a hash_build/hash_agg/collect "
+             "sink");
+    } else if (info.sink_kind == "hash_build") {
+      bool has_col = false;
+      CheckExprDoc(r, Member(sink, "key"), width, path, "build key", &has_col);
+      if (Member(sink, "key") != nullptr && !has_col) {
+        r->Add(kRuleSuspiciousExpr, path,
+               "build key is a constant (references no column)",
+               "a constant key sends every row to one hash bucket");
+      }
+      if (const JsonValue* pay = Member(sink, "payload_cols");
+          pay != nullptr && pay->is_array() && width >= 0) {
+        for (const JsonValue& c : pay->items()) {
+          double col = -1;
+          GetNumber(&c, &col);
+          if (col < 0 || col >= width) {
+            r->Add(kRuleColumnOutOfRange, path,
+                   "build payload column " +
+                       std::to_string(static_cast<int>(col)) +
+                       " is outside the " + std::to_string(width) +
+                       "-column packet");
+          }
+        }
+      }
+      if (!any_cpu_override) {
+        r->Add(kRuleInfeasiblePlacement, path,
+               "build pipeline placed on non-CPU devices only",
+               "build sides are host-resident; include a CPU socket in the "
+               "override");
+      }
+      double declared = 0;
+      if (GetNumber(Member(sink, "declared_build_rows"), &declared) &&
+          declared > 0 && table != nullptr && scale > 0) {
+        const double nominal =
+            static_cast<double>(table->num_rows()) * scale;
+        if (declared > nominal) {
+          r->Add(kRuleBuildAnnotation, path,
+                 "declared build rows " +
+                     Itoa(static_cast<uint64_t>(declared)) +
+                     " exceed the nominal source cardinality " +
+                     Itoa(static_cast<uint64_t>(nominal)),
+                 "declared_build_rows should be the rows *surviving* the "
+                 "pipeline's filters");
+        }
+      }
+    } else if (info.sink_kind == "hash_agg") {
+      CheckExprDoc(r, Member(sink, "key"), width, path, "aggregation key");
+      if (const JsonValue* aggs = Member(sink, "aggs");
+          aggs != nullptr && aggs->is_array()) {
+        for (const JsonValue& a : aggs->items()) {
+          CheckExprDoc(r, Member(&a, "arg"), width, path,
+                       "aggregate argument");
+        }
+      }
+    } else if (info.sink_kind != "collect") {
+      r->Add(kRuleSchemaDrift, path,
+             "unknown sink kind '" + info.sink_kind + "'");
+    }
+
+    double cost = 0;
+    if (GetNumber(Member(Member(&p, "estimated"), "cost_seconds"), &cost)) {
+      total_cost += cost;
+    }
+  }
+
+  // Cycle check over deps + probe edges (Kahn).
+  {
+    std::unordered_map<int, int> indegree;
+    std::unordered_map<int, std::vector<int>> out_edges;
+    for (int id : ids) indegree.emplace(id, 0);
+    for (const auto& [id, info] : infos) {
+      for (int dep : info.edges) {
+        out_edges[dep].push_back(id);
+        ++indegree[id];
+      }
+    }
+    std::deque<int> ready;
+    for (int id : ids) {
+      if (indegree[id] == 0) ready.push_back(id);
+    }
+    size_t seen = 0;
+    while (!ready.empty()) {
+      const int id = ready.front();
+      ready.pop_front();
+      ++seen;
+      for (int next : out_edges[id]) {
+        if (--indegree[next] == 0) ready.push_back(next);
+      }
+    }
+    if (seen != ids.size()) {
+      std::string cyclic;
+      for (int id : ids) {
+        if (indegree[id] > 0) {
+          if (!cyclic.empty()) cyclic += ", ";
+          cyclic += std::to_string(id);
+        }
+      }
+      r->Add(kRuleCyclicPlan, qpath,
+             "dependency/probe cycle through pipeline(s) " + cyclic);
+    }
+  }
+
+  return total_cost;
+}
+
+constexpr const char* kManifestFormat = "hape-manifest-v1";
+constexpr int kManifestVersion = 2;
+
+}  // namespace
+
+// ---- public entry points ----------------------------------------------------
+
+LintReport LintPlan(const QueryPlan& plan, const LintContext& ctx) {
+  LintReport r;
+  PassStructure(&r, plan);
+  PassColumns(&r, plan, ctx.catalog);
+  PassPlacement(&r, plan, ctx);
+  PassGpuBudget(&r, plan, ctx);
+  PassSubmit(&r, plan, ctx);
+  return r;
+}
+
+LintReport LintPolicy(const ExecutionPolicy& policy,
+                      const sim::Topology* topo) {
+  LintReport r;
+  const std::string path = "policy";
+  if (topo != nullptr) {
+    const int ndev = static_cast<int>(topo->devices().size());
+    if (policy.devices.empty()) {
+      r.Add(kRuleInfeasiblePlacement, path,
+            "execution policy has no devices");
+    }
+    for (int d : policy.devices) {
+      if (d < 0 || d >= ndev) {
+        r.Add(kRuleInfeasiblePlacement, path,
+              "unknown device id " + std::to_string(d));
+      }
+    }
+    for (int d : policy.build_devices) {
+      if (d < 0 || d >= ndev) {
+        r.Add(kRuleInfeasiblePlacement, path,
+              "unknown build device id " + std::to_string(d));
+      } else if (topo->device(d).type != sim::DeviceType::kCpu) {
+        r.Add(kRuleInfeasiblePlacement, path,
+              "build device " + std::to_string(d) +
+                  " is not a CPU (build sides are host-resident)");
+      }
+    }
+  }
+  if (policy.async.prefetch_depth < 0) {
+    r.Add(kRuleInvalidParameter, path, "async prefetch depth must be >= 0");
+  }
+  if (!IsFiniteNumber(policy.build_staging_factor) ||
+      policy.build_staging_factor <= 0) {
+    r.Add(kRuleInvalidParameter, path,
+          "build_staging_factor must be a finite value > 0");
+  }
+  if (!IsFiniteNumber(policy.expected_device_share) ||
+      policy.expected_device_share <= 0) {
+    r.Add(kRuleInvalidParameter, path,
+          "expected_device_share must be a finite value > 0");
+  } else if (policy.expected_device_share > 1.0) {
+    r.Add(Severity::kWarning, kRuleInvalidParameter, path,
+          "expected_device_share > 1.0 (a query cannot hold more than the "
+          "whole machine)");
+  }
+  const bool needs_async =
+      policy.scheduling == SchedulingPolicy::kFairShare ||
+      policy.scheduling == SchedulingPolicy::kSlaTiered;
+  if (needs_async && !policy.async.enabled()) {
+    r.Add(kRulePolicyNeedsAsync, path,
+          std::string(SchedulingPolicyName(policy.scheduling)) +
+              " scheduling requires the async executor but prefetch depth is "
+              "0",
+          "set AsyncOptions::prefetch_depth >= 1 (policy.async.prefetch_"
+          "depth in manifests)");
+  }
+  if (policy.scheduling == SchedulingPolicy::kSlaTiered &&
+      policy.serve.max_inflight <= 0) {
+    r.Add(kRulePolicyNeedsAsync, path,
+          "sla-tiered scheduling with serve.max_inflight <= 0 can never "
+          "admit a query");
+  }
+  if (policy.scheduling != SchedulingPolicy::kSlaTiered &&
+      policy.serve.shed_on_deadline) {
+    r.Add(kRuleIgnoredServeKnob, path,
+          "serve.shed_on_deadline has no effect under " +
+              std::string(SchedulingPolicyName(policy.scheduling)) +
+              " scheduling",
+          "shedding happens at the sla-tiered admission decision point only");
+  }
+  return r;
+}
+
+LintReport LintManifestDoc(const JsonValue& doc, const sim::Topology* topo,
+                           const storage::Catalog* catalog) {
+  LintReport r;
+  if (!doc.is_object()) {
+    r.Add(kRuleUnreadable, "manifest", "document is not a JSON object");
+    return r;
+  }
+  const std::string fmt = GetString(Member(&doc, "format"), "");
+  if (fmt != kManifestFormat) {
+    r.Add(kRuleSchemaDrift, "manifest",
+          "manifest format is '" + fmt + "', expected '" + kManifestFormat +
+              "'");
+    return r;
+  }
+  double version = kManifestVersion;
+  if (doc.Has("version") && (!GetNumber(doc.Find("version"), &version) ||
+                             version != kManifestVersion)) {
+    r.Add(kRuleSchemaDrift, "manifest",
+          "manifest version " + std::to_string(version) +
+              " drifts from the supported version " +
+              std::to_string(kManifestVersion),
+          "regenerate the manifest with this build's --write path");
+    return r;
+  }
+
+  if (const JsonValue* tpch = Member(&doc, "tpch"); tpch != nullptr) {
+    double sf_actual = 0, sf_nominal = 0;
+    if (GetNumber(Member(tpch, "sf_actual"), &sf_actual) && sf_actual <= 0) {
+      r.Add(kRuleInvalidParameter, "manifest tpch",
+            "sf_actual must be > 0");
+    }
+    if (GetNumber(Member(tpch, "sf_nominal"), &sf_nominal) &&
+        sf_nominal <= 0) {
+      r.Add(kRuleInvalidParameter, "manifest tpch",
+            "sf_nominal must be > 0");
+    }
+  } else {
+    r.Add(Severity::kWarning, kRuleSchemaDrift, "manifest",
+          "manifest has no tpch block; the driver cannot regenerate its "
+          "dataset");
+  }
+
+  ExecutionPolicy policy;
+  bool has_policy = false;
+  if (const JsonValue* pol = Member(&doc, "policy"); pol != nullptr) {
+    if (auto res = engine::PlanJson::ReadPolicy(*pol); res.ok()) {
+      policy = res.MoveValue();
+      has_policy = true;
+      r.Merge(LintPolicy(policy, topo));
+    } else {
+      r.Add(kRuleSchemaDrift, "manifest policy",
+            "policy block unreadable: " + res.status().message());
+    }
+  }
+
+  const JsonValue* queries = Member(&doc, "queries");
+  if (queries == nullptr || !queries->is_array()) {
+    r.Add(kRuleSchemaDrift, "manifest", "manifest has no queries array");
+    return r;
+  }
+  if (queries->items().empty()) {
+    r.Add(Severity::kWarning, kRuleSchemaDrift, "manifest",
+          "manifest has no queries");
+  }
+
+  std::unordered_set<std::string> labels;
+  int index = 0;
+  for (const JsonValue& q : queries->items()) {
+    const std::string fallback = "queries[" + std::to_string(index) + "]";
+    ++index;
+    if (!q.is_object()) {
+      r.Add(kRuleSchemaDrift, fallback, "query entry is not an object");
+      continue;
+    }
+    const std::string label = GetString(q.Find("label"), fallback);
+    const std::string qpath = "query '" + label + "'";
+    if (!labels.insert(label).second) {
+      r.Add(kRuleDuplicateLabel, qpath,
+            "duplicate query label in one manifest",
+            "labels key the schedule stats; duplicates make them ambiguous");
+    }
+    double weight = 1.0;
+    if (q.Has("weight") && (!GetNumber(q.Find("weight"), &weight) ||
+                            !IsFiniteNumber(weight) || weight <= 0)) {
+      r.Add(kRuleInvalidParameter, qpath,
+            "weight must be a finite value > 0");
+    }
+    double deadline_s = 0;
+    if (q.Has("deadline_s") && (!GetNumber(q.Find("deadline_s"), &deadline_s) ||
+                                !IsFiniteNumber(deadline_s) ||
+                                deadline_s < 0)) {
+      r.Add(kRuleInvalidParameter, qpath,
+            "deadline_s must be finite and >= 0");
+    }
+    const JsonValue* plan_doc = q.Find("plan");
+    if (plan_doc == nullptr) {
+      r.Add(kRuleSchemaDrift, qpath, "query entry has no plan document");
+      continue;
+    }
+
+    LintReport entry;
+    const double doc_cost =
+        LintPlanDocStructure(&entry, *plan_doc, qpath, topo, catalog);
+    if (deadline_s > 0 && doc_cost > 0 && doc_cost > deadline_s) {
+      char est[32], dl[32];
+      std::snprintf(est, sizeof(est), "%.3f", doc_cost);
+      std::snprintf(dl, sizeof(dl), "%.3f", deadline_s);
+      entry.Add(kRuleUnreachableDeadline, qpath,
+                std::string("deadline ") + dl +
+                    "s is unreachable: the document's cost estimates sum to " +
+                    est + "s even uncontended",
+                "the scheduler will abort this query at its first decision "
+                "point past the deadline");
+    }
+    const bool entry_clean = !entry.has_errors();
+    r.Merge(entry);
+
+    // Semantic pass on the rebuilt plan: only when the document is
+    // structurally clean (Load would reject it with a bare Status
+    // otherwise) and a catalog can resolve its scans.
+    if (entry_clean && catalog != nullptr) {
+      auto loaded = engine::PlanJson::Load(*plan_doc, *catalog, topo);
+      if (!loaded.ok()) {
+        r.Add(kRuleUnreadable, qpath,
+              "plan document failed to load: " + loaded.status().message());
+        continue;
+      }
+      engine::LoadedPlan lp = loaded.MoveValue();
+      SubmitOptions submit;
+      submit.weight = weight;
+      submit.label = label;
+      submit.deadline_s = deadline_s;
+      LintContext ctx;
+      ctx.topo = topo;
+      ctx.catalog = catalog;
+      ctx.policy = has_policy ? &policy : nullptr;
+      ctx.submit = &submit;
+      r.Merge(LintPlan(lp.plan, ctx));
+    }
+  }
+  return r;
+}
+
+LintReport LintManifestText(std::string_view text, const sim::Topology* topo,
+                            const storage::Catalog* catalog) {
+  auto parsed = JsonParser::Parse(text);
+  if (!parsed.ok()) {
+    LintReport r;
+    r.Add(kRuleUnreadable, "manifest", parsed.status().message());
+    return r;
+  }
+  return LintManifestDoc(parsed.value(), topo, catalog);
+}
+
+}  // namespace hape::lint

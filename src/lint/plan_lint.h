@@ -1,0 +1,63 @@
+#ifndef HAPE_LINT_PLAN_LINT_H_
+#define HAPE_LINT_PLAN_LINT_H_
+
+#include <string_view>
+
+#include "common/json.h"
+#include "engine/plan.h"
+#include "engine/policy.h"
+#include "lint/diagnostic.h"
+#include "sim/topology.h"
+#include "storage/table.h"
+
+namespace hape::engine {
+struct SubmitOptions;
+}
+
+namespace hape::lint {
+
+/// Everything the lint passes may consult besides the plan itself. All
+/// members are optional: a null member simply disables the passes that
+/// need it (no topology -> no placement or GPU-budget checks, no catalog
+/// -> no table/column existence checks, ...).
+struct LintContext {
+  const sim::Topology* topo = nullptr;
+  const storage::Catalog* catalog = nullptr;
+  const engine::ExecutionPolicy* policy = nullptr;
+  const engine::SubmitOptions* submit = nullptr;
+};
+
+/// Static analysis of one in-memory QueryPlan: structure (HL001/HL002),
+/// column references (HL003/HL004), placement feasibility (HL005), GPU
+/// admission-budget fit (HL006), deadline reachability against the
+/// optimizer's cost estimates (HL007), submit parameters (HL008), and
+/// suspicious expressions (HL012/HL014). Pure: never mutates the plan,
+/// never executes anything.
+LintReport LintPlan(const engine::QueryPlan& plan, const LintContext& ctx);
+
+/// Static analysis of an ExecutionPolicy alone: device-set feasibility
+/// against `topo` (HL005, skipped when null), scheduling policies that
+/// require knobs the policy disables (HL009), serve knobs the configured
+/// scheduling policy ignores (HL010), and out-of-domain numeric knobs
+/// (HL008).
+LintReport LintPolicy(const engine::ExecutionPolicy& policy,
+                      const sim::Topology* topo);
+
+/// Static analysis of a whole manifest document (the hape-manifest-v1
+/// shape examples/manifest_run.cpp executes): format/version drift
+/// (HL011), per-query submit parameters (HL008), duplicate labels
+/// (HL013), the embedded policy (LintPolicy), and — per query — the raw
+/// plan document structurally (dangling/cyclic edges, column widths,
+/// unknown tables/columns, device ids, deadline vs the document's
+/// declared cost estimates), followed by the full semantic LintPlan on
+/// the rebuilt plan when the document is loadable and `catalog` is given.
+LintReport LintManifestDoc(const JsonValue& doc, const sim::Topology* topo,
+                           const storage::Catalog* catalog);
+
+/// Parse + LintManifestDoc; an unreadable document is a single HL000.
+LintReport LintManifestText(std::string_view text, const sim::Topology* topo,
+                            const storage::Catalog* catalog);
+
+}  // namespace hape::lint
+
+#endif  // HAPE_LINT_PLAN_LINT_H_

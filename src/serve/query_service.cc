@@ -2,7 +2,36 @@
 
 #include <utility>
 
+#include "common/logging.h"
+#include "lint/plan_lint.h"
+
 namespace hape::serve {
+
+Status QueryService::LintBeforeSubmit(const engine::QueryPlan& plan,
+                                      const engine::SubmitOptions& opts) {
+  if (!policy_.lint.enable) return Status::OK();
+  lint::LintContext ctx;
+  ctx.topo = engine_->topology();
+  ctx.catalog = catalog_;
+  ctx.policy = &policy_;
+  ctx.submit = &opts;
+  const lint::LintReport report = lint::LintPlan(plan, ctx);
+  obs::MetricsRegistry& metrics = engine_->metrics();
+  metrics.GetCounter("serve.lint.runs")->Add(1);
+  if (report.empty()) return Status::OK();
+  metrics.GetCounter("serve.lint.errors")
+      ->Add(static_cast<double>(report.errors()));
+  metrics.GetCounter("serve.lint.warnings")
+      ->Add(static_cast<double>(report.warnings()));
+  if (policy_.lint.strict && report.has_errors()) {
+    metrics.GetCounter("serve.lint.rejected")->Add(1);
+    return Status::InvalidArgument("Submit: lint rejected plan '" +
+                                   plan.name() + "': " + report.Summary());
+  }
+  HAPE_LOG(Warn) << "Submit: lint of plan '" << plan.name()
+                 << "': " << report.Summary();
+  return Status::OK();
+}
 
 Result<QueryService::Ticket> QueryService::Submit(
     const engine::QueryPlan& plan, const engine::SubmitOptions& opts) {
@@ -14,6 +43,7 @@ Result<QueryService::Ticket> QueryService::Submit(
     HAPE_ASSIGN_OR_RETURN(engine::LoadedPlan loaded,
                           engine_->LoadPlan(*cached, *catalog_));
     t.cache_hit = true;
+    HAPE_RETURN_NOT_OK(LintBeforeSubmit(loaded.plan, opts));
     if (!loaded.aggs.empty()) t.agg = loaded.agg();
     t.id = engine_->Submit(std::move(loaded.plan), opts);
     if (tracer.enabled()) {
@@ -35,6 +65,7 @@ Result<QueryService::Ticket> QueryService::Submit(
   HAPE_ASSIGN_OR_RETURN(std::string optimized,
                         engine_->DumpPlan(loaded.plan));
   cache_.Insert(std::move(fingerprint), std::move(optimized));
+  HAPE_RETURN_NOT_OK(LintBeforeSubmit(loaded.plan, opts));
   if (!loaded.aggs.empty()) t.agg = loaded.agg();
   t.id = engine_->Submit(std::move(loaded.plan), opts);
   if (tracer.enabled()) {

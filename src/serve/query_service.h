@@ -59,7 +59,10 @@ class QueryService {
 
   /// Fingerprint, optimize (or fetch the cached optimization), and admit
   /// `plan`. The plan itself is not consumed — the submitted plan is the
-  /// round-tripped copy.
+  /// round-tripped copy. When the service policy enables lint, the
+  /// round-tripped plan is linted before admission (serve.lint.* counters);
+  /// under lint.strict an error-severity finding rejects the request here —
+  /// it never reaches the engine's submission queue.
   Result<Ticket> Submit(const engine::QueryPlan& plan,
                         const engine::SubmitOptions& opts);
 
@@ -72,6 +75,11 @@ class QueryService {
   engine::Engine* engine() { return engine_; }
 
  private:
+  /// Serve-side lint gate run on the round-tripped plan before each
+  /// engine_->Submit (hit and miss path alike).
+  Status LintBeforeSubmit(const engine::QueryPlan& plan,
+                          const engine::SubmitOptions& opts);
+
   engine::Engine* engine_;
   const storage::Catalog* catalog_;
   engine::ExecutionPolicy policy_;
